@@ -1,0 +1,45 @@
+//! Criterion companion to Figure 17: LMG runtime scaling with version
+//! count (directed case, budget 3× the MCA weight).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsv_core::solvers::{lmg, mst};
+use dsv_core::ProblemInstance;
+use dsv_workloads::synthetic::{self, SyntheticParams};
+use dsv_workloads::GraphParams;
+use std::hint::black_box;
+
+fn instance(n: usize) -> ProblemInstance {
+    synthetic::build(
+        "scaling",
+        &SyntheticParams {
+            graph: GraphParams {
+                commits: n,
+                branch_interval: 40,
+                branch_prob: 0.25,
+                branch_limit: 1,
+                branch_length: 12,
+                merge_prob: 0.15,
+            },
+            reveal_hops: 12,
+            ..SyntheticParams::default()
+        },
+        2015,
+    )
+    .instance()
+}
+
+fn bench_lmg_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lmg_scaling");
+    group.sample_size(10);
+    for n in [500usize, 1000, 2000, 4000] {
+        let inst = instance(n);
+        let budget = mst::solve(&inst).unwrap().storage_cost() * 3;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| lmg::solve_sum_given_storage(black_box(&inst), budget, false).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lmg_scaling);
+criterion_main!(benches);

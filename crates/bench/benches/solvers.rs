@@ -1,0 +1,72 @@
+//! Criterion benches for the solver suite on a DC-shaped instance.
+//!
+//! Complements Fig. 17 (which times LMG at scale): these measure each
+//! algorithm's per-invocation latency at a fixed instance size so
+//! regressions in any solver are caught individually.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dsv_core::solvers::{gith, last, lmg, mp, mst, spt};
+use dsv_core::ProblemInstance;
+use dsv_workloads::synthetic::{self, SyntheticParams};
+use dsv_workloads::GraphParams;
+use std::hint::black_box;
+
+fn instance(n: usize) -> ProblemInstance {
+    synthetic::build(
+        "bench",
+        &SyntheticParams {
+            graph: GraphParams {
+                commits: n,
+                branch_interval: 2,
+                branch_prob: 0.8,
+                branch_limit: 4,
+                branch_length: 3,
+                merge_prob: 0.35,
+            },
+            reveal_hops: 6,
+            ..SyntheticParams::default()
+        },
+        7,
+    )
+    .instance()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let inst = instance(400);
+    let mca = mst::solve(&inst).unwrap();
+    let spt_sol = spt::solve(&inst).unwrap();
+    let beta = mca.storage_cost() * 3 / 2;
+    let theta = spt_sol.max_recreation() * 3 / 2;
+
+    let mut group = c.benchmark_group("solvers_n400");
+    group.bench_function("mca_edmonds", |b| {
+        b.iter(|| mst::solve(black_box(&inst)).unwrap())
+    });
+    group.bench_function("spt_dijkstra", |b| {
+        b.iter(|| spt::solve(black_box(&inst)).unwrap())
+    });
+    group.bench_function("lmg_p3", |b| {
+        b.iter(|| lmg::solve_sum_given_storage(black_box(&inst), beta, false).unwrap())
+    });
+    group.bench_function("mp_p6", |b| {
+        b.iter(|| mp::solve_storage_given_max(black_box(&inst), theta).unwrap())
+    });
+    group.bench_function("last_alpha2", |b| {
+        b.iter(|| last::solve(black_box(&inst), 2.0).unwrap())
+    });
+    group.bench_function("gith_w10_d50", |b| {
+        b.iter_batched(
+            || (),
+            |_| gith::solve(black_box(&inst), gith::GitHParams::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_solvers
+}
+criterion_main!(benches);

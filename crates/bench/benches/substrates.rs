@@ -1,0 +1,101 @@
+//! Criterion benches for the substrates: diff, byte deltas, compression,
+//! and the graph algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsv_compress::lz;
+use dsv_delta::{bytes_delta, script};
+use dsv_graph::{dijkstra, min_cost_arborescence, prim_mst, DiGraph, NodeId, UnGraph};
+use std::hint::black_box;
+
+fn csv(rows: usize, tag: u32) -> Vec<u8> {
+    let mut out = b"id,name,score,notes\n".to_vec();
+    for i in 0..rows {
+        out.extend_from_slice(
+            format!("{i},user-{},{}.5,annotation text field {}\n", i ^ 7, i % 100, tag).as_bytes(),
+        );
+    }
+    out
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let a = csv(2000, 0);
+    let mut b = csv(2000, 0);
+    // A realistic edit burst in the middle.
+    let mid = b.len() / 2;
+    b.splice(mid..mid, b"999999,injected,0.0,inserted row\n".iter().copied());
+
+    let mut group = c.benchmark_group("diff");
+    group.throughput(Throughput::Bytes((a.len() + b.len()) as u64));
+    group.bench_function("line_diff_2k_rows", |bch| {
+        bch.iter(|| script::line_diff(black_box(&a), black_box(&b)))
+    });
+    group.bench_function("byte_diff_2k_rows", |bch| {
+        bch.iter(|| bytes_delta::diff(black_box(&a), black_box(&b)))
+    });
+    let ops = bytes_delta::diff(&a, &b);
+    group.bench_function("byte_apply_2k_rows", |bch| {
+        bch.iter(|| bytes_delta::apply(black_box(&a), black_box(&ops)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let data = csv(2000, 3);
+    let compressed = lz::compress(&data);
+    let mut group = c.benchmark_group("lz");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress_csv", |b| b.iter(|| lz::compress(black_box(&data))));
+    group.bench_function("decompress_csv", |b| {
+        b.iter(|| lz::decompress(black_box(&compressed)).unwrap())
+    });
+    group.finish();
+}
+
+fn random_digraph(n: usize, degree: usize) -> DiGraph<u64> {
+    let mut g = DiGraph::new(n);
+    let mut state = 0x853c_49e6_748f_ea9bu64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for v in 0..n as u32 {
+        g.add_edge(NodeId(0), NodeId(v), 1000 + next() % 1000);
+        for _ in 0..degree {
+            let u = (next() % n as u64) as u32;
+            if u != v {
+                g.add_edge(NodeId(u), NodeId(v), next() % 500);
+            }
+        }
+    }
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let g = random_digraph(2000, 6);
+    let mut ug: UnGraph<u64> = UnGraph::new(2000);
+    for e in g.edges() {
+        if e.src != e.dst {
+            ug.add_edge(e.src, e.dst, e.weight);
+        }
+    }
+    let mut group = c.benchmark_group("graph_n2000");
+    group.bench_function("dijkstra", |b| {
+        b.iter(|| dijkstra(black_box(&g), NodeId(0), |e| e.weight))
+    });
+    group.bench_function("edmonds_mca", |b| {
+        b.iter(|| min_cost_arborescence(black_box(&g), NodeId(0), |e| e.weight).unwrap())
+    });
+    group.bench_function("prim_mst", |b| {
+        b.iter(|| prim_mst(black_box(&ug), NodeId(0), |e| e.weight).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_diff, bench_compression, bench_graph
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (dataset properties). `--quick` shrinks scales.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::fig12::run(scale);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13 (directed: storage vs ΣR). `--quick` shrinks
+//! scales.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::fig13::run(scale);
+}

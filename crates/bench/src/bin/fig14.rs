@@ -1,0 +1,7 @@
+//! Regenerates Figure 14 (directed: storage vs max R). `--quick` shrinks
+//! scales.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::fig14::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 15 (undirected panels). `--quick` shrinks scales.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::fig15::run(scale);
+}

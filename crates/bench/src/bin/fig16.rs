@@ -1,0 +1,6 @@
+//! Regenerates Figure 16 (workload-aware LMG). `--quick` shrinks scales.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::fig16::run(scale);
+}

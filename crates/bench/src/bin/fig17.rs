@@ -1,0 +1,6 @@
+//! Regenerates Figure 17 (LMG running times). `--quick` shrinks scales.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::fig17::run(scale);
+}

@@ -1,0 +1,26 @@
+//! Runs every experiment harness in sequence (the EXPERIMENTS.md driver).
+//! Pass `--quick` for a fast smoke run.
+
+use dsv_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Reproduction run ({scale:?} scale)\n");
+    let (_, d) = dsv_bench::timed(|| experiments::fig12::run(scale));
+    println!("[fig12 done in {:.1}s]\n", d.as_secs_f64());
+    let (_, d) = dsv_bench::timed(|| experiments::fig13::run(scale));
+    println!("[fig13 done in {:.1}s]\n", d.as_secs_f64());
+    let (_, d) = dsv_bench::timed(|| experiments::fig14::run(scale));
+    println!("[fig14 done in {:.1}s]\n", d.as_secs_f64());
+    let (_, d) = dsv_bench::timed(|| experiments::fig15::run(scale));
+    println!("[fig15 done in {:.1}s]\n", d.as_secs_f64());
+    let (_, d) = dsv_bench::timed(|| experiments::fig16::run(scale));
+    println!("[fig16 done in {:.1}s]\n", d.as_secs_f64());
+    let (_, d) = dsv_bench::timed(|| experiments::fig17::run(scale));
+    println!("[fig17 done in {:.1}s]\n", d.as_secs_f64());
+    let (_, d) = dsv_bench::timed(|| experiments::table2::run(scale));
+    println!("[table2 done in {:.1}s]\n", d.as_secs_f64());
+    let (_, d) = dsv_bench::timed(|| experiments::sec52::run(scale));
+    println!("[sec52 done in {:.1}s]\n", d.as_secs_f64());
+    println!("CSV outputs: target/experiments/");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §5.2 storage-scheme comparison. `--quick` shrinks
+//! scales.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::sec52::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (exact vs MP). `--quick` shrinks the time budget.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::table2::run(scale);
+}

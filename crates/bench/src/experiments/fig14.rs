@@ -1,0 +1,122 @@
+//! Figure 14: directed case — storage cost vs **max** recreation cost.
+//!
+//! Two panels (DC, LF) comparing LMG / MP / LAST under a shared storage
+//! budget grid. Reproduction targets: MP finds the best max-recreation
+//! frontier; LMG and LAST show plateaus (they optimize the sum; one
+//! deep-chained version doesn't move their objective much).
+
+use crate::report::{human_bytes, Table};
+use crate::Scale;
+use dsv_core::solvers::{last, lmg, mp, mst, spt};
+use dsv_workloads::Dataset;
+
+use super::SweepPoint;
+
+/// One panel's data.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Dataset name.
+    pub dataset: String,
+    /// Minimum achievable max-recreation (SPT).
+    pub spt_max: u64,
+    /// Sweep points.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Sweeps one dataset: LMG and MP share a β grid (MP via Problem 4's
+/// binary search); LAST sweeps α.
+pub fn panel(dataset: &Dataset) -> Panel {
+    let instance = dataset.instance();
+    let mca = mst::solve(&instance).expect("solvable");
+    let spt_sol = spt::solve(&instance).expect("solvable");
+    let mut points = Vec::new();
+    for f in [1.02f64, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0] {
+        let beta = (mca.storage_cost() as f64 * f) as u64;
+        if let Ok(sol) = lmg::solve_sum_given_storage(&instance, beta, false) {
+            points.push(SweepPoint {
+                algo: "LMG",
+                param: format!("β={f:.2}×MCA"),
+                storage: sol.storage_cost(),
+                sum_recreation: sol.sum_recreation(),
+                max_recreation: sol.max_recreation(),
+            });
+        }
+        if let Ok(sol) = mp::solve_max_given_storage(&instance, beta) {
+            points.push(SweepPoint {
+                algo: "MP",
+                param: format!("β={f:.2}×MCA"),
+                storage: sol.storage_cost(),
+                sum_recreation: sol.sum_recreation(),
+                max_recreation: sol.max_recreation(),
+            });
+        }
+    }
+    for alpha in [1.1f64, 1.5, 2.0, 3.0, 5.0, 8.0] {
+        if let Ok(sol) = last::solve(&instance, alpha) {
+            points.push(SweepPoint {
+                algo: "LAST",
+                param: format!("α={alpha}"),
+                storage: sol.storage_cost(),
+                sum_recreation: sol.sum_recreation(),
+                max_recreation: sol.max_recreation(),
+            });
+        }
+    }
+    Panel {
+        dataset: dataset.name.clone(),
+        spt_max: spt_sol.max_recreation(),
+        points,
+    }
+}
+
+/// Runs the DC and LF panels (the paper's pair) and emits tables.
+pub fn run(scale: Scale) -> Vec<Panel> {
+    let all = super::datasets(scale);
+    let panels: Vec<Panel> = all
+        .iter()
+        .filter(|d| d.name == "DC" || d.name == "LF")
+        .map(panel)
+        .collect();
+    for p in &panels {
+        let mut table = Table::new(
+            &format!(
+                "Figure 14 ({}): storage vs max R [directed]  (SPT maxR={})",
+                p.dataset,
+                human_bytes(p.spt_max)
+            ),
+            &["algo", "param", "storage", "max recreation", "×SPT-maxR"],
+        );
+        for pt in &p.points {
+            table.row(vec![
+                pt.algo.to_string(),
+                pt.param.clone(),
+                human_bytes(pt.storage),
+                human_bytes(pt.max_recreation),
+                format!("{:.2}", pt.max_recreation as f64 / p.spt_max.max(1) as f64),
+            ]);
+        }
+        table.emit(&format!("fig14_{}", p.dataset.to_lowercase()));
+    }
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_workloads::presets;
+
+    #[test]
+    fn mp_beats_lmg_on_max_recreation_at_equal_budget() {
+        let ds = presets::densely_connected().scaled(100).build(3);
+        let p = panel(&ds);
+        // Compare at the largest shared budget factor.
+        let last_lmg = p.points.iter().rfind(|x| x.algo == "LMG").unwrap();
+        let last_mp = p.points.iter().rfind(|x| x.algo == "MP").unwrap();
+        assert!(
+            last_mp.max_recreation <= last_lmg.max_recreation,
+            "MP {} vs LMG {}",
+            last_mp.max_recreation,
+            last_lmg.max_recreation
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 15: the undirected case.
+//!
+//! Panels (a–c): storage vs ΣR on DC, LC, BF with symmetric deltas
+//! (two-way line scripts). Panel (d): storage vs max R on DC. Same
+//! reproduction targets as Figures 13/14, now with Prim's MST as the
+//! minimum-storage baseline.
+
+use crate::report::{human_bytes, Table};
+use crate::Scale;
+use dsv_core::solvers::{mst, spt};
+use dsv_workloads::Dataset;
+
+use super::{sweep_heuristics, SweepConfig, SweepPoint};
+
+/// One undirected panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Dataset name.
+    pub dataset: String,
+    /// MST storage (minimum).
+    pub mst_storage: u64,
+    /// SPT ΣR (minimum).
+    pub spt_sum: u64,
+    /// SPT max R (minimum).
+    pub spt_max: u64,
+    /// Sweep points.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Sweeps one undirected dataset.
+pub fn panel(dataset: &Dataset) -> Panel {
+    assert!(dataset.matrix.is_symmetric(), "undirected experiment");
+    let instance = dataset.instance();
+    let mst_sol = mst::solve(&instance).expect("solvable");
+    let spt_sol = spt::solve(&instance).expect("solvable");
+    // GitH is omitted in the paper's Figure 15 (it compares LMG/MP/LAST).
+    let config = SweepConfig {
+        gith: vec![],
+        ..SweepConfig::default()
+    };
+    Panel {
+        dataset: dataset.name.clone(),
+        mst_storage: mst_sol.storage_cost(),
+        spt_sum: spt_sol.sum_recreation(),
+        spt_max: spt_sol.max_recreation(),
+        points: sweep_heuristics(&instance, &config),
+    }
+}
+
+/// Runs panels (a–d) and emits tables.
+pub fn run(scale: Scale) -> Vec<Panel> {
+    let panels: Vec<Panel> = super::undirected_datasets(scale).iter().map(panel).collect();
+    for p in &panels {
+        let mut table = Table::new(
+            &format!(
+                "Figure 15 ({}): storage vs ΣR and max R [undirected]  (MST C={}, SPT ΣR={})",
+                p.dataset,
+                human_bytes(p.mst_storage),
+                human_bytes(p.spt_sum),
+            ),
+            &["algo", "param", "storage", "Σ recreation", "max recreation"],
+        );
+        for pt in &p.points {
+            table.row(vec![
+                pt.algo.to_string(),
+                pt.param.clone(),
+                human_bytes(pt.storage),
+                human_bytes(pt.sum_recreation),
+                human_bytes(pt.max_recreation),
+            ]);
+        }
+        table.emit(&format!("fig15_{}", p.dataset.to_lowercase()));
+    }
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_workloads::presets;
+
+    #[test]
+    fn undirected_panel_has_the_tradeoff() {
+        let ds = presets::densely_connected().scaled(80).undirected().build(5);
+        let p = panel(&ds);
+        // LMG with generous budget approaches SPT's ΣR.
+        let best_lmg = p
+            .points
+            .iter()
+            .filter(|x| x.algo == "LMG")
+            .map(|x| x.sum_recreation)
+            .min()
+            .unwrap();
+        assert!(best_lmg <= p.spt_sum * 12 / 10);
+        // All solutions cost at least the MST.
+        for pt in &p.points {
+            assert!(pt.storage >= p.mst_storage);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 16: workload-aware LMG vs plain LMG.
+//!
+//! Access frequencies follow a Zipfian distribution with exponent 2; both
+//! LMG variants get the same storage budgets and are scored on the
+//! *weighted* sum of recreation costs. Reproduction targets: on DC the
+//! workload-aware variant wins clearly; on LF the gap is small (the
+//! paper's own observation).
+
+use crate::report::{human_bytes, Table};
+use crate::Scale;
+use dsv_core::solvers::{lmg, mst};
+use dsv_workloads::Dataset;
+
+/// One (dataset, budget) comparison point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Dataset name.
+    pub dataset: String,
+    /// Budget factor over MCA.
+    pub beta_factor: f64,
+    /// Achieved storage (workload-aware run).
+    pub storage: u64,
+    /// Weighted ΣR of plain LMG.
+    pub unweighted_cost: f64,
+    /// Weighted ΣR of workload-aware LMG.
+    pub weighted_cost: f64,
+}
+
+/// Runs the comparison on one dataset.
+pub fn compare(dataset: &Dataset, zipf_seed: u64) -> Vec<Point> {
+    let instance = dataset.instance_with_zipf(2.0, zipf_seed);
+    let weights: Vec<f64> = instance.weights().unwrap().to_vec();
+    let mca = mst::solve(&instance).expect("solvable");
+    let mut out = Vec::new();
+    for f in [1.05f64, 1.1, 1.25, 1.5, 2.0, 3.0] {
+        let beta = (mca.storage_cost() as f64 * f) as u64;
+        let plain = lmg::solve_sum_given_storage(&instance, beta, false);
+        let aware = lmg::solve_sum_given_storage(&instance, beta, true);
+        if let (Ok(plain), Ok(aware)) = (plain, aware) {
+            out.push(Point {
+                dataset: dataset.name.clone(),
+                beta_factor: f,
+                storage: aware.storage_cost(),
+                unweighted_cost: plain.weighted_sum_recreation(&weights),
+                weighted_cost: aware.weighted_sum_recreation(&weights),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the DC and LF panels (the paper's pair) and emits the table.
+pub fn run(scale: Scale) -> Vec<Point> {
+    let all = super::datasets(scale);
+    let mut points = Vec::new();
+    for ds in all.iter().filter(|d| d.name == "DC" || d.name == "LF") {
+        points.extend(compare(ds, 77));
+    }
+    let mut table = Table::new(
+        "Figure 16: workload-aware LMG (Zipf exponent 2) vs plain LMG",
+        &[
+            "dataset",
+            "β factor",
+            "storage",
+            "weighted ΣR (plain)",
+            "weighted ΣR (aware)",
+            "improvement",
+        ],
+    );
+    for p in &points {
+        table.row(vec![
+            p.dataset.clone(),
+            format!("{:.2}", p.beta_factor),
+            human_bytes(p.storage),
+            format!("{:.3e}", p.unweighted_cost),
+            format!("{:.3e}", p.weighted_cost),
+            format!(
+                "{:.1}%",
+                100.0 * (p.unweighted_cost - p.weighted_cost) / p.unweighted_cost.max(1.0)
+            ),
+        ]);
+    }
+    table.emit("fig16");
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_workloads::presets;
+
+    #[test]
+    fn workload_awareness_never_hurts_much_and_usually_helps() {
+        let ds = presets::densely_connected().scaled(100).build(3);
+        let points = compare(&ds, 77);
+        assert!(!points.is_empty());
+        let mut wins = 0usize;
+        for p in &points {
+            // Aware must not be more than 5% worse, and should win
+            // somewhere.
+            assert!(
+                p.weighted_cost <= p.unweighted_cost * 1.05,
+                "β={}: {} vs {}",
+                p.beta_factor,
+                p.weighted_cost,
+                p.unweighted_cost
+            );
+            if p.weighted_cost < p.unweighted_cost * 0.999 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 1, "aware LMG should win at least one budget");
+    }
+}

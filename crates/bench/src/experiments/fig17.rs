@@ -1,0 +1,131 @@
+//! Figure 17: LMG running times vs number of versions.
+//!
+//! The paper samples sub-version-graphs of increasing size (BFS from a
+//! random node) from the LC and DC datasets and reports (a) LMG's own
+//! time and (b) total time including the MST/MCA + SPT inputs, for the
+//! directed and undirected cases, with the storage budget set to 3× the
+//! MST weight. Contents never reach the solver, so the instances here are
+//! cost-only ([`dsv_workloads::synthetic`]).
+
+use crate::report::Table;
+use crate::{timed, Scale};
+use dsv_core::solvers::{lmg, mst, spt};
+use dsv_workloads::synthetic::{self, SyntheticParams};
+use dsv_workloads::{Dataset, GraphParams};
+
+/// One timing measurement.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// "DC" or "LC" shape.
+    pub shape: &'static str,
+    /// Directed or undirected.
+    pub directed: bool,
+    /// Number of versions in the sampled subgraph.
+    pub versions: usize,
+    /// LMG's own wall-clock milliseconds.
+    pub lmg_ms: f64,
+    /// MST + SPT + LMG milliseconds.
+    pub total_ms: f64,
+}
+
+fn master_dataset(shape: &'static str, directed: bool, n_max: usize) -> Dataset {
+    let graph = if shape == "DC" {
+        GraphParams {
+            commits: n_max,
+            branch_interval: 2,
+            branch_prob: 0.8,
+            branch_limit: 4,
+            branch_length: 3,
+            merge_prob: 0.35,
+        }
+    } else {
+        GraphParams {
+            commits: n_max,
+            branch_interval: 40,
+            branch_prob: 0.25,
+            branch_limit: 1,
+            branch_length: 12,
+            merge_prob: 0.15,
+        }
+    };
+    synthetic::build(
+        shape,
+        &SyntheticParams {
+            graph,
+            reveal_hops: if shape == "DC" { 6 } else { 12 },
+            directed,
+            ..SyntheticParams::default()
+        },
+        2015,
+    )
+}
+
+/// Times LMG on BFS-sampled subgraphs of the given sizes.
+pub fn measure(shape: &'static str, directed: bool, sizes: &[usize]) -> Vec<Timing> {
+    let n_max = *sizes.iter().max().expect("at least one size");
+    let master = master_dataset(shape, directed, n_max);
+    let mut out = Vec::new();
+    for (k, &n) in sizes.iter().enumerate() {
+        let instance = super::subsample(&master, n, 31 + k as u64);
+        let (inputs, prep) = timed(|| {
+            let mca = mst::solve(&instance).expect("solvable");
+            let spt_sol = spt::solve(&instance).expect("solvable");
+            (mca, spt_sol)
+        });
+        let budget = inputs.0.storage_cost() * 3;
+        let (sol, lmg_time) =
+            timed(|| lmg::solve_sum_given_storage(&instance, budget, false).expect("feasible"));
+        assert!(sol.storage_cost() <= budget);
+        out.push(Timing {
+            shape,
+            directed,
+            versions: instance.version_count(),
+            lmg_ms: lmg_time.as_secs_f64() * 1e3,
+            total_ms: (prep + lmg_time).as_secs_f64() * 1e3,
+        });
+    }
+    out
+}
+
+/// Runs both shapes in both directedness modes and emits the table.
+pub fn run(scale: Scale) -> Vec<Timing> {
+    let sizes: Vec<usize> = scale.pick(
+        vec![500, 1_000, 2_000],
+        vec![1_000, 2_000, 5_000, 10_000, 20_000, 40_000],
+    );
+    let mut rows = Vec::new();
+    for directed in [true, false] {
+        for shape in ["LC", "DC"] {
+            rows.extend(measure(shape, directed, &sizes));
+        }
+    }
+    let mut table = Table::new(
+        "Figure 17: LMG running time vs number of versions (budget 3×MST)",
+        &["shape", "case", "versions", "LMG (ms)", "total (ms)"],
+    );
+    for t in &rows {
+        table.row(vec![
+            t.shape.to_string(),
+            if t.directed { "directed" } else { "undirected" }.to_string(),
+            t.versions.to_string(),
+            format!("{:.1}", t.lmg_ms),
+            format!("{:.1}", t.total_ms),
+        ]);
+    }
+    table.emit("fig17");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_rows_scale_with_n() {
+        let rows = measure("LC", true, &[300, 900]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].versions, 300);
+        assert_eq!(rows[1].versions, 900);
+        assert!(rows[0].total_ms >= rows[0].lmg_ms);
+    }
+}

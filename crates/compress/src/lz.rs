@@ -1,0 +1,305 @@
+//! An LZ77-style compressor with a hash-chain match finder.
+//!
+//! ## Format
+//!
+//! ```text
+//! varint original_len
+//! token*
+//! token := varint header
+//!          header = (literal_len << 1) | 0  followed by literal bytes
+//!          header = (match_len   << 1) | 1  followed by varint distance
+//! ```
+//!
+//! Matches always have `match_len >= MIN_MATCH` and `distance >= 1`;
+//! overlapping copies (distance < length) are allowed and reproduce runs.
+
+use crate::varint::{decode_u64, encode_u64};
+
+/// Minimum length worth encoding as a match (shorter is cheaper literal).
+const MIN_MATCH: usize = 4;
+/// 16-bit hash table of chain heads.
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// Tuning knobs for the match finder.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Sliding-window size: matches may only reach this far back.
+    pub window: usize,
+    /// Maximum hash-chain entries probed per position (speed/ratio knob).
+    pub max_chain: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            window: 1 << 16,
+            max_chain: 32,
+        }
+    }
+}
+
+/// Decompression failure (corrupt or truncated input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Input ended in the middle of a token.
+    Truncated,
+    /// A match referenced bytes before the start of the output.
+    BadDistance,
+    /// Decoded output did not match the declared length.
+    LengthMismatch {
+        /// Length the stream header declared.
+        declared: u64,
+        /// Length actually decoded.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Truncated => write!(f, "compressed stream truncated"),
+            CompressError::BadDistance => write!(f, "match distance out of range"),
+            CompressError::LengthMismatch { declared, actual } => {
+                write!(f, "declared length {declared} but decoded {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `data` with default [`Params`].
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with(data, &Params::default())
+}
+
+/// Compresses `data` with explicit [`Params`].
+pub fn compress_with(data: &[u8], params: &Params) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    encode_u64(data.len() as u64, &mut out);
+    if data.is_empty() {
+        return out;
+    }
+
+    // head[h] = most recent position with hash h; prev[i] = previous
+    // position in i's chain. Positions offset by +1 so 0 = empty.
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; data.len()];
+
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            // Literal runs are varint-coded; no need to split, but keep
+            // chunks bounded so the shift in the header can't overflow.
+            let len = (to - s).min((u64::MAX >> 1) as usize);
+            encode_u64((len as u64) << 1, out);
+            out.extend_from_slice(&data[s..s + len]);
+            s += len;
+        }
+    };
+
+    while i + MIN_MATCH <= data.len() {
+        let h = hash4(&data[i..]);
+        // Probe the chain for the longest match.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut cand = head[h];
+        let mut probes = 0;
+        while cand != 0 && probes < params.max_chain {
+            let pos = (cand - 1) as usize;
+            if i - pos > params.window {
+                break;
+            }
+            // Extend the match.
+            let max = data.len() - i;
+            let mut l = 0usize;
+            while l < max && data[pos + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - pos;
+                if l >= max {
+                    break;
+                }
+            }
+            cand = prev[pos];
+            probes += 1;
+        }
+
+        // Insert current position into the chain.
+        prev[i] = head[h];
+        head[h] = (i + 1) as u32;
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, i);
+            encode_u64(((best_len as u64) << 1) | 1, &mut out);
+            encode_u64(best_dist as u64, &mut out);
+            // Insert the skipped positions into chains (bounded to keep
+            // compression O(n) on pathological inputs).
+            let end = i + best_len;
+            let insert_to = end.min(i + 64).min(data.len().saturating_sub(MIN_MATCH - 1));
+            for j in (i + 1)..insert_to {
+                let hj = hash4(&data[j..]);
+                prev[j] = head[hj];
+                head[hj] = (j + 1) as u32;
+            }
+            i = end;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, data.len());
+    out
+}
+
+/// Decompresses a stream produced by [`compress`]/[`compress_with`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+    let (declared, mut pos) = decode_u64(input).ok_or(CompressError::Truncated)?;
+    let mut out: Vec<u8> = Vec::with_capacity(declared as usize);
+    while pos < input.len() {
+        let (header, used) = decode_u64(&input[pos..]).ok_or(CompressError::Truncated)?;
+        pos += used;
+        let len = (header >> 1) as usize;
+        if header & 1 == 0 {
+            // Literal run.
+            if pos + len > input.len() {
+                return Err(CompressError::Truncated);
+            }
+            out.extend_from_slice(&input[pos..pos + len]);
+            pos += len;
+        } else {
+            // Match.
+            let (dist, used) = decode_u64(&input[pos..]).ok_or(CompressError::Truncated)?;
+            pos += used;
+            let dist = dist as usize;
+            if dist == 0 || dist > out.len() {
+                return Err(CompressError::BadDistance);
+            }
+            let start = out.len() - dist;
+            // Overlapping copy: byte-at-a-time semantics.
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() as u64 != declared {
+        return Err(CompressError::LengthMismatch {
+            declared,
+            actual: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(roundtrip(b""), 1);
+    }
+
+    #[test]
+    fn short_input_stays_literal() {
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data: Vec<u8> = b"the quick brown fox ".repeat(200);
+        let c = roundtrip(&data);
+        assert!(c < data.len() / 10, "got {} of {}", c, data.len());
+    }
+
+    #[test]
+    fn run_of_single_byte_uses_overlapping_copy() {
+        let data = vec![b'x'; 10_000];
+        let c = roundtrip(&data);
+        assert!(c < 64, "run should collapse, got {c}");
+    }
+
+    #[test]
+    fn csv_like_data() {
+        let mut data = String::new();
+        for i in 0..500 {
+            data.push_str(&format!("{i},user{i},2015-05-19,some common suffix\n"));
+        }
+        let c = roundtrip(data.as_bytes());
+        assert!(c < data.len() / 2);
+    }
+
+    #[test]
+    fn incompressible_data_grows_only_slightly() {
+        // xorshift noise
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut data = Vec::with_capacity(4096);
+        for _ in 0..4096 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            data.push((state >> 32) as u8);
+        }
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 64 + 16);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected_not_panicking() {
+        let c = compress(b"hello hello hello hello hello");
+        // Truncate
+        assert!(decompress(&c[..c.len() - 1]).is_err());
+        // Bad distance: craft match with distance beyond output
+        let mut bad = Vec::new();
+        crate::varint::encode_u64(4, &mut bad); // declared len
+        crate::varint::encode_u64((4 << 1) | 1, &mut bad); // match len 4
+        crate::varint::encode_u64(9, &mut bad); // distance 9 > 0 produced
+        assert_eq!(decompress(&bad), Err(CompressError::BadDistance));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut bad = Vec::new();
+        crate::varint::encode_u64(10, &mut bad); // declare 10
+        crate::varint::encode_u64(3 << 1, &mut bad); // 3 literals
+        bad.extend_from_slice(b"abc");
+        assert!(matches!(
+            decompress(&bad),
+            Err(CompressError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn params_affect_output_but_not_correctness() {
+        let data: Vec<u8> = (0..200u32)
+            .flat_map(|i| format!("row {} of the table\n", i % 17).into_bytes())
+            .collect();
+        let fast = compress_with(&data, &Params { window: 256, max_chain: 1 });
+        let tight = compress_with(&data, &Params::default());
+        assert_eq!(decompress(&fast).unwrap(), data);
+        assert_eq!(decompress(&tight).unwrap(), data);
+        assert!(tight.len() <= fast.len());
+    }
+}

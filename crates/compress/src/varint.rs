@@ -1,0 +1,112 @@
+//! LEB128-style variable-length integer coding.
+//!
+//! Used by the LZ token stream, the delta wire format and the object
+//! store's persistence format.
+
+/// Appends `value` to `out` as a base-128 varint (7 bits per byte, high bit
+/// = continuation). Returns the number of bytes written.
+pub fn encode_u64(mut value: u64, out: &mut Vec<u8>) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`encode_u64`] would write for `value`.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Decodes a varint from the front of `input`. Returns the value and the
+/// number of bytes consumed, or `None` on truncated/overlong input.
+pub fn decode_u64(input: &[u8]) -> Option<(u64, usize)> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate() {
+        if i == 10 {
+            return None; // > 64 bits
+        }
+        let payload = u64::from(byte & 0x7f);
+        // The 10th byte may only contribute one bit.
+        if i == 9 && payload > 1 {
+            return None;
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+    }
+    None // ran out of bytes mid-varint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> usize {
+        let mut buf = Vec::new();
+        let n = encode_u64(v, &mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(encoded_len(v), n);
+        let (decoded, used) = decode_u64(&buf).unwrap();
+        assert_eq!(decoded, v);
+        assert_eq!(used, n);
+        n
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        assert_eq!(roundtrip(0), 1);
+        assert_eq!(roundtrip(1), 1);
+        assert_eq!(roundtrip(127), 1);
+    }
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(roundtrip(128), 2);
+        assert_eq!(roundtrip(16383), 2);
+        assert_eq!(roundtrip(16384), 3);
+        assert_eq!(roundtrip(u64::MAX), 10);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let mut buf = Vec::new();
+        encode_u64(u64::MAX, &mut buf);
+        buf.pop();
+        assert_eq!(decode_u64(&buf), None);
+        assert_eq!(decode_u64(&[]), None);
+        assert_eq!(decode_u64(&[0x80]), None);
+    }
+
+    #[test]
+    fn decode_rejects_overlong() {
+        // 11 continuation bytes.
+        let buf = [0x80u8; 11];
+        assert_eq!(decode_u64(&buf), None);
+        // 10th byte contributing more than 1 bit.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x7f);
+        assert_eq!(decode_u64(&buf), None);
+    }
+
+    #[test]
+    fn decode_uses_prefix_only() {
+        let mut buf = Vec::new();
+        encode_u64(300, &mut buf);
+        buf.extend_from_slice(b"trailing");
+        let (v, used) = decode_u64(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(used, 2);
+    }
+}

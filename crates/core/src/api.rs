@@ -1,0 +1,88 @@
+//! High-level entry point: dispatch a [`Problem`] to its solver.
+
+use crate::error::SolveError;
+use crate::instance::ProblemInstance;
+use crate::problem::Problem;
+use crate::solution::StorageSolution;
+use crate::solvers::{lmg, mp, mst, spt};
+
+/// Solves `problem` on `instance` with the solver the paper prescribes for
+/// it (Table 1):
+///
+/// - Problems 1–2 are solved exactly (MST/MCA, SPT);
+/// - Problem 3 runs LMG; Problem 5 binary-searches LMG's budget;
+/// - Problem 6 runs Modified Prim's; Problem 4 binary-searches its
+///   threshold.
+///
+/// If the instance carries access frequencies, Problems 3 and 5 optimize
+/// the *weighted* sum of recreation costs (the workload-aware LMG of
+/// §4.1); otherwise the plain sum.
+pub fn solve(instance: &ProblemInstance, problem: Problem) -> Result<StorageSolution, SolveError> {
+    let weighted = instance.weights().is_some();
+    match problem {
+        Problem::MinStorage => mst::solve(instance),
+        Problem::MinRecreation => spt::solve(instance),
+        Problem::MinSumRecreationGivenStorage { beta } => {
+            lmg::solve_sum_given_storage(instance, beta, weighted)
+        }
+        Problem::MinMaxRecreationGivenStorage { beta } => {
+            mp::solve_max_given_storage(instance, beta)
+        }
+        Problem::MinStorageGivenSumRecreation { theta } => {
+            lmg::solve_storage_given_sum(instance, theta, weighted)
+        }
+        Problem::MinStorageGivenMaxRecreation { theta } => {
+            mp::solve_storage_given_max(instance, theta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::fixtures::paper_example;
+
+    #[test]
+    fn all_six_problems_dispatch() {
+        let inst = paper_example();
+        let mca = solve(&inst, Problem::MinStorage).unwrap();
+        let spt = solve(&inst, Problem::MinRecreation).unwrap();
+        assert!(mca.storage_cost() <= spt.storage_cost());
+        assert!(spt.sum_recreation() <= mca.sum_recreation());
+
+        let beta = mca.storage_cost() * 3 / 2;
+        let p3 = solve(&inst, Problem::MinSumRecreationGivenStorage { beta }).unwrap();
+        assert!(p3.storage_cost() <= beta);
+        let p4 = solve(&inst, Problem::MinMaxRecreationGivenStorage { beta }).unwrap();
+        assert!(p4.storage_cost() <= beta);
+
+        let theta_sum = spt.sum_recreation() * 2;
+        let p5 = solve(&inst, Problem::MinStorageGivenSumRecreation { theta: theta_sum }).unwrap();
+        assert!(p5.sum_recreation() <= theta_sum);
+        let theta_max = spt.max_recreation() * 2;
+        let p6 = solve(&inst, Problem::MinStorageGivenMaxRecreation { theta: theta_max }).unwrap();
+        assert!(p6.max_recreation() <= theta_max);
+    }
+
+    #[test]
+    fn every_solution_validates() {
+        let inst = paper_example();
+        let mca = solve(&inst, Problem::MinStorage).unwrap();
+        let problems = [
+            Problem::MinStorage,
+            Problem::MinRecreation,
+            Problem::MinSumRecreationGivenStorage {
+                beta: mca.storage_cost() * 2,
+            },
+            Problem::MinMaxRecreationGivenStorage {
+                beta: mca.storage_cost() * 2,
+            },
+            Problem::MinStorageGivenSumRecreation { theta: u64::MAX / 2 },
+            Problem::MinStorageGivenMaxRecreation { theta: u64::MAX / 2 },
+        ];
+        for p in problems {
+            let sol = solve(&inst, p).unwrap();
+            assert!(sol.validate(&inst).is_ok(), "{p} produced invalid solution");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the solver suite.
+
+/// Why a solver could not produce a storage solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The instance has no versions.
+    EmptyInstance,
+    /// No spanning solution exists with the revealed matrix entries (some
+    /// version has neither a materialization cost nor any usable delta).
+    Disconnected,
+    /// The storage budget `β` is below the minimum achievable storage cost.
+    StorageBudgetInfeasible {
+        /// The budget requested.
+        beta: u64,
+        /// The minimum possible total storage (MST/MCA weight).
+        minimum: u64,
+    },
+    /// The recreation threshold `θ` is below what even the shortest-path
+    /// tree achieves.
+    RecreationThresholdInfeasible {
+        /// The threshold requested.
+        theta: u64,
+        /// The minimum achievable value of the constrained quantity.
+        minimum: u64,
+    },
+    /// A parameter was out of its valid domain (e.g. LAST's `α ≤ 1`).
+    InvalidParameter(&'static str),
+    /// An internal invariant failed; carries a description. Returned rather
+    /// than panicking so callers can surface solver bugs gracefully.
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::EmptyInstance => write!(f, "instance has no versions"),
+            SolveError::Disconnected => {
+                write!(f, "no valid storage solution: some version is unreachable")
+            }
+            SolveError::StorageBudgetInfeasible { beta, minimum } => write!(
+                f,
+                "storage budget {beta} below minimum achievable storage {minimum}"
+            ),
+            SolveError::RecreationThresholdInfeasible { theta, minimum } => write!(
+                f,
+                "recreation threshold {theta} below minimum achievable {minimum}"
+            ),
+            SolveError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            SolveError::Internal(what) => write!(f, "internal solver error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! The paper's primary contribution: principled storage of dataset version
+//! collections under the **recreation/storage tradeoff**.
+//!
+//! Given `n` versions with a (partially revealed) pair of cost matrices —
+//! `Δ` (bytes to store a version fully, or as a delta from another version)
+//! and `Φ` (work to recreate a version from a materialized ancestor chain)
+//! — choose for every version either *materialize* or *delta-from-parent*
+//! such that the chosen edges form a spanning tree of the augmented graph
+//! rooted at the dummy source `V0` (Lemma 1), optimizing one of six
+//! objectives (Table 1 of the paper):
+//!
+//! | Problem | Objective | Constraint | Solver |
+//! |---|---|---|---|
+//! | 1 | min total storage `C` | — | MST / MCA (exact, PTime) |
+//! | 2 | min every recreation `Ri` | — | shortest-path tree (exact, PTime) |
+//! | 3 | min `Σ Ri` | `C ≤ β` | LMG (NP-hard) |
+//! | 4 | min `max Ri` | `C ≤ β` | MP via binary search (NP-hard) |
+//! | 5 | min `C` | `Σ Ri ≤ θ` | LMG via binary search (NP-hard) |
+//! | 6 | min `C` | `max Ri ≤ θ` | MP (NP-hard) |
+//!
+//! Additional solvers: [`solvers::last`] (Khuller's LAST balance of
+//! MST/SPT), [`solvers::gith`] (the Git repack heuristic, Appendix A),
+//! [`solvers::skip_delta`] (SVN-style baseline), [`solvers::ilp`] (an exact
+//! branch-and-bound used in place of the paper's Gurobi ILP) and
+//! [`solvers::hop`] (the bounded-hop variant, `Φ ≡ 1`).
+//!
+//! Entry point: [`solve`] dispatches a [`Problem`] on a
+//! [`ProblemInstance`]; all solvers return a validated
+//! [`StorageSolution`].
+
+pub mod api;
+pub mod error;
+pub mod instance;
+pub mod matrix;
+pub mod online;
+pub mod problem;
+pub mod solution;
+pub mod solvers;
+
+pub use api::solve;
+pub use error::SolveError;
+pub use instance::ProblemInstance;
+pub use matrix::{CostMatrix, CostPair, TriangleViolation};
+pub use problem::{Problem, Scenario};
+pub use solution::{SolutionError, StorageSolution};

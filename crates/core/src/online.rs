@@ -1,0 +1,157 @@
+//! Online version insertion (the paper's §7 future-work direction).
+//!
+//! New versions arrive continuously; recomputing a full storage solution on
+//! every commit is wasteful. This module provides the natural greedy
+//! baseline: place the new version on the best in-edge available without
+//! disturbing the existing tree. It is deliberately simple — the point of
+//! the paper's offline study is to characterize what the online policy
+//! should converge to — but it keeps the prototype VCS usable between
+//! repacks.
+
+use crate::error::SolveError;
+use crate::instance::ProblemInstance;
+use crate::solution::StorageSolution;
+
+/// What the greedy placement should respect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlinePolicy {
+    /// Pick the in-edge with the smallest storage cost (Problem 1 flavor).
+    MinStorage,
+    /// Among in-edges keeping the new version's recreation cost within
+    /// `θ`, pick the storage-cheapest (Problem 6 flavor).
+    MaxRecreationWithin(u64),
+}
+
+/// Places the newest version (index `n-1` of `instance`) given a solution
+/// over the first `n-1` versions. The instance must already contain the
+/// new version's materialization cost and any revealed deltas into it.
+pub fn insert_version(
+    instance: &ProblemInstance,
+    existing: &StorageSolution,
+    policy: OnlinePolicy,
+) -> Result<StorageSolution, SolveError> {
+    let n = instance.version_count();
+    if n == 0 {
+        return Err(SolveError::EmptyInstance);
+    }
+    if existing.version_count() + 1 != n {
+        return Err(SolveError::InvalidParameter(
+            "existing solution must cover exactly n-1 versions",
+        ));
+    }
+    let v = (n - 1) as u32;
+    let matrix = instance.matrix();
+
+    // Candidates: materialize, or delta from any revealed source.
+    let mat = matrix.materialization(v);
+    let mut best: Option<(u64, Option<u32>)> = None;
+    let mut consider = |from: Option<u32>, delta: u64, phi: u64| {
+        let feasible = match policy {
+            OnlinePolicy::MinStorage => true,
+            OnlinePolicy::MaxRecreationWithin(theta) => {
+                let base = match from {
+                    None => 0,
+                    Some(u) => existing.recreation_cost(u),
+                };
+                base.saturating_add(phi) <= theta
+            }
+        };
+        if feasible && best.is_none_or(|(b, _)| delta < b) {
+            best = Some((delta, from));
+        }
+    };
+    consider(None, mat.storage, mat.recreation);
+    for u in 0..v {
+        if let Some(pair) = matrix.get(u, v) {
+            consider(Some(u), pair.storage, pair.recreation);
+        }
+    }
+
+    let (_, parent) = best.ok_or(SolveError::RecreationThresholdInfeasible {
+        theta: match policy {
+            OnlinePolicy::MaxRecreationWithin(t) => t,
+            OnlinePolicy::MinStorage => 0,
+        },
+        minimum: mat.recreation,
+    })?;
+    let mut parents = existing.parents().to_vec();
+    parents.push(parent);
+    StorageSolution::from_parents(instance, parents)
+        .map_err(|_| SolveError::Internal("online insertion built an invalid solution"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{CostMatrix, CostPair};
+    use crate::solvers::mst;
+
+    fn base_instance() -> (ProblemInstance, StorageSolution) {
+        let mut m = CostMatrix::directed(vec![
+            CostPair::proportional(1000),
+            CostPair::proportional(1010),
+        ]);
+        m.reveal(0, 1, CostPair::proportional(30));
+        let inst = ProblemInstance::new(m);
+        let sol = mst::solve(&inst).unwrap();
+        (inst, sol)
+    }
+
+    fn extended(with_delta: Option<(u32, u64)>) -> ProblemInstance {
+        let (inst, _) = base_instance();
+        let mut m = inst.matrix().clone();
+        m.push_version(CostPair::proportional(1020));
+        if let Some((from, d)) = with_delta {
+            m.reveal(from, 2, CostPair::proportional(d));
+        }
+        ProblemInstance::new(m)
+    }
+
+    #[test]
+    fn min_storage_picks_cheapest_delta() {
+        let (_, sol) = base_instance();
+        let inst2 = extended(Some((1, 25)));
+        let sol2 = insert_version(&inst2, &sol, OnlinePolicy::MinStorage).unwrap();
+        assert_eq!(sol2.parent(2), Some(1));
+        assert_eq!(sol2.storage_cost(), sol.storage_cost() + 25);
+    }
+
+    #[test]
+    fn no_deltas_means_materialize() {
+        let (_, sol) = base_instance();
+        let inst2 = extended(None);
+        let sol2 = insert_version(&inst2, &sol, OnlinePolicy::MinStorage).unwrap();
+        assert_eq!(sol2.parent(2), None);
+    }
+
+    #[test]
+    fn theta_constraint_rejects_long_chain() {
+        let (_, sol) = base_instance();
+        // Delta hangs off version 1, whose recreation is 1030; adding 25
+        // gives 1055 > θ=1040, so the new version must materialize.
+        let inst2 = extended(Some((1, 25)));
+        let sol2 =
+            insert_version(&inst2, &sol, OnlinePolicy::MaxRecreationWithin(1040)).unwrap();
+        assert_eq!(sol2.parent(2), None);
+        assert_eq!(sol2.recreation_cost(2), 1020);
+    }
+
+    #[test]
+    fn theta_too_small_even_for_materialization() {
+        let (_, sol) = base_instance();
+        let inst2 = extended(None);
+        let err =
+            insert_version(&inst2, &sol, OnlinePolicy::MaxRecreationWithin(10)).unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::RecreationThresholdInfeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_solution_size_rejected() {
+        let (inst, sol) = base_instance();
+        let err = insert_version(&inst, &sol, OnlinePolicy::MinStorage).unwrap_err();
+        assert!(matches!(err, SolveError::InvalidParameter(_)));
+    }
+}

@@ -1,0 +1,129 @@
+//! The six problem formulations of §2.1 (Table 1) and the scenario axes.
+
+/// Which of the paper's six optimization problems to solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Problem {
+    /// **Problem 1** — minimize total storage cost `C`; recreation costs
+    /// only need to be finite. Solved exactly by MST (undirected) or
+    /// minimum-cost arborescence (directed).
+    MinStorage,
+    /// **Problem 2** — minimize every version's recreation cost `Ri`
+    /// simultaneously (the shortest-path tree does this). Storage is
+    /// unconstrained.
+    MinRecreation,
+    /// **Problem 3** — minimize `Σ Ri` subject to `C ≤ β`. NP-hard;
+    /// solved by the LMG heuristic.
+    MinSumRecreationGivenStorage {
+        /// Storage budget `β`.
+        beta: u64,
+    },
+    /// **Problem 4** — minimize `max Ri` subject to `C ≤ β`. NP-hard;
+    /// solved by binary-searching MP's threshold.
+    MinMaxRecreationGivenStorage {
+        /// Storage budget `β`.
+        beta: u64,
+    },
+    /// **Problem 5** — minimize `C` subject to `Σ Ri ≤ θ`. NP-hard;
+    /// solved by binary-searching LMG's budget.
+    MinStorageGivenSumRecreation {
+        /// Total recreation threshold `θ`.
+        theta: u64,
+    },
+    /// **Problem 6** — minimize `C` subject to `max Ri ≤ θ`. NP-hard;
+    /// solved by the MP (Modified Prim's) heuristic.
+    MinStorageGivenMaxRecreation {
+        /// Per-version recreation threshold `θ`.
+        theta: u64,
+    },
+}
+
+impl Problem {
+    /// Short identifier matching the paper's numbering.
+    pub fn number(&self) -> u8 {
+        match self {
+            Problem::MinStorage => 1,
+            Problem::MinRecreation => 2,
+            Problem::MinSumRecreationGivenStorage { .. } => 3,
+            Problem::MinMaxRecreationGivenStorage { .. } => 4,
+            Problem::MinStorageGivenSumRecreation { .. } => 5,
+            Problem::MinStorageGivenMaxRecreation { .. } => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for Problem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Problem::MinStorage => write!(f, "P1: minimize storage"),
+            Problem::MinRecreation => write!(f, "P2: minimize recreation"),
+            Problem::MinSumRecreationGivenStorage { beta } => {
+                write!(f, "P3: minimize ΣRi s.t. C ≤ {beta}")
+            }
+            Problem::MinMaxRecreationGivenStorage { beta } => {
+                write!(f, "P4: minimize max Ri s.t. C ≤ {beta}")
+            }
+            Problem::MinStorageGivenSumRecreation { theta } => {
+                write!(f, "P5: minimize C s.t. ΣRi ≤ {theta}")
+            }
+            Problem::MinStorageGivenMaxRecreation { theta } => {
+                write!(f, "P6: minimize C s.t. max Ri ≤ {theta}")
+            }
+        }
+    }
+}
+
+/// The three scenario axes of §2.1 (informational; the matrix encodes the
+/// actual structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Scenario 1: undirected (symmetric `Δ`), `Φ = Δ`.
+    UndirectedProportional,
+    /// Scenario 2: directed, `Φ = Δ`.
+    DirectedProportional,
+    /// Scenario 3: directed, `Φ ≠ Δ`.
+    DirectedGeneral,
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scenario::UndirectedProportional => write!(f, "undirected, Φ=Δ"),
+            Scenario::DirectedProportional => write!(f, "directed, Φ=Δ"),
+            Scenario::DirectedGeneral => write!(f, "directed, Φ≠Δ"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_matches_table_1() {
+        assert_eq!(Problem::MinStorage.number(), 1);
+        assert_eq!(Problem::MinRecreation.number(), 2);
+        assert_eq!(
+            Problem::MinSumRecreationGivenStorage { beta: 0 }.number(),
+            3
+        );
+        assert_eq!(
+            Problem::MinMaxRecreationGivenStorage { beta: 0 }.number(),
+            4
+        );
+        assert_eq!(
+            Problem::MinStorageGivenSumRecreation { theta: 0 }.number(),
+            5
+        );
+        assert_eq!(
+            Problem::MinStorageGivenMaxRecreation { theta: 0 }.number(),
+            6
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Problem::MinStorageGivenMaxRecreation { theta: 42 }.to_string();
+        assert!(s.contains("42"));
+        assert!(Scenario::DirectedGeneral.to_string().contains("Φ≠Δ"));
+    }
+}

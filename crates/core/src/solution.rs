@@ -1,0 +1,330 @@
+//! Storage solutions: validated spanning trees of the augmented graph.
+//!
+//! A solution assigns each version either *materialized* (an edge from the
+//! dummy root `V0`) or *stored as a delta* from exactly one other version.
+//! Validity (§2.1) requires that every version be recreatable through a
+//! chain of deltas ending at a materialized version — i.e. the parent
+//! assignment forms a spanning tree rooted at `V0` (Lemma 1). Costs:
+//!
+//! - total storage `C = Σ Δ` over chosen edges,
+//! - recreation `Ri = Σ Φ` along the root→`i` path.
+
+use crate::error::SolveError;
+use crate::instance::ProblemInstance;
+use dsv_graph::{NodeId, RootedTree};
+
+/// Why a parent assignment is not a valid storage solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolutionError {
+    /// The assignment references a delta entry that is not revealed in the
+    /// matrix.
+    UnrevealedDelta {
+        /// Delta source version.
+        from: u32,
+        /// Delta target version.
+        to: u32,
+    },
+    /// Following parents from this version never reaches a materialized
+    /// version (a delta cycle).
+    Cycle(u32),
+    /// A parent index is out of range.
+    ParentOutOfRange(u32),
+    /// The solution's cached costs disagree with recomputation (internal
+    /// consistency check).
+    CostMismatch,
+}
+
+impl std::fmt::Display for SolutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolutionError::UnrevealedDelta { from, to } => {
+                write!(f, "delta {from}->{to} is not revealed in the matrix")
+            }
+            SolutionError::Cycle(v) => write!(f, "version {v} is on a delta cycle"),
+            SolutionError::ParentOutOfRange(v) => write!(f, "version {v} has invalid parent"),
+            SolutionError::CostMismatch => write!(f, "cached costs disagree with recomputation"),
+        }
+    }
+}
+
+impl std::error::Error for SolutionError {}
+
+/// A validated storage solution with cached cost accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageSolution {
+    /// `parent[i] = None` ⇒ version `i` is materialized;
+    /// `parent[i] = Some(j)` ⇒ `i` is stored as a delta from `j`.
+    parent: Vec<Option<u32>>,
+    /// Total storage cost `C`.
+    storage: u64,
+    /// Per-version recreation costs `Ri`.
+    recreation: Vec<u64>,
+}
+
+impl StorageSolution {
+    /// Builds and validates a solution from a parent assignment, computing
+    /// all costs from the instance's matrices.
+    pub fn from_parents(
+        instance: &ProblemInstance,
+        parent: Vec<Option<u32>>,
+    ) -> Result<Self, SolutionError> {
+        let n = instance.version_count();
+        assert_eq!(parent.len(), n, "one parent entry per version");
+        let matrix = instance.matrix();
+
+        // Build the augmented rooted tree for traversal.
+        let mut aug_parents: Vec<Option<NodeId>> = vec![None; n + 1];
+        for (i, p) in parent.iter().enumerate() {
+            let node = ProblemInstance::node_of(i as u32);
+            aug_parents[node.index()] = Some(match p {
+                None => NodeId(0),
+                Some(j) => {
+                    if *j as usize >= n {
+                        return Err(SolutionError::ParentOutOfRange(i as u32));
+                    }
+                    ProblemInstance::node_of(*j)
+                }
+            });
+        }
+        let tree = RootedTree::from_parents(NodeId(0), aug_parents).map_err(|e| match e {
+            dsv_graph::tree::TreeError::Cycle(v) => {
+                SolutionError::Cycle(ProblemInstance::version_of(v).unwrap_or(0))
+            }
+            _ => SolutionError::ParentOutOfRange(0),
+        })?;
+
+        // Storage: sum of chosen edge Δ; recreation: path sums of Φ.
+        let mut storage = 0u64;
+        for (i, p) in parent.iter().enumerate() {
+            let i = i as u32;
+            let pair = match p {
+                None => matrix.materialization(i),
+                Some(j) => matrix
+                    .get(*j, i)
+                    .ok_or(SolutionError::UnrevealedDelta { from: *j, to: i })?,
+            };
+            storage = storage.saturating_add(pair.storage);
+        }
+        let costs = tree.path_costs(|pn, cn| {
+            let c = ProblemInstance::version_of(cn).expect("child is a version");
+            match ProblemInstance::version_of(pn) {
+                None => matrix.materialization(c).recreation,
+                Some(p) => matrix.get(p, c).expect("validated above").recreation,
+            }
+        });
+        let recreation = (0..n)
+            .map(|i| costs[ProblemInstance::node_of(i as u32).index()])
+            .collect();
+
+        Ok(StorageSolution {
+            parent,
+            storage,
+            recreation,
+        })
+    }
+
+    /// The parent assignment.
+    pub fn parents(&self) -> &[Option<u32>] {
+        &self.parent
+    }
+
+    /// Parent of version `i` (`None` = materialized).
+    pub fn parent(&self, i: u32) -> Option<u32> {
+        self.parent[i as usize]
+    }
+
+    /// Number of versions.
+    pub fn version_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Versions stored in their entirety.
+    pub fn materialized(&self) -> impl Iterator<Item = u32> + '_ {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Total storage cost `C`.
+    pub fn storage_cost(&self) -> u64 {
+        self.storage
+    }
+
+    /// Recreation cost `Ri` of version `i`.
+    pub fn recreation_cost(&self, i: u32) -> u64 {
+        self.recreation[i as usize]
+    }
+
+    /// All recreation costs.
+    pub fn recreation_costs(&self) -> &[u64] {
+        &self.recreation
+    }
+
+    /// `Σ Ri` (saturating).
+    pub fn sum_recreation(&self) -> u64 {
+        self.recreation
+            .iter()
+            .fold(0u64, |acc, &r| acc.saturating_add(r))
+    }
+
+    /// `max Ri` (0 for an empty instance).
+    pub fn max_recreation(&self) -> u64 {
+        self.recreation.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Access-frequency-weighted total recreation cost `Σ wi · Ri`.
+    pub fn weighted_sum_recreation(&self, weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.recreation.len());
+        self.recreation
+            .iter()
+            .zip(weights)
+            .map(|(&r, &w)| r as f64 * w)
+            .sum()
+    }
+
+    /// The recreation chain for version `i`: the path from its materialized
+    /// ancestor down to `i` (the sequence of versions whose objects must be
+    /// fetched, in application order).
+    pub fn recreation_chain(&self, i: u32) -> Vec<u32> {
+        let mut chain = vec![i];
+        let mut cur = i;
+        while let Some(p) = self.parent[cur as usize] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Re-validates the solution against `instance` from scratch:
+    /// structure, revealed entries, and that the cached costs match a full
+    /// recomputation. Solvers' outputs are constructed through
+    /// [`from_parents`](Self::from_parents), so this should never fail; it
+    /// exists so tests and downstream users can cross-check.
+    pub fn validate(&self, instance: &ProblemInstance) -> Result<(), SolutionError> {
+        let fresh = StorageSolution::from_parents(instance, self.parent.clone())?;
+        if fresh.storage != self.storage || fresh.recreation != self.recreation {
+            return Err(SolutionError::CostMismatch);
+        }
+        Ok(())
+    }
+
+    /// Internal constructor for solvers that have already computed costs.
+    /// Debug-asserts consistency.
+    pub(crate) fn from_validated_parts(
+        instance: &ProblemInstance,
+        parent: Vec<Option<u32>>,
+    ) -> Result<Self, SolveError> {
+        StorageSolution::from_parents(instance, parent).map_err(|_| SolveError::Internal(
+            "solver produced an invalid parent assignment",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::fixtures::paper_example;
+
+    /// Figure 4 of the paper: V1 and V3 materialized; V2 <- V1,
+    /// V4 <- V2, V5 <- V3. (0-indexed: 0 and 2 materialized.)
+    fn figure4(instance: &ProblemInstance) -> StorageSolution {
+        StorageSolution::from_parents(
+            instance,
+            vec![None, Some(0), None, Some(1), Some(2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_figure4_costs() {
+        let inst = paper_example();
+        let s = figure4(&inst);
+        // Storage: 10000 + 200 + 9700 + 50 + 200 = 20150.
+        assert_eq!(s.storage_cost(), 20150);
+        // Recreation: R1=10000, R2=10200, R3=9700, R4=10600, R5=10250.
+        assert_eq!(s.recreation_costs(), &[10000, 10200, 9700, 10600, 10250]);
+        assert_eq!(s.max_recreation(), 10600);
+        assert_eq!(s.sum_recreation(), 50750);
+    }
+
+    #[test]
+    fn paper_figure1_iii_single_materialization() {
+        // Figure 1(iii): everything hangs off V1.
+        let inst = paper_example();
+        let s = StorageSolution::from_parents(
+            &inst,
+            vec![None, Some(0), Some(0), Some(1), Some(2)],
+        )
+        .unwrap();
+        assert_eq!(s.storage_cost(), 10000 + 200 + 1000 + 50 + 200);
+        // R5 via V1->V3->V5 = 10000 + 3000 + 550 = 13550 (paper's example).
+        assert_eq!(s.recreation_cost(4), 13550);
+        assert_eq!(s.recreation_chain(4), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn naive_all_materialized() {
+        let inst = paper_example();
+        let s = StorageSolution::from_parents(&inst, vec![None; 5]).unwrap();
+        assert_eq!(s.storage_cost(), 49720); // paper's 1(ii) total
+        assert_eq!(s.materialized().count(), 5);
+        for i in 0..5u32 {
+            assert_eq!(
+                s.recreation_cost(i),
+                inst.matrix().materialization(i).recreation
+            );
+            assert_eq!(s.recreation_chain(i), vec![i]);
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let inst = paper_example();
+        let err =
+            StorageSolution::from_parents(&inst, vec![Some(1), Some(0), None, None, None])
+                .unwrap_err();
+        assert!(matches!(err, SolutionError::Cycle(_)));
+    }
+
+    #[test]
+    fn unrevealed_delta_detected() {
+        let inst = paper_example();
+        // 3 -> 0 (V4 -> V1) is not revealed.
+        let err =
+            StorageSolution::from_parents(&inst, vec![Some(3), None, None, None, Some(2)])
+                .unwrap_err();
+        assert_eq!(err, SolutionError::UnrevealedDelta { from: 3, to: 0 });
+    }
+
+    #[test]
+    fn out_of_range_parent_detected() {
+        let inst = paper_example();
+        let err =
+            StorageSolution::from_parents(&inst, vec![Some(9), None, None, None, None])
+                .unwrap_err();
+        assert_eq!(err, SolutionError::ParentOutOfRange(0));
+    }
+
+    #[test]
+    fn validate_passes_for_consistent_solution() {
+        let inst = paper_example();
+        let s = figure4(&inst);
+        assert!(s.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn weighted_recreation() {
+        let inst = paper_example();
+        let s = figure4(&inst);
+        let uniform = vec![1.0; 5];
+        assert!((s.weighted_sum_recreation(&uniform) - s.sum_recreation() as f64).abs() < 1e-9);
+        let skewed = vec![0.0, 0.0, 0.0, 0.0, 2.0];
+        assert!(
+            (s.weighted_sum_recreation(&skewed) - 2.0 * s.recreation_cost(4) as f64).abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! The bounded-hop variant (§3, "Hop-Based Variants").
+//!
+//! When every delta application costs the same (`Φ_ij ≡ 1`), the recreation
+//! cost of a version is simply its *hop count* — the number of deltas on
+//! its chain — and Problem 6 becomes the bounded-diameter minimum spanning
+//! tree (`d`-MinimumSteinerTree with `ω = V`), which is where the paper
+//! gets its inapproximability results. This module solves it by running MP
+//! over a hop-cost copy of the matrix, then re-costing the resulting tree
+//! under the true matrix.
+
+use crate::error::SolveError;
+use crate::instance::ProblemInstance;
+use crate::matrix::{CostMatrix, CostPair};
+use crate::solution::StorageSolution;
+use crate::solvers::mp;
+
+/// Minimizes total storage such that every version is recreatable within
+/// `max_hops` delta applications (a materialized version costs 1 "hop" —
+/// its own retrieval — so `max_hops ≥ 1`).
+pub fn solve_storage_given_hops(
+    instance: &ProblemInstance,
+    max_hops: u32,
+) -> Result<StorageSolution, SolveError> {
+    if instance.version_count() == 0 {
+        return Err(SolveError::EmptyInstance);
+    }
+    if max_hops == 0 {
+        return Err(SolveError::InvalidParameter("max_hops must be ≥ 1"));
+    }
+    // Copy the matrix with Φ ≡ 1 everywhere.
+    let n = instance.version_count();
+    let mut hop_matrix = if instance.matrix().is_symmetric() {
+        CostMatrix::undirected(
+            (0..n as u32)
+                .map(|i| CostPair::new(instance.matrix().materialization(i).storage, 1))
+                .collect(),
+        )
+    } else {
+        CostMatrix::directed(
+            (0..n as u32)
+                .map(|i| CostPair::new(instance.matrix().materialization(i).storage, 1))
+                .collect(),
+        )
+    };
+    for (i, j, pair) in instance.matrix().revealed_entries() {
+        hop_matrix.reveal(i, j, CostPair::new(pair.storage, 1));
+    }
+    let hop_instance = ProblemInstance::new(hop_matrix);
+    let hop_sol = mp::solve_storage_given_max(&hop_instance, u64::from(max_hops)).map_err(
+        |e| match e {
+            SolveError::RecreationThresholdInfeasible { theta, minimum } => {
+                SolveError::RecreationThresholdInfeasible { theta, minimum }
+            }
+            other => other,
+        },
+    )?;
+    // Re-cost the same tree under the real matrix.
+    StorageSolution::from_validated_parts(instance, hop_sol.parents().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::fixtures::paper_example;
+
+    #[test]
+    fn hop_one_materializes_everything() {
+        let inst = paper_example();
+        let sol = solve_storage_given_hops(&inst, 1).unwrap();
+        assert_eq!(sol.materialized().count(), 5);
+        assert_eq!(sol.storage_cost(), 49720);
+    }
+
+    #[test]
+    fn more_hops_reduce_storage() {
+        let inst = paper_example();
+        let mut last = u64::MAX;
+        for hops in 1..=4u32 {
+            let sol = solve_storage_given_hops(&inst, hops).unwrap();
+            // Chains really are bounded.
+            for v in 0..5u32 {
+                assert!(sol.recreation_chain(v).len() <= hops as usize);
+            }
+            assert!(sol.storage_cost() <= last);
+            last = sol.storage_cost();
+        }
+    }
+
+    #[test]
+    fn unbounded_hops_match_mca_storage_closely() {
+        let inst = paper_example();
+        let mca = crate::solvers::mst::solve(&inst).unwrap();
+        let sol = solve_storage_given_hops(&inst, 100).unwrap();
+        assert!(sol.storage_cost() >= mca.storage_cost());
+        assert!(sol.storage_cost() <= mca.storage_cost() * 12 / 10);
+    }
+
+    #[test]
+    fn zero_hops_rejected() {
+        let inst = paper_example();
+        assert!(matches!(
+            solve_storage_given_hops(&inst, 0).unwrap_err(),
+            SolveError::InvalidParameter(_)
+        ));
+    }
+}

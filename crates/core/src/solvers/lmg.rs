@@ -1,0 +1,406 @@
+//! LMG — the Local Move Greedy heuristic (§4.1).
+//!
+//! Targets a bound on the **average/sum** recreation cost: Problem 3
+//! (minimize `Σ Ri` with `C ≤ β`) directly, Problem 5 (minimize `C` with
+//! `Σ Ri ≤ θ`) via binary search on `β`.
+//!
+//! The algorithm starts from the minimum-storage tree (MST/MCA) and
+//! repeatedly applies the *local move* with the best payoff: replace some
+//! version `v`'s current in-edge by its shortest-path-tree in-edge,
+//! choosing the move maximizing
+//!
+//! ```text
+//! ρ = reduction in Σ Ri / increase in storage cost
+//!   = mass(v) · (d(v) − d_new(v)) / (Δ_new − Δ_old)
+//! ```
+//!
+//! where `mass(v)` is the number of versions in `v`'s subtree — every
+//! descendant's recreation cost drops by the same amount — or, in the
+//! **workload-aware** variant, the subtree's total access frequency.
+//! Subtree masses and recreation costs are maintained incrementally, giving
+//! the paper's `O(|V|²)` bound rather than the naive `O(|V|³)`.
+
+use crate::error::SolveError;
+use crate::instance::ProblemInstance;
+use crate::solution::StorageSolution;
+use crate::solvers::{mst, spt};
+
+/// One candidate move: re-parent `v` onto its SPT parent.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    v: u32,
+    /// `None` = materialize (edge from `V0`).
+    new_parent: Option<u32>,
+    /// `Δ` of the SPT edge.
+    delta: u64,
+    /// `Φ` of the SPT edge.
+    phi: u64,
+    used: bool,
+}
+
+/// Mutable optimizer state: the current storage tree plus incrementally
+/// maintained aggregates.
+struct LmgState {
+    parent: Vec<Option<u32>>,
+    children: Vec<Vec<u32>>,
+    /// Recreation cost of each version in the current tree.
+    d: Vec<u64>,
+    /// `Δ` of each version's current in-edge.
+    in_storage: Vec<u64>,
+    /// Subtree mass (descendant count or access-frequency sum).
+    mass: Vec<f64>,
+    storage_used: u64,
+}
+
+impl LmgState {
+    fn from_solution(sol: &StorageSolution, weights: &[f64]) -> Self {
+        let n = sol.version_count();
+        let parent: Vec<Option<u32>> = sol.parents().to_vec();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[*p as usize].push(i as u32);
+            }
+        }
+        // Subtree masses: process versions in decreasing depth order.
+        let mut mass: Vec<f64> = weights.to_vec();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let depth = {
+            let mut depth = vec![0u32; n];
+            // Depth via repeated parent walks is O(n·depth); build via BFS
+            // from the materialized roots instead.
+            let mut stack: Vec<u32> = parent
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_none())
+                .map(|(i, _)| i as u32)
+                .collect();
+            while let Some(v) = stack.pop() {
+                for &c in &children[v as usize] {
+                    depth[c as usize] = depth[v as usize] + 1;
+                    stack.push(c);
+                }
+            }
+            depth
+        };
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(depth[v as usize]));
+        for &v in &order {
+            if let Some(p) = parent[v as usize] {
+                mass[p as usize] += mass[v as usize];
+            }
+        }
+        LmgState {
+            parent,
+            children,
+            d: sol.recreation_costs().to_vec(),
+            in_storage: Vec::new(), // filled by caller (needs the matrix)
+            mass,
+            storage_used: sol.storage_cost(),
+        }
+    }
+
+    /// Re-parents `v` onto `new_parent`, updating children lists, subtree
+    /// masses along both ancestor paths, the storage account, and the
+    /// recreation costs of `v`'s whole subtree (which all shift by the
+    /// same amount).
+    fn apply_move(&mut self, v: u32, new_parent: Option<u32>, new_delta: u64, new_d: u64) {
+        let old_parent = self.parent[v as usize];
+        // Children list surgery.
+        if let Some(p) = old_parent {
+            let list = &mut self.children[p as usize];
+            let pos = list.iter().position(|&c| c == v).expect("child recorded");
+            list.swap_remove(pos);
+        }
+        if let Some(p) = new_parent {
+            self.children[p as usize].push(v);
+        }
+        // Subtree mass updates along both ancestor chains.
+        let mv = self.mass[v as usize];
+        let mut cur = old_parent;
+        while let Some(x) = cur {
+            self.mass[x as usize] -= mv;
+            cur = self.parent[x as usize];
+        }
+        let mut cur = new_parent;
+        while let Some(x) = cur {
+            self.mass[x as usize] += mv;
+            cur = self.parent[x as usize];
+        }
+        // Storage account.
+        self.storage_used = self.storage_used - self.in_storage[v as usize] + new_delta;
+        self.in_storage[v as usize] = new_delta;
+        self.parent[v as usize] = new_parent;
+        // Shift the subtree's recreation costs.
+        let old_d = self.d[v as usize];
+        let shift = old_d - new_d; // moves are only applied when improving
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            self.d[x as usize] -= shift;
+            stack.extend(self.children[x as usize].iter().copied());
+        }
+    }
+}
+
+/// Solves Problem 3: minimize `Σ Ri` (or the weighted sum when
+/// `use_weights` and the instance has access frequencies) subject to
+/// `C ≤ beta`.
+pub fn solve_sum_given_storage(
+    instance: &ProblemInstance,
+    beta: u64,
+    use_weights: bool,
+) -> Result<StorageSolution, SolveError> {
+    let n = instance.version_count();
+    if n == 0 {
+        return Err(SolveError::EmptyInstance);
+    }
+    let mst_sol = mst::solve(instance)?;
+    if mst_sol.storage_cost() > beta {
+        return Err(SolveError::StorageBudgetInfeasible {
+            beta,
+            minimum: mst_sol.storage_cost(),
+        });
+    }
+    let spt_sol = spt::solve(instance)?;
+    let uniform;
+    let weights: &[f64] = if use_weights {
+        instance.weights().ok_or(SolveError::InvalidParameter(
+            "workload-aware LMG requires instance weights",
+        ))?
+    } else {
+        uniform = vec![1.0; n];
+        &uniform
+    };
+
+    let matrix = instance.matrix();
+    let mut state = LmgState::from_solution(&mst_sol, weights);
+    state.in_storage = (0..n as u32)
+        .map(|i| match state.parent[i as usize] {
+            None => matrix.materialization(i).storage,
+            Some(p) => matrix.get(p, i).expect("mst edge revealed").storage,
+        })
+        .collect();
+
+    // ξ: SPT edges not already in the tree.
+    let mut candidates: Vec<Candidate> = (0..n as u32)
+        .filter_map(|v| {
+            let sp = spt_sol.parent(v);
+            let pair = match sp {
+                None => matrix.materialization(v),
+                Some(u) => matrix.get(u, v).expect("spt edge revealed"),
+            };
+            (sp != state.parent[v as usize]).then_some(Candidate {
+                v,
+                new_parent: sp,
+                delta: pair.storage,
+                phi: pair.recreation,
+                used: false,
+            })
+        })
+        .collect();
+
+    loop {
+        let mut best: Option<(f64, usize, u64, u64)> = None; // (ρ, idx, new_d, new_storage)
+        for (idx, c) in candidates.iter().enumerate() {
+            if c.used || state.parent[c.v as usize] == c.new_parent {
+                continue;
+            }
+            let base = match c.new_parent {
+                None => 0,
+                Some(u) => state.d[u as usize],
+            };
+            let new_d = base.saturating_add(c.phi);
+            let old_d = state.d[c.v as usize];
+            if new_d >= old_d {
+                continue; // no recreation improvement
+            }
+            let numerator = state.mass[c.v as usize] * (old_d - new_d) as f64;
+            if numerator <= 0.0 {
+                continue; // zero-mass subtree under a weighted workload
+            }
+            let old_delta = state.in_storage[c.v as usize];
+            let new_storage = state.storage_used - old_delta + c.delta;
+            if new_storage > beta {
+                continue;
+            }
+            let rho = if c.delta <= old_delta {
+                f64::INFINITY // free (or storage-reducing) improvement
+            } else {
+                numerator / (c.delta - old_delta) as f64
+            };
+            if best.is_none_or(|(b, ..)| rho > b) {
+                best = Some((rho, idx, new_d, new_storage));
+            }
+        }
+        let Some((_, idx, new_d, _)) = best else { break };
+        let c = candidates[idx];
+        candidates[idx].used = true;
+        state.apply_move(c.v, c.new_parent, c.delta, new_d);
+    }
+
+    StorageSolution::from_validated_parts(instance, state.parent)
+}
+
+/// Solves Problem 5: minimize `C` subject to `Σ Ri ≤ theta` (weighted sum
+/// if `use_weights`), by binary search on LMG's storage budget — exactly
+/// the reduction the paper describes.
+pub fn solve_storage_given_sum(
+    instance: &ProblemInstance,
+    theta: u64,
+    use_weights: bool,
+) -> Result<StorageSolution, SolveError> {
+    let mst_sol = mst::solve(instance)?;
+    let spt_sol = spt::solve(instance)?;
+    let measure = |s: &StorageSolution| -> u64 {
+        if use_weights {
+            s.weighted_sum_recreation(instance.weights().unwrap_or(&[])).ceil() as u64
+        } else {
+            s.sum_recreation()
+        }
+    };
+    if measure(&spt_sol) > theta {
+        return Err(SolveError::RecreationThresholdInfeasible {
+            theta,
+            minimum: measure(&spt_sol),
+        });
+    }
+    if measure(&mst_sol) <= theta {
+        return Ok(mst_sol); // cheapest possible storage already qualifies
+    }
+
+    let mut lo = mst_sol.storage_cost(); // infeasible (just checked)
+    let mut hi = spt_sol.storage_cost(); // feasible
+    let mut best = spt_sol;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        match solve_sum_given_storage(instance, mid, use_weights) {
+            Ok(sol) if measure(&sol) <= theta => {
+                hi = sol.storage_cost().min(mid);
+                best = sol;
+            }
+            Ok(_) | Err(SolveError::StorageBudgetInfeasible { .. }) => lo = mid,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::fixtures::paper_example;
+    use crate::matrix::{CostMatrix, CostPair};
+
+    #[test]
+    fn budget_at_mst_returns_mst() {
+        let inst = paper_example();
+        let mst_sol = mst::solve(&inst).unwrap();
+        let sol = solve_sum_given_storage(&inst, mst_sol.storage_cost(), false).unwrap();
+        assert_eq!(sol.storage_cost(), mst_sol.storage_cost());
+    }
+
+    #[test]
+    fn budget_below_mst_is_infeasible() {
+        let inst = paper_example();
+        let err = solve_sum_given_storage(&inst, 100, false).unwrap_err();
+        assert!(matches!(err, SolveError::StorageBudgetInfeasible { .. }));
+    }
+
+    #[test]
+    fn infinite_budget_reaches_spt_quality() {
+        let inst = paper_example();
+        let spt_sol = spt::solve(&inst).unwrap();
+        let sol = solve_sum_given_storage(&inst, u64::MAX / 2, false).unwrap();
+        assert_eq!(sol.sum_recreation(), spt_sol.sum_recreation());
+    }
+
+    #[test]
+    fn sum_recreation_decreases_with_budget() {
+        let inst = paper_example();
+        let mst_sol = mst::solve(&inst).unwrap();
+        let base = mst_sol.storage_cost();
+        let mut last_sum = u64::MAX;
+        for factor in [10u64, 11, 12, 15, 20, 50] {
+            let beta = base * factor / 10;
+            let sol = solve_sum_given_storage(&inst, beta, false).unwrap();
+            assert!(sol.storage_cost() <= beta, "budget respected");
+            assert!(
+                sol.sum_recreation() <= last_sum,
+                "more budget should not hurt"
+            );
+            last_sum = sol.sum_recreation();
+        }
+    }
+
+    #[test]
+    fn problem5_storage_given_sum() {
+        let inst = paper_example();
+        let spt_sol = spt::solve(&inst).unwrap();
+        // Ask for 1.2x the minimum possible sum.
+        let theta = spt_sol.sum_recreation() * 12 / 10;
+        let sol = solve_storage_given_sum(&inst, theta, false).unwrap();
+        assert!(sol.sum_recreation() <= theta);
+        assert!(sol.storage_cost() <= spt_sol.storage_cost());
+        assert!(sol.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn problem5_infeasible_theta() {
+        let inst = paper_example();
+        let err = solve_storage_given_sum(&inst, 10, false).unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::RecreationThresholdInfeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn problem5_loose_theta_returns_mst() {
+        let inst = paper_example();
+        let mst_sol = mst::solve(&inst).unwrap();
+        let sol = solve_storage_given_sum(&inst, u64::MAX / 2, false).unwrap();
+        assert_eq!(sol.storage_cost(), mst_sol.storage_cost());
+    }
+
+    #[test]
+    fn weighted_lmg_prioritizes_hot_version() {
+        // A chain 0 -> 1 -> 2 where version 2 is hot: with a budget for
+        // one extra materialization, weighted LMG should cut 2's chain.
+        let mut m = CostMatrix::directed(vec![
+            CostPair::new(1000, 1000),
+            CostPair::new(1000, 1000),
+            CostPair::new(1000, 1000),
+        ]);
+        m.reveal(0, 1, CostPair::new(10, 500));
+        m.reveal(1, 2, CostPair::new(10, 500));
+        let weights = vec![0.01, 0.01, 10.0];
+        let inst = ProblemInstance::with_weights(m, weights.clone());
+        let mst_sol = mst::solve(&inst).unwrap();
+        let beta = mst_sol.storage_cost() + 1000; // room for one materialization
+        let weighted = solve_sum_given_storage(&inst, beta, true).unwrap();
+        let unweighted = solve_sum_given_storage(&inst, beta, false).unwrap();
+        assert!(
+            weighted.weighted_sum_recreation(&weights)
+                <= unweighted.weighted_sum_recreation(&weights)
+        );
+        // The hot version ends up materialized.
+        assert_eq!(weighted.parent(2), None);
+    }
+
+    #[test]
+    fn weighted_without_weights_errors() {
+        let inst = paper_example();
+        assert_eq!(
+            solve_sum_given_storage(&inst, u64::MAX / 2, true).unwrap_err(),
+            SolveError::InvalidParameter("workload-aware LMG requires instance weights")
+        );
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = ProblemInstance::new(CostMatrix::directed(vec![]));
+        assert_eq!(
+            solve_sum_given_storage(&inst, 10, false).unwrap_err(),
+            SolveError::EmptyInstance
+        );
+    }
+}

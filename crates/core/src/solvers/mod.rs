@@ -1,0 +1,81 @@
+//! The solver suite (§4 of the paper, plus baselines and an exact solver).
+//!
+//! | Module | Algorithm | Problems |
+//! |---|---|---|
+//! | [`mst`] | minimum spanning tree / min-cost arborescence | 1 (exact) |
+//! | [`spt`] | shortest-path tree (Dijkstra over `Φ`) | 2 (exact) |
+//! | [`lmg`] | Local Move Greedy (§4.1) | 3, 5 |
+//! | [`mp`] | Modified Prim's (§4.2) | 6, 4 |
+//! | [`last`] | Khuller et al. LAST adaptation (§4.3) | balanced trees |
+//! | [`gith`] | Git repack heuristic (§4.4, Appendix A) | "good enough" |
+//! | [`skip_delta`] | SVN FSFS skip-delta baseline (§5.2) | baseline |
+//! | [`ilp`] | exact branch-and-bound (stands in for the §2.3 ILP) | 6 (exact) |
+//! | [`hop`] | bounded-hop variant (`Φ ≡ 1`, §3) | 6-hop |
+
+pub mod gith;
+pub mod hop;
+pub mod ilp;
+pub mod last;
+pub mod lmg;
+pub mod mp;
+pub mod mst;
+pub mod skip_delta;
+pub mod spt;
+
+use crate::error::SolveError;
+use crate::instance::ProblemInstance;
+use crate::solution::StorageSolution;
+use dsv_graph::NodeId;
+
+/// Converts a parent array over *augmented* nodes (root `V0` = node 0)
+/// into a [`StorageSolution`] over versions.
+pub(crate) fn augmented_to_solution(
+    instance: &ProblemInstance,
+    aug_parent: &[Option<NodeId>],
+) -> Result<StorageSolution, SolveError> {
+    let n = instance.version_count();
+    debug_assert_eq!(aug_parent.len(), n + 1);
+    let mut parent: Vec<Option<u32>> = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let node = ProblemInstance::node_of(i);
+        match aug_parent[node.index()] {
+            Some(NodeId(0)) => parent.push(None),
+            Some(p) => parent.push(ProblemInstance::version_of(p)),
+            None => return Err(SolveError::Disconnected),
+        }
+    }
+    StorageSolution::from_validated_parts(instance, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::fixtures::paper_example;
+
+    #[test]
+    fn augmented_mapping() {
+        let inst = paper_example();
+        // V1 materialized, everything else chained off it: 0<-root,
+        // 1<-0, 2<-0, 3<-1, 4<-2 in version indices.
+        let aug = vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(1)),
+            Some(NodeId(2)),
+            Some(NodeId(3)),
+        ];
+        let sol = augmented_to_solution(&inst, &aug).unwrap();
+        assert_eq!(sol.parents(), &[None, Some(0), Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn missing_parent_is_disconnected() {
+        let inst = paper_example();
+        let aug = vec![None, Some(NodeId(0)), None, None, None, None];
+        assert_eq!(
+            augmented_to_solution(&inst, &aug).unwrap_err(),
+            SolveError::Disconnected
+        );
+    }
+}

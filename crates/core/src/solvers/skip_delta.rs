@@ -1,0 +1,123 @@
+//! SVN-style **skip-deltas** — the baseline behind §5.2's SVN comparison.
+//!
+//! Subversion's FSFS backend stores revision `r` as a delta against the
+//! revision obtained by clearing the lowest set bit of `r` (so every chain
+//! has `O(log n)` hops), trading extra storage for bounded recreation
+//! depth. The paper attributes SVN's poor §5.2 storage numbers to exactly
+//! this scheme: distant base versions make for large deltas, stored
+//! redundantly.
+//!
+//! The structure depends only on the version *numbering* (a linear
+//! history), not on costs — mirroring how SVN actually chooses bases.
+
+use crate::error::SolveError;
+use crate::instance::ProblemInstance;
+use crate::solution::StorageSolution;
+
+/// Skip-delta parent of 1-based revision `r`: clear the lowest set bit
+/// (revision 0 — here the first version — is materialized).
+fn skip_parent(r: u32) -> u32 {
+    r & (r - 1)
+}
+
+/// The parent assignment skip-deltas induce on a linear history of `n`
+/// versions (index = revision number). Entry 0 is `None` (materialized);
+/// entry `i` is `Some(i & (i-1))`.
+pub fn skip_delta_parents(n: usize) -> Vec<Option<u32>> {
+    (0..n as u32)
+        .map(|i| if i == 0 { None } else { Some(skip_parent(i)) })
+        .collect()
+}
+
+/// Builds the skip-delta storage solution for an instance whose versions
+/// form a linear history in index order. Every skip pair `(i & (i-1), i)`
+/// must be revealed in the matrix.
+pub fn solve(instance: &ProblemInstance) -> Result<StorageSolution, SolveError> {
+    let n = instance.version_count();
+    if n == 0 {
+        return Err(SolveError::EmptyInstance);
+    }
+    let parents = skip_delta_parents(n);
+    for (i, p) in parents.iter().enumerate() {
+        if let Some(p) = p {
+            if instance.matrix().get(*p, i as u32).is_none() {
+                return Err(SolveError::Disconnected);
+            }
+        }
+    }
+    StorageSolution::from_validated_parts(instance, parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{CostMatrix, CostPair};
+
+    #[test]
+    fn parent_structure_matches_svn() {
+        // rev:    1  2  3  4  5  6  7  8  9
+        // parent: 0  0  2  0  4  4  6  0  8
+        let p = skip_delta_parents(10);
+        assert_eq!(p[0], None);
+        assert_eq!(p[1], Some(0));
+        assert_eq!(p[2], Some(0));
+        assert_eq!(p[3], Some(2));
+        assert_eq!(p[4], Some(0));
+        assert_eq!(p[5], Some(4));
+        assert_eq!(p[6], Some(4));
+        assert_eq!(p[7], Some(6));
+        assert_eq!(p[8], Some(0));
+        assert_eq!(p[9], Some(8));
+    }
+
+    #[test]
+    fn chain_length_is_logarithmic() {
+        let p = skip_delta_parents(1 << 12);
+        for start in [4095u32, 4094, 2049, 1023] {
+            let mut hops = 0;
+            let mut cur = start;
+            while let Some(parent) = p[cur as usize] {
+                cur = parent;
+                hops += 1;
+            }
+            assert!(hops <= 12, "rev {start} chain length {hops}");
+            // popcount bound: hops == number of set bits
+            assert_eq!(hops, start.count_ones());
+        }
+    }
+
+    #[test]
+    fn solve_builds_valid_solution() {
+        let n = 16usize;
+        let mut m = CostMatrix::directed(
+            (0..n).map(|_| CostPair::proportional(1000)).collect(),
+        );
+        for i in 1..n as u32 {
+            // Skip-delta size grows with the revision distance, as in
+            // reality.
+            let base = skip_parent(i);
+            m.reveal(base, i, CostPair::proportional(10 + 5 * u64::from(i - base)));
+        }
+        let inst = ProblemInstance::new(m);
+        let sol = solve(&inst).unwrap();
+        assert!(sol.validate(&inst).is_ok());
+        assert_eq!(sol.materialized().collect::<Vec<_>>(), vec![0]);
+        // Recreation depth bounded by popcount.
+        for i in 0..n as u32 {
+            assert_eq!(sol.recreation_chain(i).len() as u32, i.count_ones() + 1);
+        }
+    }
+
+    #[test]
+    fn missing_skip_pair_is_reported() {
+        let mut m = CostMatrix::directed(vec![
+            CostPair::proportional(10),
+            CostPair::proportional(10),
+            CostPair::proportional(10),
+        ]);
+        m.reveal(0, 1, CostPair::proportional(1));
+        // (0,2) missing.
+        let inst = ProblemInstance::new(m);
+        assert_eq!(solve(&inst).unwrap_err(), SolveError::Disconnected);
+    }
+}

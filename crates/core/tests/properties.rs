@@ -1,0 +1,134 @@
+//! Property tests for the core optimization library: edge-case instance
+//! shapes (zero-cost deltas, identical costs, extreme asymmetry) that the
+//! integration-level suite does not stress.
+
+use dsv_core::online::{insert_version, OnlinePolicy};
+use dsv_core::solvers::{hop, lmg, mp, mst, spt};
+use dsv_core::{solve, CostMatrix, CostPair, Problem, ProblemInstance, StorageSolution};
+use proptest::prelude::*;
+
+/// Instances with potentially zero-cost deltas and ties everywhere.
+fn arb_degenerate_instance() -> impl Strategy<Value = ProblemInstance> {
+    (2usize..10).prop_flat_map(|n| {
+        let diag = proptest::collection::vec(0u64..3, n);
+        let attach = proptest::collection::vec((0u32..u32::MAX, 0u64..3), n - 1);
+        let extra =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0u64..3), 0..4 * n);
+        (Just(n), diag, attach, extra).prop_map(|(_n, diag, attach, extra)| {
+            let mut m = CostMatrix::directed(
+                diag.into_iter()
+                    .map(|c| CostPair::proportional(c + 1))
+                    .collect(),
+            );
+            for (v, (r, w)) in attach.iter().enumerate() {
+                let v = (v + 1) as u32;
+                m.reveal(r % v, v, CostPair::proportional(*w));
+            }
+            for (a, b, w) in extra {
+                if a != b {
+                    m.reveal(a, b, CostPair::proportional(w));
+                }
+            }
+            ProblemInstance::new(m)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zero-cost deltas and ties must not break any solver (no panics,
+    /// no cycles, valid trees).
+    #[test]
+    fn degenerate_costs_are_handled(inst in arb_degenerate_instance()) {
+        let mca = mst::solve(&inst).unwrap();
+        prop_assert!(mca.validate(&inst).is_ok());
+        let spt_sol = spt::solve(&inst).unwrap();
+        prop_assert!(spt_sol.validate(&inst).is_ok());
+        let l = lmg::solve_sum_given_storage(&inst, mca.storage_cost() + 2, false).unwrap();
+        prop_assert!(l.validate(&inst).is_ok());
+        let m = mp::solve_storage_given_max(&inst, spt_sol.max_recreation() + 2).unwrap();
+        prop_assert!(m.validate(&inst).is_ok());
+    }
+
+    /// Hop-bounded solutions respect the chain-length bound and loosen
+    /// monotonically toward minimum storage.
+    #[test]
+    fn hop_bounds_respected(inst in arb_degenerate_instance(), max_hops in 1u32..6) {
+        let sol = hop::solve_storage_given_hops(&inst, max_hops).unwrap();
+        prop_assert!(sol.validate(&inst).is_ok());
+        for v in 0..inst.version_count() as u32 {
+            prop_assert!(sol.recreation_chain(v).len() <= max_hops as usize);
+        }
+        let mca = mst::solve(&inst).unwrap();
+        prop_assert!(sol.storage_cost() >= mca.storage_cost());
+    }
+
+    /// Online insertion after any sequence of instances stays valid and
+    /// never beats the offline optimum.
+    #[test]
+    fn online_insertion_valid(
+        sizes in proptest::collection::vec(100u64..1000, 2..10),
+        deltas in proptest::collection::vec(1u64..200, 1..9),
+    ) {
+        let mut matrix = CostMatrix::directed(vec![CostPair::proportional(sizes[0])]);
+        let mut instance = ProblemInstance::new(matrix.clone());
+        let mut sol: StorageSolution = solve(&instance, Problem::MinStorage).unwrap();
+        for (k, &size) in sizes.iter().enumerate().skip(1) {
+            let v = matrix.push_version(CostPair::proportional(size));
+            let d = deltas[(k - 1) % deltas.len()];
+            matrix.reveal(v - 1, v, CostPair::proportional(d));
+            instance = ProblemInstance::new(matrix.clone());
+            sol = insert_version(&instance, &sol, OnlinePolicy::MinStorage).unwrap();
+            prop_assert!(sol.validate(&instance).is_ok());
+            let offline = solve(&instance, Problem::MinStorage).unwrap();
+            prop_assert!(sol.storage_cost() >= offline.storage_cost());
+        }
+    }
+
+    /// Problem 5's binary search always returns a θ-feasible solution
+    /// whose storage does not exceed the SPT's.
+    #[test]
+    fn problem5_feasible_and_bounded(inst in arb_degenerate_instance()) {
+        let spt_sol = spt::solve(&inst).unwrap();
+        let theta = spt_sol.sum_recreation().saturating_add(5);
+        let sol = solve(&inst, Problem::MinStorageGivenSumRecreation { theta }).unwrap();
+        prop_assert!(sol.sum_recreation() <= theta);
+        prop_assert!(sol.storage_cost() <= spt_sol.storage_cost());
+    }
+
+    /// Extreme asymmetry: forward deltas free, reverse deltas enormous.
+    /// The MCA must use the cheap direction.
+    #[test]
+    fn asymmetry_is_exploited(n in 3usize..10) {
+        let mut m = CostMatrix::directed(
+            (0..n).map(|_| CostPair::proportional(1_000)).collect(),
+        );
+        for v in 1..n as u32 {
+            m.reveal(v - 1, v, CostPair::proportional(1));
+            m.reveal(v, v - 1, CostPair::proportional(900));
+        }
+        let inst = ProblemInstance::new(m);
+        let mca = mst::solve(&inst).unwrap();
+        // One materialization + chain of cheap forward deltas.
+        prop_assert_eq!(mca.storage_cost(), 1_000 + (n as u64 - 1));
+        prop_assert_eq!(mca.materialized().count(), 1);
+    }
+}
+
+#[test]
+fn recreation_chain_matches_costs() {
+    // A hand-built instance where the chain structure is known exactly.
+    let mut m = CostMatrix::directed(vec![
+        CostPair::new(100, 100),
+        CostPair::new(100, 100),
+        CostPair::new(100, 100),
+    ]);
+    m.reveal(0, 1, CostPair::new(10, 20));
+    m.reveal(1, 2, CostPair::new(10, 30));
+    let inst = ProblemInstance::new(m);
+    let sol = StorageSolution::from_parents(&inst, vec![None, Some(0), Some(1)]).unwrap();
+    assert_eq!(sol.recreation_chain(2), vec![0, 1, 2]);
+    assert_eq!(sol.recreation_cost(2), 100 + 20 + 30);
+    assert_eq!(sol.storage_cost(), 100 + 10 + 10);
+}

@@ -1,0 +1,305 @@
+//! Byte-level copy/insert deltas (the role xdelta/LibXDiff play in §5.2).
+//!
+//! The encoder indexes the source in fixed-size blocks with a rolling
+//! lookup table, scans the target greedily, and emits `Copy{offset,len}` /
+//! `Insert{bytes}` instructions, varint-encoded. This is the delta format
+//! the object store uses for arbitrary binary version content; line scripts
+//! ([`crate::script`]) are preferred for text.
+
+use dsv_compress::varint::{decode_u64, encode_u64};
+
+/// Block size for the source index. Matches of at least this length can be
+/// found; shorter repeats are emitted as literals.
+const BLOCK: usize = 16;
+
+/// One instruction of a byte delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Copy `len` bytes from the *source* at `offset`.
+    Copy {
+        /// Byte offset in the source.
+        offset: u64,
+        /// Number of bytes.
+        len: u64,
+    },
+    /// Insert literal bytes.
+    Insert {
+        /// The literal bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// Errors applying or decoding a byte delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A copy referenced bytes outside the source.
+    CopyOutOfRange,
+    /// The encoded stream was malformed or truncated.
+    Malformed,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::CopyOutOfRange => write!(f, "copy exceeds source bounds"),
+            DeltaError::Malformed => write!(f, "malformed delta stream"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+#[inline]
+fn block_hash(bytes: &[u8]) -> u64 {
+    // FNV-1a over one block.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Computes a delta such that `apply(src, &ops) == dst`.
+pub fn diff(src: &[u8], dst: &[u8]) -> Vec<DeltaOp> {
+    if dst.is_empty() {
+        return Vec::new();
+    }
+    if src.is_empty() {
+        return vec![DeltaOp::Insert {
+            bytes: dst.to_vec(),
+        }];
+    }
+
+    // Index source blocks: hash -> list of offsets (bounded buckets).
+    let nblocks = src.len() / BLOCK;
+    let mut table: std::collections::HashMap<u64, Vec<u32>> =
+        std::collections::HashMap::with_capacity(nblocks);
+    for i in 0..nblocks {
+        let off = i * BLOCK;
+        let h = block_hash(&src[off..off + BLOCK]);
+        let bucket = table.entry(h).or_default();
+        if bucket.len() < 8 {
+            bucket.push(off as u32);
+        }
+    }
+
+    let mut ops: Vec<DeltaOp> = Vec::new();
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+
+    let flush = |ops: &mut Vec<DeltaOp>, from: usize, to: usize| {
+        if from < to {
+            ops.push(DeltaOp::Insert {
+                bytes: dst[from..to].to_vec(),
+            });
+        }
+    };
+
+    while i + BLOCK <= dst.len() {
+        let h = block_hash(&dst[i..i + BLOCK]);
+        let mut best: Option<(usize, usize, usize)> = None; // (src_off, dst_off, len)
+        if let Some(bucket) = table.get(&h) {
+            for &cand in bucket {
+                let cand = cand as usize;
+                if src[cand..cand + BLOCK] != dst[i..i + BLOCK] {
+                    continue; // hash collision
+                }
+                // Extend forwards.
+                let mut len = BLOCK;
+                while cand + len < src.len() && i + len < dst.len() && src[cand + len] == dst[i + len]
+                {
+                    len += 1;
+                }
+                // Extend backwards into pending literals.
+                let mut back = 0usize;
+                while back < cand && back < i - lit_start && src[cand - back - 1] == dst[i - back - 1]
+                {
+                    back += 1;
+                }
+                let total = len + back;
+                if best.is_none_or(|(_, _, l)| total > l) {
+                    best = Some((cand - back, i - back, total));
+                }
+            }
+        }
+        match best {
+            Some((s_off, d_off, len)) => {
+                flush(&mut ops, lit_start, d_off);
+                ops.push(DeltaOp::Copy {
+                    offset: s_off as u64,
+                    len: len as u64,
+                });
+                i = d_off + len;
+                lit_start = i;
+            }
+            None => i += 1,
+        }
+    }
+    flush(&mut ops, lit_start, dst.len());
+    ops
+}
+
+/// Applies delta `ops` to `src`, reconstructing the target.
+pub fn apply(src: &[u8], ops: &[DeltaOp]) -> Result<Vec<u8>, DeltaError> {
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            DeltaOp::Copy { offset, len } => {
+                let start = *offset as usize;
+                let end = start
+                    .checked_add(*len as usize)
+                    .ok_or(DeltaError::CopyOutOfRange)?;
+                if end > src.len() {
+                    return Err(DeltaError::CopyOutOfRange);
+                }
+                out.extend_from_slice(&src[start..end]);
+            }
+            DeltaOp::Insert { bytes } => out.extend_from_slice(bytes),
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes ops: per op a tag varint (`len << 1` = copy, `(len << 1) | 1`
+/// = insert) followed by the payload (copy offset / literal bytes).
+pub fn encode(ops: &[DeltaOp]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            DeltaOp::Copy { offset, len } => {
+                encode_u64(len << 1, &mut out);
+                encode_u64(*offset, &mut out);
+            }
+            DeltaOp::Insert { bytes } => {
+                encode_u64(((bytes.len() as u64) << 1) | 1, &mut out);
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a stream produced by [`encode`].
+pub fn decode(input: &[u8]) -> Result<Vec<DeltaOp>, DeltaError> {
+    let mut ops = Vec::new();
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let (tag, used) = decode_u64(&input[pos..]).ok_or(DeltaError::Malformed)?;
+        pos += used;
+        if tag & 1 == 0 {
+            let (offset, used) = decode_u64(&input[pos..]).ok_or(DeltaError::Malformed)?;
+            pos += used;
+            ops.push(DeltaOp::Copy {
+                offset,
+                len: tag >> 1,
+            });
+        } else {
+            let len = (tag >> 1) as usize;
+            if pos + len > input.len() {
+                return Err(DeltaError::Malformed);
+            }
+            ops.push(DeltaOp::Insert {
+                bytes: input[pos..pos + len].to_vec(),
+            });
+            pos += len;
+        }
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &[u8], dst: &[u8]) -> usize {
+        let ops = diff(src, dst);
+        assert_eq!(apply(src, &ops).unwrap(), dst, "apply must reconstruct");
+        let enc = encode(&ops);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec, ops, "encode/decode must roundtrip");
+        enc.len()
+    }
+
+    #[test]
+    fn identical_content_is_one_copy() {
+        let data = b"0123456789abcdef0123456789abcdef".repeat(4);
+        let size = roundtrip(&data, &data);
+        assert!(size < 8, "identical content should be a single copy op");
+    }
+
+    #[test]
+    fn small_edit_yields_small_delta() {
+        let src: Vec<u8> = (0..2000u32).flat_map(|i| format!("row-{i}\n").into_bytes()).collect();
+        let mut dst = src.clone();
+        // Change a few bytes in the middle.
+        let pos = dst.len() / 2;
+        dst[pos] = b'X';
+        dst[pos + 1] = b'Y';
+        let size = roundtrip(&src, &dst);
+        assert!(size < 200, "delta size {size} too large for a 2-byte edit");
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(roundtrip(b"", b""), 0);
+        roundtrip(b"", b"new content entirely");
+        assert_eq!(roundtrip(b"old content", b""), 0);
+    }
+
+    #[test]
+    fn unrelated_content_degenerates_to_insert() {
+        let src = vec![b'a'; 500];
+        let dst = vec![b'b'; 500];
+        let ops = diff(&src, &dst);
+        assert_eq!(apply(&src, &ops).unwrap(), dst);
+    }
+
+    #[test]
+    fn appended_content() {
+        let src = b"shared prefix that is long enough to match blocks".repeat(3);
+        let mut dst = src.clone();
+        dst.extend_from_slice(b"!! new tail data");
+        let size = roundtrip(&src, &dst);
+        assert!(size < 64);
+    }
+
+    #[test]
+    fn prepended_content() {
+        let src = b"shared suffix that is long enough to match blocks".repeat(3);
+        let mut dst = b"!! new head ".to_vec();
+        dst.extend_from_slice(&src);
+        let size = roundtrip(&src, &dst);
+        assert!(size < 64);
+    }
+
+    #[test]
+    fn apply_rejects_bad_copy() {
+        let ops = vec![DeltaOp::Copy { offset: 5, len: 100 }];
+        assert_eq!(apply(b"short", &ops), Err(DeltaError::CopyOutOfRange));
+        let ops = vec![DeltaOp::Copy {
+            offset: u64::MAX,
+            len: 2,
+        }];
+        assert_eq!(apply(b"short", &ops), Err(DeltaError::CopyOutOfRange));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_literal() {
+        let ops = vec![DeltaOp::Insert {
+            bytes: b"0123456789".to_vec(),
+        }];
+        let enc = encode(&ops);
+        assert_eq!(decode(&enc[..enc.len() - 2]), Err(DeltaError::Malformed));
+    }
+
+    #[test]
+    fn block_aligned_and_unaligned_moves() {
+        // Content shifted by a non-block amount must still be found.
+        let body = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789".repeat(8);
+        let mut dst = b"xyz".to_vec();
+        dst.extend_from_slice(&body);
+        let size = roundtrip(&body, &dst);
+        assert!(size < 80, "shifted content should mostly copy, got {size}");
+    }
+}

@@ -1,0 +1,355 @@
+//! Myers' O(ND) difference algorithm over generic token slices.
+//!
+//! This is the algorithm underlying UNIX `diff`, which the paper uses to
+//! compute deltas for its synthetic datasets ("we use deltas based on
+//! UNIX-style diffs", §5.1). It finds a shortest edit script between two
+//! sequences; [`crate::script`] lifts it to line-level deltas and
+//! [`crate::bytes_delta`] provides the byte-level analogue.
+//!
+//! For very distant inputs the full O(ND) search would cost O((N+M)²); a
+//! configurable bound caps the search and falls back to a trivial
+//! replace-everything script, which is always correct and only costs
+//! optimality (the paper likewise only reveals deltas between nearby
+//! versions).
+
+/// One hunk of a diff between sequences `a` and `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffOp {
+    /// `len` tokens equal: `a[a_pos..a_pos+len] == b[b_pos..b_pos+len]`.
+    Equal {
+        /// Start in `a`.
+        a_pos: usize,
+        /// Start in `b`.
+        b_pos: usize,
+        /// Run length.
+        len: usize,
+    },
+    /// `len` tokens of `a` deleted, starting at `a_pos`.
+    Delete {
+        /// Start in `a`.
+        a_pos: usize,
+        /// Run length.
+        len: usize,
+    },
+    /// `len` tokens of `b` inserted (after position `a_pos` of `a`).
+    Insert {
+        /// Position in `a` the insertion happens at.
+        a_pos: usize,
+        /// Start in `b`.
+        b_pos: usize,
+        /// Run length.
+        len: usize,
+    },
+}
+
+/// Elementary backtracked moves before coalescing.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Move {
+    Keep,
+    Del,
+    Ins,
+}
+
+/// Computes a shortest edit script between `a` and `b` with the default
+/// search bound (`1024 + (n+m)/4` edit steps).
+pub fn diff_slices<T: PartialEq>(a: &[T], b: &[T]) -> Vec<DiffOp> {
+    let bound = 1024 + (a.len() + b.len()) / 4;
+    diff_slices_bounded(a, b, bound)
+}
+
+/// Computes an edit script between `a` and `b`, searching at most `max_d`
+/// edit steps; if the optimal distance exceeds `max_d`, returns the trivial
+/// delete-all/insert-all script.
+pub fn diff_slices_bounded<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Vec<DiffOp> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 && m == 0 {
+        return Vec::new();
+    }
+    if n == 0 {
+        return vec![DiffOp::Insert {
+            a_pos: 0,
+            b_pos: 0,
+            len: m,
+        }];
+    }
+    if m == 0 {
+        return vec![DiffOp::Delete { a_pos: 0, len: n }];
+    }
+
+    match shortest_edit_trace(a, b, max_d) {
+        Some((d_final, trace)) => {
+            let moves = backtrack(a, b, d_final, &trace);
+            coalesce(&moves)
+        }
+        None => vec![
+            DiffOp::Delete { a_pos: 0, len: n },
+            DiffOp::Insert {
+                a_pos: n,
+                b_pos: 0,
+                len: m,
+            },
+        ],
+    }
+}
+
+/// The number of edit operations (inserts + deletes) in a script.
+pub fn edit_distance(ops: &[DiffOp]) -> usize {
+    ops.iter()
+        .map(|op| match op {
+            DiffOp::Equal { .. } => 0,
+            DiffOp::Delete { len, .. } | DiffOp::Insert { len, .. } => *len,
+        })
+        .sum()
+}
+
+/// Forward phase: returns (d, per-round V snapshots) or None if `max_d`
+/// was exceeded.
+fn shortest_edit_trace<T: PartialEq>(
+    a: &[T],
+    b: &[T],
+    max_d: usize,
+) -> Option<(usize, Vec<Vec<isize>>)> {
+    let n = a.len() as isize;
+    let m = b.len() as isize;
+    let max = (n + m) as usize;
+    let limit = max.min(max_d);
+    let offset = max as isize;
+    let mut v = vec![0isize; 2 * max + 1];
+    let mut trace: Vec<Vec<isize>> = Vec::new();
+
+    for d in 0..=(limit as isize) {
+        trace.push(v.clone());
+        let mut k = -d;
+        while k <= d {
+            let idx = (k + offset) as usize;
+            let mut x = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1]
+            } else {
+                v[idx - 1] + 1
+            };
+            let mut y = x - k;
+            while x < n && y < m && a[x as usize] == b[y as usize] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                return Some((d as usize, trace));
+            }
+            k += 2;
+        }
+    }
+    None
+}
+
+/// Backward phase: reconstruct the move sequence from the trace.
+fn backtrack<T: PartialEq>(a: &[T], b: &[T], d_final: usize, trace: &[Vec<isize>]) -> Vec<Move> {
+    let n = a.len() as isize;
+    let m = b.len() as isize;
+    let offset = n + m;
+    let mut moves_rev: Vec<Move> = Vec::new();
+    let mut x = n;
+    let mut y = m;
+
+    for d in (1..=d_final as isize).rev() {
+        let v = &trace[d as usize];
+        let k = x - y;
+        let prev_k = if k == -d || (k != d && v[(k - 1 + offset) as usize] < v[(k + 1 + offset) as usize])
+        {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_x = v[(prev_k + offset) as usize];
+        let prev_y = prev_x - prev_k;
+        // Diagonal snake back to the point just after the edit.
+        while x > prev_x && y > prev_y {
+            moves_rev.push(Move::Keep);
+            x -= 1;
+            y -= 1;
+        }
+        if x == prev_x {
+            moves_rev.push(Move::Ins); // consumed one token of b
+        } else {
+            moves_rev.push(Move::Del); // consumed one token of a
+        }
+        x = prev_x;
+        y = prev_y;
+    }
+    // Leading diagonal at d = 0.
+    while x > 0 && y > 0 {
+        moves_rev.push(Move::Keep);
+        x -= 1;
+        y -= 1;
+    }
+    moves_rev.reverse();
+    moves_rev
+}
+
+/// Groups elementary moves into run-length [`DiffOp`]s, tracking positions.
+fn coalesce(moves: &[Move]) -> Vec<DiffOp> {
+    let mut ops = Vec::new();
+    let mut a_pos = 0usize;
+    let mut b_pos = 0usize;
+    let mut i = 0usize;
+    while i < moves.len() {
+        let kind = moves[i];
+        let mut len = 0usize;
+        while i < moves.len() && moves[i] == kind {
+            len += 1;
+            i += 1;
+        }
+        match kind {
+            Move::Keep => {
+                ops.push(DiffOp::Equal { a_pos, b_pos, len });
+                a_pos += len;
+                b_pos += len;
+            }
+            Move::Del => {
+                ops.push(DiffOp::Delete { a_pos, len });
+                a_pos += len;
+            }
+            Move::Ins => {
+                ops.push(DiffOp::Insert { a_pos, b_pos, len });
+                b_pos += len;
+            }
+        }
+    }
+    ops
+}
+
+/// Applies a diff to `a`, reconstructing `b`. Primarily a testing aid; the
+/// production apply paths live in [`crate::script`] / [`crate::bytes_delta`].
+pub fn apply_diff<T: Clone>(a: &[T], b_tokens: &[T], ops: &[DiffOp]) -> Vec<T> {
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            DiffOp::Equal { a_pos, len, .. } => out.extend_from_slice(&a[a_pos..a_pos + len]),
+            DiffOp::Delete { .. } => {}
+            DiffOp::Insert { b_pos, len, .. } => {
+                out.extend_from_slice(&b_tokens[b_pos..b_pos + len])
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &str, b: &str) -> Vec<DiffOp> {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        let ops = diff_slices(&av, &bv);
+        let rebuilt: String = apply_diff(&av, &bv, &ops).into_iter().collect();
+        assert_eq!(rebuilt, b, "diff {a:?} -> {b:?} must reconstruct");
+        ops
+    }
+
+    #[test]
+    fn identical_inputs_yield_single_equal() {
+        let ops = check("abcdef", "abcdef");
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(ops[0], DiffOp::Equal { len: 6, .. }));
+    }
+
+    #[test]
+    fn classic_myers_example() {
+        // ABCABBA -> CBABAC has edit distance 5 (Myers' paper example).
+        let a: Vec<char> = "ABCABBA".chars().collect();
+        let b: Vec<char> = "CBABAC".chars().collect();
+        let ops = diff_slices(&a, &b);
+        assert_eq!(edit_distance(&ops), 5);
+        assert_eq!(
+            apply_diff(&a, &b, &ops).into_iter().collect::<String>(),
+            "CBABAC"
+        );
+    }
+
+    #[test]
+    fn empty_to_nonempty() {
+        let ops = check("", "xyz");
+        assert_eq!(ops, vec![DiffOp::Insert { a_pos: 0, b_pos: 0, len: 3 }]);
+    }
+
+    #[test]
+    fn nonempty_to_empty() {
+        let ops = check("xyz", "");
+        assert_eq!(ops, vec![DiffOp::Delete { a_pos: 0, len: 3 }]);
+    }
+
+    #[test]
+    fn both_empty() {
+        assert!(check("", "").is_empty());
+    }
+
+    #[test]
+    fn single_insertion_in_middle() {
+        let ops = check("hello world", "hello brave world");
+        assert_eq!(edit_distance(&ops), 6); // "brave " inserted
+    }
+
+    #[test]
+    fn deletion_is_asymmetric_in_size() {
+        // Deleting a block yields a small script; the reverse direction
+        // must carry the block. This is the paper's asymmetry example.
+        let big = "x".repeat(100);
+        let a: Vec<char> = format!("head{big}tail").chars().collect();
+        let b: Vec<char> = "headtail".chars().collect();
+        let fwd = diff_slices(&a, &b);
+        let rev = diff_slices(&b, &a);
+        let fwd_inserted: usize = fwd
+            .iter()
+            .filter_map(|o| match o {
+                DiffOp::Insert { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        let rev_inserted: usize = rev
+            .iter()
+            .filter_map(|o| match o {
+                DiffOp::Insert { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(fwd_inserted, 0);
+        assert_eq!(rev_inserted, 100);
+    }
+
+    #[test]
+    fn bounded_search_falls_back_to_replace() {
+        let a: Vec<u8> = (0..200u8).collect();
+        let b: Vec<u8> = (0..200u8).rev().collect();
+        let ops = diff_slices_bounded(&a, &b, 3);
+        assert_eq!(
+            ops,
+            vec![
+                DiffOp::Delete { a_pos: 0, len: 200 },
+                DiffOp::Insert { a_pos: 200, b_pos: 0, len: 200 },
+            ]
+        );
+        assert_eq!(apply_diff(&a, &b, &ops), b);
+    }
+
+    #[test]
+    fn line_tokens_work_like_any_tokens() {
+        let a = ["a", "b", "c", "d"];
+        let b = ["a", "x", "c", "d", "e"];
+        let ops = diff_slices(&a, &b);
+        assert_eq!(apply_diff(&a, &b, &ops), b);
+        assert_eq!(edit_distance(&ops), 3); // -b +x +e
+    }
+
+    #[test]
+    fn works_on_large_similar_inputs() {
+        let a: Vec<u32> = (0..5000).collect();
+        let mut bv: Vec<u32> = a.clone();
+        bv.remove(1234);
+        bv.insert(4000, 999_999);
+        let ops = diff_slices(&a, &bv);
+        assert_eq!(apply_diff(&a, &bv, &ops), bv);
+        assert_eq!(edit_distance(&ops), 2);
+    }
+}

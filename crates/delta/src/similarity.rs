@@ -1,0 +1,189 @@
+//! Resemblance sketches for choosing which `Δ`/`Φ` entries to reveal.
+//!
+//! Computing all-pairs deltas is infeasible for large version collections;
+//! the paper points to resemblance-detection techniques (Douglis &
+//! Iyengar, its ref. 19) as a way to find promising version pairs beyond
+//! neighbours. This module implements the standard bottom-k sketch over
+//! byte shingles: the estimated Jaccard resemblance of two versions is the
+//! overlap of their k smallest shingle hashes.
+
+const SHINGLE: usize = 12;
+
+/// A bottom-k sketch of a byte string's shingle set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResemblanceSketch {
+    /// The k smallest distinct shingle hashes, sorted ascending.
+    hashes: Vec<u64>,
+    /// Configured sketch size.
+    k: usize,
+}
+
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl ResemblanceSketch {
+    /// Builds a bottom-`k` sketch of `data`.
+    pub fn build(data: &[u8], k: usize) -> Self {
+        assert!(k > 0, "sketch size must be positive");
+        if data.len() < SHINGLE {
+            // Degenerate: hash the whole input as one shingle.
+            return ResemblanceSketch {
+                hashes: vec![fnv1a(data)],
+                k,
+            };
+        }
+        // Collect distinct shingle hashes, keep the k smallest via a
+        // bounded max-heap emulation over a sorted vec (k is small).
+        let mut smallest: Vec<u64> = Vec::with_capacity(k + 1);
+        for w in data.windows(SHINGLE) {
+            let h = fnv1a(w);
+            match smallest.binary_search(&h) {
+                Ok(_) => continue, // duplicate
+                Err(idx) => {
+                    if idx < k {
+                        smallest.insert(idx, h);
+                        smallest.truncate(k);
+                    }
+                }
+            }
+        }
+        ResemblanceSketch {
+            hashes: smallest,
+            k,
+        }
+    }
+
+    /// Estimated Jaccard resemblance in `[0, 1]` between the sketched sets.
+    ///
+    /// Uses the standard bottom-k estimator: among the k smallest hashes of
+    /// the union, count how many appear in both sketches.
+    pub fn resemblance(&self, other: &ResemblanceSketch) -> f64 {
+        let k = self.k.min(other.k);
+        // Merge the two sorted lists, take the k smallest of the union,
+        // counting values present in both.
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut taken = 0usize;
+        let mut both = 0usize;
+        while taken < k && (i < self.hashes.len() || j < other.hashes.len()) {
+            let a = self.hashes.get(i).copied();
+            let b = other.hashes.get(j).copied();
+            match (a, b) {
+                (Some(x), Some(y)) if x == y => {
+                    both += 1;
+                    i += 1;
+                    j += 1;
+                }
+                (Some(x), Some(y)) if x < y => i += 1,
+                (Some(_), Some(_)) => j += 1,
+                (Some(_), None) => i += 1,
+                (None, Some(_)) => j += 1,
+                (None, None) => break,
+            }
+            taken += 1;
+        }
+        if taken == 0 {
+            return 0.0;
+        }
+        both as f64 / taken as f64
+    }
+}
+
+/// Returns candidate pairs `(i, j)` (`i < j`) whose estimated resemblance
+/// is at least `threshold`. Quadratic in the number of versions but only
+/// over cheap sketches — this is the "reveal strategy" helper used when no
+/// version graph is available (the paper's fork datasets).
+pub fn similar_pairs(sketches: &[ResemblanceSketch], threshold: f64) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..sketches.len() {
+        for j in (i + 1)..sketches.len() {
+            if sketches[i].resemblance(&sketches[j]) >= threshold {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A document whose every line depends on the seed, so different seeds
+    /// share essentially no shingles.
+    fn doc(seed: u64, rows: usize) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut out = Vec::new();
+        for i in 0..rows {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            out.extend_from_slice(format!("{state:016x}:{i}\n").as_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn identical_inputs_have_resemblance_one() {
+        let a = doc(1, 200);
+        let s1 = ResemblanceSketch::build(&a, 64);
+        let s2 = ResemblanceSketch::build(&a, 64);
+        assert!((s1.resemblance(&s2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_inputs_have_low_resemblance() {
+        let a = doc(1, 200);
+        let b = doc(999, 200);
+        let s1 = ResemblanceSketch::build(&a, 64);
+        let s2 = ResemblanceSketch::build(&b, 64);
+        assert!(s1.resemblance(&s2) < 0.2);
+    }
+
+    #[test]
+    fn small_edit_keeps_high_resemblance() {
+        let a = doc(1, 500);
+        let mut b = a.clone();
+        let mid = b.len() / 2;
+        b[mid] = b'@';
+        let s1 = ResemblanceSketch::build(&a, 128);
+        let s2 = ResemblanceSketch::build(&b, 128);
+        assert!(s1.resemblance(&s2) > 0.8, "got {}", s1.resemblance(&s2));
+    }
+
+    #[test]
+    fn tiny_inputs_degenerate_gracefully() {
+        let s1 = ResemblanceSketch::build(b"abc", 16);
+        let s2 = ResemblanceSketch::build(b"abc", 16);
+        let s3 = ResemblanceSketch::build(b"xyz", 16);
+        assert!(s1.resemblance(&s2) > 0.99);
+        assert!(s1.resemblance(&s3) < 0.01);
+    }
+
+    #[test]
+    fn similar_pairs_finds_the_clone() {
+        let base = doc(7, 300);
+        let mut edited = base.clone();
+        edited.extend_from_slice(b"one extra line\n");
+        let other = doc(8, 300);
+        let sketches = vec![
+            ResemblanceSketch::build(&base, 64),
+            ResemblanceSketch::build(&edited, 64),
+            ResemblanceSketch::build(&other, 64),
+        ];
+        let pairs = similar_pairs(&sketches, 0.5);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        ResemblanceSketch::build(b"data", 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! Cell-level deltas for tabular (CSV-like) data.
+//!
+//! "For tabular data (e.g., relational tables), recording the differences
+//! at the cell level is yet another type of delta" (§2.1). The paper's
+//! synthetic datasets are ordered CSV files mutated by six edit commands —
+//! add/delete consecutive rows, add/remove a column, modify a subset of
+//! rows/columns. [`TableDelta`] represents exactly those commands, so the
+//! workload generator can both *produce* version contents and *know* the
+//! precise delta between adjacent versions.
+
+use dsv_compress::varint::{decode_u64, encode_u64};
+
+/// An in-memory ordered table: a header row plus data rows of equal arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows; every row has `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Errors applying a [`TableDelta`] or parsing a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Row/column index out of range for the table being edited.
+    OutOfRange,
+    /// A row had the wrong number of cells.
+    Ragged,
+    /// Malformed serialized form.
+    Malformed,
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::OutOfRange => write!(f, "row/column index out of range"),
+            TableError::Ragged => write!(f, "row arity does not match columns"),
+            TableError::Malformed => write!(f, "malformed table encoding"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl Table {
+    /// Creates an empty table with the given columns.
+    pub fn new(columns: Vec<String>) -> Self {
+        Table {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    /// Returns [`TableError::Ragged`] on arity mismatch.
+    pub fn push_row(&mut self, row: Vec<String>) -> Result<(), TableError> {
+        if row.len() != self.columns.len() {
+            return Err(TableError::Ragged);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Serializes to CSV bytes (no quoting: generator cells never contain
+    /// commas or newlines; asserted in debug builds).
+    pub fn to_csv(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let write_row = |cells: &[String], out: &mut Vec<u8>| {
+            for (i, c) in cells.iter().enumerate() {
+                debug_assert!(
+                    !c.contains(',') && !c.contains('\n'),
+                    "cells must be comma/newline free"
+                );
+                if i > 0 {
+                    out.push(b',');
+                }
+                out.extend_from_slice(c.as_bytes());
+            }
+            out.push(b'\n');
+        };
+        write_row(&self.columns, &mut out);
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Parses CSV bytes produced by [`to_csv`](Self::to_csv).
+    pub fn from_csv(data: &[u8]) -> Result<Self, TableError> {
+        let text = std::str::from_utf8(data).map_err(|_| TableError::Malformed)?;
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(TableError::Malformed)?;
+        let columns: Vec<String> = header.split(',').map(str::to_owned).collect();
+        let mut rows = Vec::new();
+        for line in lines {
+            let row: Vec<String> = line.split(',').map(str::to_owned).collect();
+            if row.len() != columns.len() {
+                return Err(TableError::Ragged);
+            }
+            rows.push(row);
+        }
+        Ok(Table { columns, rows })
+    }
+
+    /// Total bytes of the CSV serialization (a table's materialized size).
+    pub fn byte_size(&self) -> usize {
+        self.to_csv().len()
+    }
+}
+
+/// One of the paper's six edit commands (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableEdit {
+    /// Insert `rows` starting at row index `at`.
+    AddRows {
+        /// Insertion index (`<= rows.len()` of the table).
+        at: u32,
+        /// Rows to insert.
+        rows: Vec<Vec<String>>,
+    },
+    /// Delete `count` consecutive rows starting at `at`.
+    DeleteRows {
+        /// First deleted row.
+        at: u32,
+        /// Number of rows deleted.
+        count: u32,
+    },
+    /// Insert a column at position `at` with the given name and values
+    /// (one per existing row).
+    AddColumn {
+        /// Insertion position in the column list.
+        at: u32,
+        /// New column name.
+        name: String,
+        /// One value per row.
+        values: Vec<String>,
+    },
+    /// Remove the column at position `at`; the removed cells are recorded
+    /// nowhere (the delta is directional).
+    RemoveColumn {
+        /// Column index.
+        at: u32,
+    },
+    /// Overwrite individual cells.
+    ModifyCells {
+        /// `(row, column, new_value)` triples.
+        cells: Vec<(u32, u32, String)>,
+    },
+}
+
+/// A directional cell-level delta: a sequence of [`TableEdit`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableDelta {
+    /// Edits applied in order.
+    pub edits: Vec<TableEdit>,
+}
+
+impl TableDelta {
+    /// Applies the edits to `table`, producing the target version.
+    pub fn apply(&self, table: &Table) -> Result<Table, TableError> {
+        let mut t = table.clone();
+        for edit in &self.edits {
+            match edit {
+                TableEdit::AddRows { at, rows } => {
+                    let at = *at as usize;
+                    if at > t.rows.len() {
+                        return Err(TableError::OutOfRange);
+                    }
+                    for r in rows {
+                        if r.len() != t.columns.len() {
+                            return Err(TableError::Ragged);
+                        }
+                    }
+                    t.rows.splice(at..at, rows.iter().cloned());
+                }
+                TableEdit::DeleteRows { at, count } => {
+                    let at = *at as usize;
+                    let end = at + *count as usize;
+                    if end > t.rows.len() {
+                        return Err(TableError::OutOfRange);
+                    }
+                    t.rows.drain(at..end);
+                }
+                TableEdit::AddColumn { at, name, values } => {
+                    let at = *at as usize;
+                    if at > t.columns.len() || values.len() != t.rows.len() {
+                        return Err(TableError::OutOfRange);
+                    }
+                    t.columns.insert(at, name.clone());
+                    for (row, v) in t.rows.iter_mut().zip(values) {
+                        row.insert(at, v.clone());
+                    }
+                }
+                TableEdit::RemoveColumn { at } => {
+                    let at = *at as usize;
+                    if at >= t.columns.len() {
+                        return Err(TableError::OutOfRange);
+                    }
+                    t.columns.remove(at);
+                    for row in &mut t.rows {
+                        row.remove(at);
+                    }
+                }
+                TableEdit::ModifyCells { cells } => {
+                    for (r, c, v) in cells {
+                        let (r, c) = (*r as usize, *c as usize);
+                        if r >= t.rows.len() || c >= t.columns.len() {
+                            return Err(TableError::OutOfRange);
+                        }
+                        t.rows[r][c] = v.clone();
+                    }
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Serialized size in bytes — the cell-level storage cost `Δ`.
+    pub fn encoded_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Compact binary encoding (varint-tagged).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_u64(self.edits.len() as u64, &mut out);
+        let put_str = |s: &str, out: &mut Vec<u8>| {
+            encode_u64(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        };
+        for e in &self.edits {
+            match e {
+                TableEdit::AddRows { at, rows } => {
+                    encode_u64(0, &mut out);
+                    encode_u64(u64::from(*at), &mut out);
+                    encode_u64(rows.len() as u64, &mut out);
+                    for row in rows {
+                        encode_u64(row.len() as u64, &mut out);
+                        for c in row {
+                            put_str(c, &mut out);
+                        }
+                    }
+                }
+                TableEdit::DeleteRows { at, count } => {
+                    encode_u64(1, &mut out);
+                    encode_u64(u64::from(*at), &mut out);
+                    encode_u64(u64::from(*count), &mut out);
+                }
+                TableEdit::AddColumn { at, name, values } => {
+                    encode_u64(2, &mut out);
+                    encode_u64(u64::from(*at), &mut out);
+                    put_str(name, &mut out);
+                    encode_u64(values.len() as u64, &mut out);
+                    for v in values {
+                        put_str(v, &mut out);
+                    }
+                }
+                TableEdit::RemoveColumn { at } => {
+                    encode_u64(3, &mut out);
+                    encode_u64(u64::from(*at), &mut out);
+                }
+                TableEdit::ModifyCells { cells } => {
+                    encode_u64(4, &mut out);
+                    encode_u64(cells.len() as u64, &mut out);
+                    for (r, c, v) in cells {
+                        encode_u64(u64::from(*r), &mut out);
+                        encode_u64(u64::from(*c), &mut out);
+                        put_str(v, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses an encoding produced by [`encode`](Self::encode).
+    pub fn decode(input: &[u8]) -> Result<Self, TableError> {
+        let mut pos = 0usize;
+        let get = |input: &[u8], pos: &mut usize| -> Result<u64, TableError> {
+            let (v, used) = decode_u64(&input[*pos..]).ok_or(TableError::Malformed)?;
+            *pos += used;
+            Ok(v)
+        };
+        let get_str = |input: &[u8], pos: &mut usize| -> Result<String, TableError> {
+            let (len, used) = decode_u64(&input[*pos..]).ok_or(TableError::Malformed)?;
+            *pos += used;
+            let len = len as usize;
+            if *pos + len > input.len() {
+                return Err(TableError::Malformed);
+            }
+            let s = std::str::from_utf8(&input[*pos..*pos + len])
+                .map_err(|_| TableError::Malformed)?
+                .to_owned();
+            *pos += len;
+            Ok(s)
+        };
+        let count = get(input, &mut pos)?;
+        let mut edits = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let tag = get(input, &mut pos)?;
+            edits.push(match tag {
+                0 => {
+                    let at = get(input, &mut pos)? as u32;
+                    let nrows = get(input, &mut pos)?;
+                    let mut rows = Vec::with_capacity(nrows as usize);
+                    for _ in 0..nrows {
+                        let ncells = get(input, &mut pos)?;
+                        let mut row = Vec::with_capacity(ncells as usize);
+                        for _ in 0..ncells {
+                            row.push(get_str(input, &mut pos)?);
+                        }
+                        rows.push(row);
+                    }
+                    TableEdit::AddRows { at, rows }
+                }
+                1 => TableEdit::DeleteRows {
+                    at: get(input, &mut pos)? as u32,
+                    count: get(input, &mut pos)? as u32,
+                },
+                2 => {
+                    let at = get(input, &mut pos)? as u32;
+                    let name = get_str(input, &mut pos)?;
+                    let nvals = get(input, &mut pos)?;
+                    let mut values = Vec::with_capacity(nvals as usize);
+                    for _ in 0..nvals {
+                        values.push(get_str(input, &mut pos)?);
+                    }
+                    TableEdit::AddColumn { at, name, values }
+                }
+                3 => TableEdit::RemoveColumn {
+                    at: get(input, &mut pos)? as u32,
+                },
+                4 => {
+                    let ncells = get(input, &mut pos)?;
+                    let mut cells = Vec::with_capacity(ncells as usize);
+                    for _ in 0..ncells {
+                        let r = get(input, &mut pos)? as u32;
+                        let c = get(input, &mut pos)? as u32;
+                        cells.push((r, c, get_str(input, &mut pos)?));
+                    }
+                    TableEdit::ModifyCells { cells }
+                }
+                _ => return Err(TableError::Malformed),
+            });
+        }
+        Ok(TableDelta { edits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["id".into(), "name".into(), "age".into()]);
+        for i in 0..5 {
+            t.push_row(vec![i.to_string(), format!("user{i}"), (20 + i).to_string()])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = sample();
+        let csv = t.to_csv();
+        let t2 = Table::from_csv(&csv).unwrap();
+        assert_eq!(t, t2);
+        assert_eq!(t.byte_size(), csv.len());
+    }
+
+    #[test]
+    fn add_and_delete_rows() {
+        let t = sample();
+        let d = TableDelta {
+            edits: vec![
+                TableEdit::AddRows {
+                    at: 2,
+                    rows: vec![vec!["99".into(), "new".into(), "50".into()]],
+                },
+                TableEdit::DeleteRows { at: 0, count: 1 },
+            ],
+        };
+        let t2 = d.apply(&t).unwrap();
+        assert_eq!(t2.rows.len(), 5);
+        assert_eq!(t2.rows[1][1], "new");
+    }
+
+    #[test]
+    fn add_and_remove_column() {
+        let t = sample();
+        let d = TableDelta {
+            edits: vec![
+                TableEdit::AddColumn {
+                    at: 1,
+                    name: "email".into(),
+                    values: (0..5).map(|i| format!("u{i}@x.org")).collect(),
+                },
+                TableEdit::RemoveColumn { at: 3 },
+            ],
+        };
+        let t2 = d.apply(&t).unwrap();
+        assert_eq!(t2.columns, vec!["id", "email", "name"]);
+        assert_eq!(t2.rows[0], vec!["0", "u0@x.org", "user0"]);
+    }
+
+    #[test]
+    fn modify_cells() {
+        let t = sample();
+        let d = TableDelta {
+            edits: vec![TableEdit::ModifyCells {
+                cells: vec![(0, 2, "99".into()), (4, 1, "renamed".into())],
+            }],
+        };
+        let t2 = d.apply(&t).unwrap();
+        assert_eq!(t2.rows[0][2], "99");
+        assert_eq!(t2.rows[4][1], "renamed");
+    }
+
+    #[test]
+    fn out_of_range_edits_rejected() {
+        let t = sample();
+        assert_eq!(
+            TableDelta {
+                edits: vec![TableEdit::DeleteRows { at: 4, count: 5 }]
+            }
+            .apply(&t),
+            Err(TableError::OutOfRange)
+        );
+        assert_eq!(
+            TableDelta {
+                edits: vec![TableEdit::RemoveColumn { at: 9 }]
+            }
+            .apply(&t),
+            Err(TableError::OutOfRange)
+        );
+        assert_eq!(
+            TableDelta {
+                edits: vec![TableEdit::ModifyCells {
+                    cells: vec![(9, 0, "x".into())]
+                }]
+            }
+            .apply(&t),
+            Err(TableError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let t = sample();
+        assert_eq!(
+            TableDelta {
+                edits: vec![TableEdit::AddRows {
+                    at: 0,
+                    rows: vec![vec!["only-one-cell".into()]]
+                }]
+            }
+            .apply(&t),
+            Err(TableError::Ragged)
+        );
+        let mut t2 = Table::new(vec!["a".into()]);
+        assert_eq!(
+            t2.push_row(vec!["1".into(), "2".into()]),
+            Err(TableError::Ragged)
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = TableDelta {
+            edits: vec![
+                TableEdit::AddRows {
+                    at: 1,
+                    rows: vec![vec!["a".into(), "b".into()]],
+                },
+                TableEdit::DeleteRows { at: 0, count: 2 },
+                TableEdit::AddColumn {
+                    at: 0,
+                    name: "k".into(),
+                    values: vec!["v".into()],
+                },
+                TableEdit::RemoveColumn { at: 1 },
+                TableEdit::ModifyCells {
+                    cells: vec![(1, 0, "z".into())],
+                },
+            ],
+        };
+        let d2 = TableDelta::decode(&d.encode()).unwrap();
+        assert_eq!(d, d2);
+        assert_eq!(d.encoded_size(), d.encode().len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(TableDelta::decode(&[9, 9, 9]).is_err());
+    }
+
+    #[test]
+    fn delete_delta_smaller_than_its_inverse_information() {
+        // A "delete rows" delta is tiny even when many rows vanish — the
+        // asymmetry motivating the directed case.
+        let mut t = Table::new(vec!["c".into()]);
+        for i in 0..1000 {
+            t.push_row(vec![format!("row-{i}")]).unwrap();
+        }
+        let d = TableDelta {
+            edits: vec![TableEdit::DeleteRows { at: 0, count: 900 }],
+        };
+        let t2 = d.apply(&t).unwrap();
+        assert_eq!(t2.rows.len(), 100);
+        assert!(d.encoded_size() < 16);
+        assert!(t.byte_size() - t2.byte_size() > 5000);
+    }
+}

@@ -1,0 +1,180 @@
+//! XOR deltas — the paper's canonical *symmetric* differencing mechanism.
+//!
+//! "For some types of data, an XOR between the two versions can be an
+//! appropriate delta" (§2.1), and because `a ⊕ (a ⊕ b) = b` the same delta
+//! recreates either version from the other: `Δ_ij = Δ_ji`, which is what
+//! makes the *undirected case* of the problem arise. The payload is stored
+//! LZ-compressed, since XORs of similar versions are mostly zero bytes.
+
+use dsv_compress::lz;
+use dsv_compress::varint::{decode_u64, encode_u64};
+
+/// A symmetric delta between two byte strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorDelta {
+    /// Length of the first version.
+    len_a: u64,
+    /// Length of the second version.
+    len_b: u64,
+    /// `a[i] ^ b[i]` padded with the longer tail (zero-extended shorter
+    /// input), length = max(len_a, len_b).
+    payload: Vec<u8>,
+}
+
+/// Errors applying an [`XorDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XorError {
+    /// The input did not match either recorded version length.
+    LengthMismatch,
+    /// The encoded form was malformed.
+    Malformed,
+}
+
+impl std::fmt::Display for XorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XorError::LengthMismatch => write!(f, "input length matches neither version"),
+            XorError::Malformed => write!(f, "malformed xor delta"),
+        }
+    }
+}
+
+impl std::error::Error for XorError {}
+
+impl XorDelta {
+    /// Builds the symmetric delta between `a` and `b`.
+    pub fn between(a: &[u8], b: &[u8]) -> Self {
+        let n = a.len().max(b.len());
+        let mut payload = vec![0u8; n];
+        for (i, slot) in payload.iter_mut().enumerate() {
+            let x = a.get(i).copied().unwrap_or(0);
+            let y = b.get(i).copied().unwrap_or(0);
+            *slot = x ^ y;
+        }
+        XorDelta {
+            len_a: a.len() as u64,
+            len_b: b.len() as u64,
+            payload,
+        }
+    }
+
+    /// Applies the delta to one version, producing the other.
+    ///
+    /// The direction is inferred from the input length; deltas between
+    /// equal-length versions are direction-agnostic (XOR is an involution).
+    pub fn apply(&self, input: &[u8]) -> Result<Vec<u8>, XorError> {
+        let out_len = if input.len() as u64 == self.len_a {
+            self.len_b
+        } else if input.len() as u64 == self.len_b {
+            self.len_a
+        } else {
+            return Err(XorError::LengthMismatch);
+        } as usize;
+        let mut out = vec![0u8; out_len];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let x = input.get(i).copied().unwrap_or(0);
+            *slot = x ^ self.payload.get(i).copied().unwrap_or(0);
+        }
+        Ok(out)
+    }
+
+    /// Serialized form: `varint len_a, varint len_b, lz(payload)`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_u64(self.len_a, &mut out);
+        encode_u64(self.len_b, &mut out);
+        out.extend_from_slice(&lz::compress(&self.payload));
+        out
+    }
+
+    /// Parses a delta produced by [`encode`](Self::encode).
+    pub fn decode(input: &[u8]) -> Result<Self, XorError> {
+        let (len_a, u1) = decode_u64(input).ok_or(XorError::Malformed)?;
+        let (len_b, u2) = decode_u64(&input[u1..]).ok_or(XorError::Malformed)?;
+        let payload = lz::decompress(&input[u1 + u2..]).map_err(|_| XorError::Malformed)?;
+        if payload.len() as u64 != len_a.max(len_b) {
+            return Err(XorError::Malformed);
+        }
+        Ok(XorDelta {
+            len_a,
+            len_b,
+            payload,
+        })
+    }
+
+    /// Encoded size in bytes: the symmetric storage cost `Δ_ij = Δ_ji`.
+    pub fn encoded_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_application() {
+        let a = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let mut b = a.clone();
+        b[4] = b'Q';
+        b.extend_from_slice(b" -- appended");
+        let d = XorDelta::between(&a, &b);
+        assert_eq!(d.apply(&a).unwrap(), b);
+        assert_eq!(d.apply(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn delta_is_direction_independent() {
+        let a = b"aaaa".to_vec();
+        let b = b"aaab".to_vec();
+        assert_eq!(XorDelta::between(&a, &b), XorDelta::between(&b, &a));
+    }
+
+    #[test]
+    fn similar_versions_compress_well() {
+        let a: Vec<u8> = (0..10_000u32).flat_map(|i| format!("r{i}\n").into_bytes()).collect();
+        let mut b = a.clone();
+        b[5000] ^= 0xff;
+        let d = XorDelta::between(&a, &b);
+        assert!(d.encoded_size() < 200, "sparse xor should compress, got {}", d.encoded_size());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let a = b"version one content".to_vec();
+        let b = b"version two content, longer".to_vec();
+        let d = XorDelta::between(&a, &b);
+        let d2 = XorDelta::decode(&d.encode()).unwrap();
+        assert_eq!(d, d2);
+        assert_eq!(d2.apply(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn wrong_length_input_rejected() {
+        let d = XorDelta::between(b"12345", b"1234567");
+        assert_eq!(d.apply(b"1234"), Err(XorError::LengthMismatch));
+    }
+
+    #[test]
+    fn equal_length_versions_roundtrip_both_ways() {
+        let a = b"AAAABBBB".to_vec();
+        let b = b"AAAACCCC".to_vec();
+        let d = XorDelta::between(&a, &b);
+        // Same length: apply maps a->b and b->a correctly (involution).
+        assert_eq!(d.apply(&a).unwrap(), b);
+        assert_eq!(d.apply(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn empty_versions() {
+        let d = XorDelta::between(b"", b"hello");
+        assert_eq!(d.apply(b"").unwrap(), b"hello");
+        assert_eq!(d.apply(b"hello").unwrap(), b"");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(XorDelta::decode(&[0xff, 0xff]).is_err());
+        assert!(XorDelta::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Bellman–Ford shortest paths.
+//!
+//! Kept deliberately simple: it serves as the reference oracle against which
+//! [`crate::dijkstra()`] is property-tested, and handles graphs where edge
+//! relaxation order matters. All weights are non-negative in this system, so
+//! negative-cycle detection is not needed, but a relaxation-count guard is
+//! retained as a defensive invariant.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+
+/// Runs Bellman–Ford from `source`; returns `dist[v]` (`None` =
+/// unreachable).
+///
+/// Complexity: `O(V · E)`.
+pub fn bellman_ford<W>(
+    graph: &DiGraph<W>,
+    source: NodeId,
+    mut weight: impl FnMut(&crate::digraph::Edge<W>) -> u64,
+) -> Vec<Option<u64>> {
+    let n = graph.node_count();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    dist[source.index()] = Some(0);
+    // At most n-1 rounds of relaxation are ever useful.
+    for _round in 1..n.max(2) {
+        let mut changed = false;
+        for e in graph.edges() {
+            if let Some(du) = dist[e.src.index()] {
+                let nd = du.saturating_add(weight(e));
+                let better = match dist[e.dst.index()] {
+                    None => true,
+                    Some(old) => nd < old,
+                };
+                if better {
+                    dist[e.dst.index()] = Some(nd);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computed_distances() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 5u64);
+        g.add_edge(NodeId(0), NodeId(2), 2);
+        g.add_edge(NodeId(2), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(3), 1);
+        let d = bellman_ford(&g, NodeId(0), |e| e.weight);
+        assert_eq!(d, vec![Some(0), Some(3), Some(2), Some(4)]);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g: DiGraph<u64> = DiGraph::new(1);
+        let d = bellman_ford(&g, NodeId(0), |e| e.weight);
+        assert_eq!(d, vec![Some(0)]);
+    }
+
+    #[test]
+    fn disconnected_nodes_stay_none() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1u64);
+        let d = bellman_ford(&g, NodeId(0), |e| e.weight);
+        assert_eq!(d[2], None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Dijkstra's single-source shortest paths with parent tracking.
+//!
+//! The shortest-path tree rooted at the dummy vertex `V0` over the `Φ`
+//! (recreation-cost) weights is the optimal storage graph for the paper's
+//! Problem 2 (Lemma 3) and a building block of LMG and LAST.
+
+use crate::digraph::DiGraph;
+use crate::heap::IndexedMinHeap;
+use crate::ids::NodeId;
+
+/// The result of a shortest-path computation from a single source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPaths {
+    /// Source node the distances are measured from.
+    pub source: NodeId,
+    /// `dist[v]` = cost of the shortest path `source → v`, or `None` if
+    /// `v` is unreachable.
+    pub dist: Vec<Option<u64>>,
+    /// `parent[v]` = predecessor of `v` on its shortest path, or `None` for
+    /// the source and unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Whether every node is reachable from the source.
+    pub fn all_reachable(&self) -> bool {
+        self.dist.iter().all(|d| d.is_some())
+    }
+
+    /// The shortest path `source → v` as a node sequence (inclusive), or
+    /// `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.dist[v.index()]?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs Dijkstra's algorithm from `source` using `weight(edge) -> u64`.
+///
+/// Complexity: `O(E log V)` with the indexed binary heap.
+///
+/// # Panics
+/// Debug-asserts that no weight computation underflows (weights must be
+/// non-negative by construction of `u64`; saturating addition guards
+/// against overflow).
+pub fn dijkstra<W>(
+    graph: &DiGraph<W>,
+    source: NodeId,
+    mut weight: impl FnMut(&crate::digraph::Edge<W>) -> u64,
+) -> ShortestPaths {
+    let n = graph.node_count();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = IndexedMinHeap::with_capacity(n);
+    let mut settled = vec![false; n];
+
+    dist[source.index()] = Some(0);
+    heap.push_or_decrease(source.0, 0u64);
+
+    while let Some((d, u32id)) = heap.pop() {
+        let u = NodeId(u32id);
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        for &eid in graph.out_edges(u) {
+            let e = graph.edge(eid);
+            if settled[e.dst.index()] {
+                continue;
+            }
+            let nd = d.saturating_add(weight(e));
+            let better = match dist[e.dst.index()] {
+                None => true,
+                Some(old) => nd < old,
+            };
+            if better {
+                dist[e.dst.index()] = Some(nd);
+                parent[e.dst.index()] = Some(u);
+                heap.push_or_decrease(e.dst.0, nd);
+            }
+        }
+    }
+
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> DiGraph<u64> {
+        // 0 -1-> 1 -1-> 2
+        // 0 ------3----> 2
+        // 3 isolated
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        g.add_edge(NodeId(0), NodeId(2), 3);
+        g
+    }
+
+    #[test]
+    fn picks_shorter_two_hop_path() {
+        let sp = dijkstra(&g(), NodeId(0), |e| e.weight);
+        assert_eq!(sp.dist[2], Some(2));
+        assert_eq!(sp.parent[2], Some(NodeId(1)));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_none() {
+        let sp = dijkstra(&g(), NodeId(0), |e| e.weight);
+        assert_eq!(sp.dist[3], None);
+        assert!(!sp.all_reachable());
+        assert_eq!(sp.path_to(NodeId(3)), None);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let sp = dijkstra(&g(), NodeId(0), |e| e.weight);
+        assert_eq!(
+            sp.path_to(NodeId(2)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2)])
+        );
+        assert_eq!(sp.path_to(NodeId(0)), Some(vec![NodeId(0)]));
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 0u64);
+        g.add_edge(NodeId(1), NodeId(2), 0);
+        let sp = dijkstra(&g, NodeId(0), |e| e.weight);
+        assert_eq!(sp.dist, vec![Some(0), Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn parallel_edges_take_minimum() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 9u64);
+        g.add_edge(NodeId(0), NodeId(1), 2);
+        let sp = dijkstra(&g, NodeId(0), |e| e.weight);
+        assert_eq!(sp.dist[1], Some(2));
+    }
+
+    #[test]
+    fn overflow_saturates_rather_than_wrapping() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), u64::MAX - 1);
+        g.add_edge(NodeId(1), NodeId(2), 10);
+        let sp = dijkstra(&g, NodeId(0), |e| e.weight);
+        assert_eq!(sp.dist[2], Some(u64::MAX));
+    }
+}

@@ -1,0 +1,221 @@
+//! An indexed binary min-heap with `decrease-key`.
+//!
+//! Dijkstra, Prim and the paper's Modified Prim's algorithm (§4.2) all need
+//! a priority queue whose entries can be re-prioritized in place. The heap
+//! is indexed by dense node ids, so `decrease_key` is O(log n) with no
+//! auxiliary map lookups.
+
+/// A binary min-heap over at most `capacity` dense keys (`0..capacity`),
+/// each with a priority of type `P`.
+///
+/// Each key may be present at most once; pushing a present key with a lower
+/// priority behaves as a decrease-key, with a higher priority it is ignored
+/// (matching the "relax" usage in shortest-path algorithms).
+#[derive(Debug, Clone)]
+pub struct IndexedMinHeap<P: Ord + Copy> {
+    /// Heap array of (priority, key).
+    heap: Vec<(P, u32)>,
+    /// `pos[key]` = index in `heap`, or `NOT_PRESENT`.
+    pos: Vec<u32>,
+}
+
+const NOT_PRESENT: u32 = u32::MAX;
+
+impl<P: Ord + Copy> IndexedMinHeap<P> {
+    /// Creates an empty heap able to hold keys `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IndexedMinHeap {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![NOT_PRESENT; capacity],
+        }
+    }
+
+    /// Number of entries currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether `key` is currently queued.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        self.pos[key as usize] != NOT_PRESENT
+    }
+
+    /// Current priority of `key`, if queued.
+    pub fn priority(&self, key: u32) -> Option<P> {
+        let p = self.pos[key as usize];
+        (p != NOT_PRESENT).then(|| self.heap[p as usize].0)
+    }
+
+    /// Inserts `key` with `priority`, or lowers its priority if it is
+    /// already queued with a higher one. Returns `true` if the heap changed.
+    pub fn push_or_decrease(&mut self, key: u32, priority: P) -> bool {
+        let p = self.pos[key as usize];
+        if p == NOT_PRESENT {
+            self.heap.push((priority, key));
+            self.pos[key as usize] = (self.heap.len() - 1) as u32;
+            self.sift_up(self.heap.len() - 1);
+            true
+        } else if priority < self.heap[p as usize].0 {
+            self.heap[p as usize].0 = priority;
+            self.sift_up(p as usize);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the minimum `(priority, key)` entry.
+    pub fn pop(&mut self) -> Option<(P, u32)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap.swap_remove(0);
+        self.pos[top.1 as usize] = NOT_PRESENT;
+        if !self.heap.is_empty() {
+            self.pos[self.heap[0].1 as usize] = 0;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].0 < self.heap[parent].0 {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < self.heap.len() && self.heap[l].0 < self.heap[smallest].0 {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.heap[r].0 < self.heap[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].1 as usize] = a as u32;
+        self.pos[self.heap[b].1 as usize] = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut h = IndexedMinHeap::with_capacity(10);
+        for (k, p) in [(3u32, 30u64), (1, 10), (4, 40), (2, 20), (0, 0)] {
+            assert!(h.push_or_decrease(k, p));
+        }
+        let mut out = Vec::new();
+        while let Some((_, k)) = h.pop() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut h = IndexedMinHeap::with_capacity(4);
+        h.push_or_decrease(0, 100u64);
+        h.push_or_decrease(1, 50);
+        h.push_or_decrease(2, 75);
+        assert!(h.push_or_decrease(0, 1)); // decrease 0 below everything
+        assert_eq!(h.pop(), Some((1, 0)));
+        assert_eq!(h.pop(), Some((50, 1)));
+    }
+
+    #[test]
+    fn increase_is_ignored() {
+        let mut h = IndexedMinHeap::with_capacity(2);
+        h.push_or_decrease(0, 5u64);
+        assert!(!h.push_or_decrease(0, 10));
+        assert_eq!(h.priority(0), Some(5));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let mut h = IndexedMinHeap::with_capacity(3);
+        assert!(!h.contains(1));
+        h.push_or_decrease(1, 1u64);
+        assert!(h.contains(1));
+        h.pop();
+        assert!(!h.contains(1));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn interleaved_operations_match_reference() {
+        // Compare against a simple sorted-vec reference implementation.
+        let mut h = IndexedMinHeap::with_capacity(64);
+        let mut reference: Vec<(u64, u32)> = Vec::new();
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let op = next() % 3;
+            if op < 2 {
+                let key = (next() % 64) as u32;
+                let pri = next() % 1000;
+                let existing = reference.iter().position(|&(_, k)| k == key);
+                match existing {
+                    None => {
+                        reference.push((pri, key));
+                        assert!(h.push_or_decrease(key, pri));
+                    }
+                    Some(i) if pri < reference[i].0 => {
+                        reference[i].0 = pri;
+                        assert!(h.push_or_decrease(key, pri));
+                    }
+                    Some(_) => {
+                        assert!(!h.push_or_decrease(key, pri));
+                    }
+                }
+            } else if !reference.is_empty() {
+                reference.sort_unstable();
+                let (pri, _key) = reference.remove(0);
+                // Several keys may share a priority; only priority must match.
+                let (got_pri, got_key) = h.pop().unwrap();
+                assert_eq!(got_pri, pri);
+                // Remove the popped key from the reference if it differs.
+                if let Some(j) = reference.iter().position(|&(p, k)| k == got_key && p == pri) {
+                    reference.remove(j);
+                    reference.push((pri, _key));
+                }
+            }
+        }
+        assert_eq!(h.len(), reference.len());
+    }
+}

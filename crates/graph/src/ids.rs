@@ -1,0 +1,82 @@
+//! Strongly-typed node identifiers.
+//!
+//! Nodes are dense `u32` indices. Versions are numbered `1..=n` in the
+//! paper's augmented graph, with `0` reserved for the dummy root `V0`; this
+//! module does not enforce that convention, it only provides the newtype.
+
+use std::fmt;
+
+/// A node in a graph, represented as a dense index.
+///
+/// `NodeId` is a lightweight copyable handle; it is only meaningful relative
+/// to the graph that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's position, usable as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn new(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "node index overflows u32");
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NodeId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(u32::from(n), 42);
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = NodeId(7);
+        assert_eq!(format!("{n}"), "7");
+        assert_eq!(format!("{n:?}"), "N7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(3), NodeId(3));
+    }
+}

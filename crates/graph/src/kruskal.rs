@@ -1,0 +1,161 @@
+//! Kruskal's minimum spanning tree algorithm.
+//!
+//! Provides an independent MST implementation used to cross-check Prim's
+//! in tests and preferred when the edge set is already materialized as a
+//! flat list (e.g. all revealed undirected deltas).
+
+use crate::ids::NodeId;
+use crate::undirected::UnGraph;
+use crate::union_find::UnionFind;
+
+/// The edges (by index into the source graph) of a minimum spanning tree,
+/// plus its total weight. Returns `None` from [`kruskal_mst`] if the graph
+/// is disconnected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KruskalResult {
+    /// Indices of chosen edges.
+    pub edges: Vec<u32>,
+    /// Sum of chosen edge weights.
+    pub total_weight: u64,
+}
+
+/// Computes a minimum spanning tree with Kruskal's algorithm.
+///
+/// Complexity: `O(E log E)`.
+pub fn kruskal_mst<W>(
+    graph: &UnGraph<W>,
+    mut weight: impl FnMut(&crate::undirected::UndirectedEdge<W>) -> u64,
+) -> Option<KruskalResult> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut order: Vec<(u64, u32)> = (0..graph.edge_count() as u32)
+        .map(|i| (weight(graph.edge(i)), i))
+        .collect();
+    order.sort_unstable();
+
+    let mut uf = UnionFind::new(n);
+    let mut chosen = Vec::with_capacity(n.saturating_sub(1));
+    let mut total = 0u64;
+    for (w, i) in order {
+        let e = graph.edge(i);
+        if uf.union(e.a.0, e.b.0) {
+            chosen.push(i);
+            total += w;
+            if chosen.len() == n - 1 {
+                break;
+            }
+        }
+    }
+    (chosen.len() == n - 1).then_some(KruskalResult {
+        edges: chosen,
+        total_weight: total,
+    })
+}
+
+/// Converts a Kruskal edge set into a parent array rooted at `root`.
+///
+/// Returns `parent[v]` (`None` for the root) and `parent_edge[v]`.
+pub fn root_tree<W>(
+    graph: &UnGraph<W>,
+    tree_edges: &[u32],
+    root: NodeId,
+) -> (Vec<Option<NodeId>>, Vec<Option<u32>>) {
+    let n = graph.node_count();
+    // Adjacency restricted to tree edges.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &ei in tree_edges {
+        let e = graph.edge(ei);
+        adj[e.a.index()].push(ei);
+        adj[e.b.index()].push(ei);
+    }
+    let mut parent = vec![None; n];
+    let mut parent_edge = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut stack = vec![root];
+    visited[root.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &ei in &adj[v.index()] {
+            let u = graph.edge(ei).other(v);
+            if !visited[u.index()] {
+                visited[u.index()] = true;
+                parent[u.index()] = Some(v);
+                parent_edge[u.index()] = Some(ei);
+                stack.push(u);
+            }
+        }
+    }
+    (parent, parent_edge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim::prim_mst;
+
+    fn wheel() -> UnGraph<u64> {
+        let mut g = UnGraph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 10);
+        g.add_edge(NodeId(0), NodeId(2), 1);
+        g.add_edge(NodeId(0), NodeId(3), 8);
+        g.add_edge(NodeId(0), NodeId(4), 2);
+        g.add_edge(NodeId(1), NodeId(2), 3);
+        g.add_edge(NodeId(2), NodeId(3), 4);
+        g.add_edge(NodeId(3), NodeId(4), 5);
+        g.add_edge(NodeId(4), NodeId(1), 6);
+        g
+    }
+
+    #[test]
+    fn agrees_with_prim() {
+        let g = wheel();
+        let k = kruskal_mst(&g, |e| e.weight).unwrap();
+        let p = prim_mst(&g, NodeId(0), |e| e.weight).unwrap();
+        assert_eq!(k.total_weight, p.total_weight);
+    }
+
+    #[test]
+    fn tree_has_n_minus_1_edges() {
+        let g = wheel();
+        let k = kruskal_mst(&g, |e| e.weight).unwrap();
+        assert_eq!(k.edges.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let mut g: UnGraph<u64> = UnGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        assert!(kruskal_mst(&g, |e| e.weight).is_none());
+    }
+
+    #[test]
+    fn root_tree_produces_valid_parents() {
+        let g = wheel();
+        let k = kruskal_mst(&g, |e| e.weight).unwrap();
+        let (parent, parent_edge) = root_tree(&g, &k.edges, NodeId(3));
+        assert_eq!(parent[3], None);
+        assert_eq!(parent_edge[3], None);
+        let mut reached = 0;
+        for v in 0..5u32 {
+            let mut cur = NodeId(v);
+            let mut hops = 0;
+            while let Some(p) = parent[cur.index()] {
+                cur = p;
+                hops += 1;
+                assert!(hops <= 5);
+            }
+            if cur == NodeId(3) {
+                reached += 1;
+            }
+        }
+        assert_eq!(reached, 5);
+    }
+
+    #[test]
+    fn empty_graph_is_none() {
+        let g: UnGraph<u64> = UnGraph::new(0);
+        assert!(kruskal_mst(&g, |e| e.weight).is_none());
+    }
+}

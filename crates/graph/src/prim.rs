@@ -1,0 +1,144 @@
+//! Prim's minimum spanning tree algorithm for undirected graphs.
+//!
+//! Over the symmetric `Δ` weights this yields the minimum-storage solution
+//! of the paper's Problem 1 in the undirected case (Lemma 2). The returned
+//! structure is rooted at the start node so it can serve directly as a
+//! storage graph and as the starting tree of LMG/LAST.
+
+use crate::heap::IndexedMinHeap;
+use crate::ids::NodeId;
+use crate::undirected::UnGraph;
+
+/// A rooted minimum spanning tree: `parent[v]` is `v`'s parent edge's other
+/// endpoint, `parent_edge[v]` the chosen edge index.
+#[derive(Debug, Clone)]
+pub struct MstResult {
+    /// The root node the tree was grown from.
+    pub root: NodeId,
+    /// Parent of each node (`None` for the root).
+    pub parent: Vec<Option<NodeId>>,
+    /// Edge index (into the source graph) connecting each node to its
+    /// parent (`None` for the root).
+    pub parent_edge: Vec<Option<u32>>,
+    /// Total weight of the tree.
+    pub total_weight: u64,
+}
+
+/// Computes a minimum spanning tree of `graph` rooted at `root` using
+/// Prim's algorithm with an indexed heap. Returns `None` if the graph is
+/// not connected (no spanning tree exists).
+///
+/// Complexity: `O(E log V)`.
+pub fn prim_mst<W>(
+    graph: &UnGraph<W>,
+    root: NodeId,
+    mut weight: impl FnMut(&crate::undirected::UndirectedEdge<W>) -> u64,
+) -> Option<MstResult> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut in_tree = vec![false; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut parent_edge: Vec<Option<u32>> = vec![None; n];
+    let mut best: Vec<u64> = vec![u64::MAX; n];
+    let mut heap = IndexedMinHeap::with_capacity(n);
+    let mut total = 0u64;
+    let mut added = 0usize;
+
+    best[root.index()] = 0;
+    heap.push_or_decrease(root.0, 0u64);
+
+    while let Some((w, vid)) = heap.pop() {
+        let v = NodeId(vid);
+        if in_tree[v.index()] {
+            continue;
+        }
+        in_tree[v.index()] = true;
+        total += w;
+        added += 1;
+        for &eid in graph.incident_edges(v) {
+            let e = graph.edge(eid);
+            let u = e.other(v);
+            if in_tree[u.index()] {
+                continue;
+            }
+            let ew = weight(e);
+            if ew < best[u.index()] {
+                best[u.index()] = ew;
+                parent[u.index()] = Some(v);
+                parent_edge[u.index()] = Some(eid);
+                heap.push_or_decrease(u.0, ew);
+            }
+        }
+    }
+
+    (added == n).then_some(MstResult {
+        root,
+        parent,
+        parent_edge,
+        total_weight: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> UnGraph<u64> {
+        // 0-1 (1), 1-2 (2), 2-3 (3), 3-0 (4), 0-2 (5)
+        let mut g = UnGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 2);
+        g.add_edge(NodeId(2), NodeId(3), 3);
+        g.add_edge(NodeId(3), NodeId(0), 4);
+        g.add_edge(NodeId(0), NodeId(2), 5);
+        g
+    }
+
+    #[test]
+    fn finds_minimum_weight() {
+        let mst = prim_mst(&square_with_diagonal(), NodeId(0), |e| e.weight).unwrap();
+        assert_eq!(mst.total_weight, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn parents_form_tree_rooted_at_root() {
+        let mst = prim_mst(&square_with_diagonal(), NodeId(0), |e| e.weight).unwrap();
+        assert_eq!(mst.parent[0], None);
+        // Every non-root node reaches the root by following parents.
+        for v in 1..4u32 {
+            let mut cur = NodeId(v);
+            let mut hops = 0;
+            while let Some(p) = mst.parent[cur.index()] {
+                cur = p;
+                hops += 1;
+                assert!(hops <= 4, "parent chain contains a cycle");
+            }
+            assert_eq!(cur, NodeId(0));
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_returns_none() {
+        let mut g: UnGraph<u64> = UnGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        assert!(prim_mst(&g, NodeId(0), |e| e.weight).is_none());
+    }
+
+    #[test]
+    fn single_node() {
+        let g: UnGraph<u64> = UnGraph::new(1);
+        let mst = prim_mst(&g, NodeId(0), |e| e.weight).unwrap();
+        assert_eq!(mst.total_weight, 0);
+        assert_eq!(mst.parent, vec![None]);
+    }
+
+    #[test]
+    fn root_choice_does_not_change_weight() {
+        let g = square_with_diagonal();
+        let w0 = prim_mst(&g, NodeId(0), |e| e.weight).unwrap().total_weight;
+        let w2 = prim_mst(&g, NodeId(2), |e| e.weight).unwrap().total_weight;
+        assert_eq!(w0, w2);
+    }
+}

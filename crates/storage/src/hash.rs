@@ -1,0 +1,110 @@
+//! Content addressing.
+//!
+//! Objects are keyed by a 128-bit hash: two independently-seeded FNV-1a
+//! passes over the content plus its length. Not cryptographic — the threat
+//! model of a local research prototype is accidental collision, for which
+//! 128 bits over thousands of objects is ample headroom (the paper's
+//! prototype similarly content-addresses version files).
+
+/// A 128-bit content address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub [u8; 16]);
+
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv1a(seed: u64, data: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Finalize with the length so prefixes don't collide trivially.
+    h ^= data.len() as u64;
+    h.wrapping_mul(FNV_PRIME)
+}
+
+impl ObjectId {
+    /// Hashes `data` into an id.
+    pub fn for_bytes(data: &[u8]) -> Self {
+        let a = fnv1a(0xcbf2_9ce4_8422_2325, data);
+        let b = fnv1a(0x6c62_272e_07bb_0142, data);
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&a.to_le_bytes());
+        out[8..].copy_from_slice(&b.to_le_bytes());
+        ObjectId(out)
+    }
+
+    /// Lowercase hex representation (32 chars).
+    pub fn to_hex(self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parses a 32-char hex string.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Some(ObjectId(out))
+    }
+}
+
+impl std::fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjectId({})", &self.to_hex()[..12])
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a = ObjectId::for_bytes(b"hello");
+        assert_eq!(a, ObjectId::for_bytes(b"hello"));
+        assert_ne!(a, ObjectId::for_bytes(b"hellp"));
+        assert_ne!(a, ObjectId::for_bytes(b"hello "));
+    }
+
+    #[test]
+    fn empty_input_has_an_id() {
+        let a = ObjectId::for_bytes(b"");
+        assert_ne!(a, ObjectId::for_bytes(b"\0"));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let a = ObjectId::for_bytes(b"some content");
+        let hex = a.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(ObjectId::from_hex(&hex), Some(a));
+    }
+
+    #[test]
+    fn from_hex_rejects_malformed() {
+        assert_eq!(ObjectId::from_hex("zz"), None);
+        assert_eq!(ObjectId::from_hex(&"g".repeat(32)), None);
+        assert_eq!(ObjectId::from_hex(&"a".repeat(31)), None);
+    }
+
+    #[test]
+    fn no_collisions_across_many_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..20_000u32 {
+            let id = ObjectId::for_bytes(format!("object-{i}").as_bytes());
+            assert!(seen.insert(id), "collision at {i}");
+        }
+    }
+}

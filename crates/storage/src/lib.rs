@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Object-store substrate for the prototype version management system.
+//!
+//! The optimizer (dsv-core) decides *which* versions to materialize and
+//! which to store as deltas; this crate actually stores them and recreates
+//! them:
+//!
+//! - [`hash`]: 128-bit content addresses.
+//! - [`object`]: the two object kinds — `Full` bytes or `Delta{base,
+//!   ops}` — with an optional LZ-compressed on-disk encoding (the `Φ ≠ Δ`
+//!   regime of the paper).
+//! - [`store`]: the [`ObjectStore`] trait with in-memory and on-disk
+//!   implementations.
+//! - [`materialize`]: recreation — walk a version's delta chain back to a
+//!   materialized object and replay it, with a memoization cache and
+//!   measured recreation work.
+//! - [`repack`]: apply a storage plan (a parent assignment from the
+//!   optimizer) to a set of version contents, producing objects and
+//!   **measured** storage/recreation statistics (what §5.2 reports).
+
+pub mod hash;
+pub mod materialize;
+pub mod object;
+pub mod repack;
+pub mod store;
+
+pub use hash::ObjectId;
+pub use materialize::Materializer;
+pub use object::{Object, StoreError};
+pub use repack::{pack_versions, PackOptions, PackedVersions};
+pub use store::{FileStore, MemStore, ObjectStore};

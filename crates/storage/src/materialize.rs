@@ -1,0 +1,225 @@
+//! Recreation: materializing a version from its delta chain.
+//!
+//! Walking `Delta` objects back to a `Full` object and replaying them is
+//! exactly the recreation process whose cost the paper's `Φ` models. The
+//! materializer reports the bytes it had to fetch and produce, so measured
+//! costs can be compared against the matrix-predicted ones, and keeps an
+//! optional memoization cache of intermediate versions (useful when many
+//! checkouts share chain prefixes).
+
+use crate::hash::ObjectId;
+use crate::object::{Object, StoreError};
+use crate::store::ObjectStore;
+use dsv_delta::bytes_delta;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Defensive bound on delta-chain length (cycles cannot occur with
+/// content addressing, but corrupt stores could still loop).
+const MAX_CHAIN: usize = 100_000;
+
+/// Measured work for one materialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecreationWork {
+    /// Number of objects fetched.
+    pub objects_fetched: usize,
+    /// Bytes of delta/full payloads read.
+    pub bytes_read: u64,
+    /// Bytes of version content produced (including intermediates).
+    pub bytes_written: u64,
+}
+
+/// Materializes versions from an [`ObjectStore`], optionally caching
+/// intermediate results.
+pub struct Materializer<'a, S: ObjectStore + ?Sized> {
+    store: &'a S,
+    cache: Option<Mutex<HashMap<ObjectId, Arc<Vec<u8>>>>>,
+}
+
+impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
+    /// A materializer with no cache (every checkout replays its chain).
+    pub fn new(store: &'a S) -> Self {
+        Materializer {
+            store,
+            cache: None,
+        }
+    }
+
+    /// A materializer that memoizes every object it reconstructs.
+    pub fn with_cache(store: &'a S) -> Self {
+        Materializer {
+            store,
+            cache: Some(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Reconstructs the version stored under `id`.
+    pub fn materialize(&self, id: ObjectId) -> Result<Arc<Vec<u8>>, StoreError> {
+        Ok(self.materialize_measured(id)?.0)
+    }
+
+    /// Reconstructs the version and reports the work performed (cache hits
+    /// cost nothing).
+    pub fn materialize_measured(
+        &self,
+        id: ObjectId,
+    ) -> Result<(Arc<Vec<u8>>, RecreationWork), StoreError> {
+        let mut work = RecreationWork::default();
+        // Walk the chain down to a Full object or a cache hit.
+        let mut chain: Vec<(ObjectId, Vec<u8>)> = Vec::new(); // (id, delta bytes)
+        let mut cur = id;
+        let mut base: Arc<Vec<u8>> = loop {
+            if chain.len() > MAX_CHAIN {
+                return Err(StoreError::ChainTooLong);
+            }
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.lock().get(&cur) {
+                    break Arc::clone(hit);
+                }
+            }
+            match self.store.get(cur)? {
+                Object::Full { data } => {
+                    work.objects_fetched += 1;
+                    work.bytes_read += data.len() as u64;
+                    let arc = Arc::new(data);
+                    if let Some(cache) = &self.cache {
+                        cache.lock().insert(cur, Arc::clone(&arc));
+                    }
+                    break arc;
+                }
+                Object::Delta { base, delta } => {
+                    work.objects_fetched += 1;
+                    work.bytes_read += delta.len() as u64;
+                    chain.push((cur, delta));
+                    cur = base;
+                }
+            }
+        };
+        // Replay deltas top-down.
+        for (obj_id, delta) in chain.into_iter().rev() {
+            let ops = bytes_delta::decode(&delta)
+                .map_err(|_| StoreError::Corrupt("undecodable delta"))?;
+            let next = bytes_delta::apply(&base, &ops)
+                .map_err(|_| StoreError::Corrupt("delta does not apply to its base"))?;
+            work.bytes_written += next.len() as u64;
+            base = Arc::new(next);
+            if let Some(cache) = &self.cache {
+                cache.lock().insert(obj_id, Arc::clone(&base));
+            }
+        }
+        Ok((base, work))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    /// Stores v0 fully and v1..=k as a delta chain; returns ids and the
+    /// expected contents.
+    fn chain_fixture(store: &MemStore, k: usize) -> (Vec<ObjectId>, Vec<Vec<u8>>) {
+        let mut contents = vec![b"base version 0\n".repeat(50)];
+        for i in 1..=k {
+            let mut next = contents[i - 1].clone();
+            next.extend_from_slice(format!("appended line {i}\n").as_bytes());
+            contents.push(next);
+        }
+        let mut ids = Vec::new();
+        let full_id = store
+            .put(&Object::Full {
+                data: contents[0].clone(),
+            })
+            .unwrap();
+        ids.push(full_id);
+        for i in 1..=k {
+            let ops = bytes_delta::diff(&contents[i - 1], &contents[i]);
+            let obj = Object::Delta {
+                base: ids[i - 1],
+                delta: bytes_delta::encode(&ops),
+            };
+            ids.push(store.put(&obj).unwrap());
+        }
+        (ids, contents)
+    }
+
+    #[test]
+    fn materializes_full_object() {
+        let store = MemStore::new(false);
+        let (ids, contents) = chain_fixture(&store, 0);
+        let m = Materializer::new(&store);
+        assert_eq!(*m.materialize(ids[0]).unwrap(), contents[0]);
+    }
+
+    #[test]
+    fn materializes_deep_chain() {
+        let store = MemStore::new(false);
+        let (ids, contents) = chain_fixture(&store, 20);
+        let m = Materializer::new(&store);
+        for (id, expected) in ids.iter().zip(&contents) {
+            assert_eq!(&*m.materialize(*id).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn work_accounting_scales_with_depth() {
+        let store = MemStore::new(false);
+        let (ids, _) = chain_fixture(&store, 10);
+        let m = Materializer::new(&store);
+        let (_, w0) = m.materialize_measured(ids[0]).unwrap();
+        let (_, w10) = m.materialize_measured(ids[10]).unwrap();
+        assert_eq!(w0.objects_fetched, 1);
+        assert_eq!(w10.objects_fetched, 11);
+        assert!(w10.bytes_written > 0);
+    }
+
+    #[test]
+    fn cache_eliminates_repeat_work() {
+        let store = MemStore::new(false);
+        let (ids, _) = chain_fixture(&store, 10);
+        let m = Materializer::with_cache(&store);
+        let (_, first) = m.materialize_measured(ids[10]).unwrap();
+        assert_eq!(first.objects_fetched, 11);
+        let (_, second) = m.materialize_measured(ids[10]).unwrap();
+        assert_eq!(second.objects_fetched, 0, "fully cached");
+        // A sibling sharing the prefix only fetches its own delta.
+        let (_, w9) = m.materialize_measured(ids[9]).unwrap();
+        assert_eq!(w9.objects_fetched, 0, "prefix was cached during replay");
+    }
+
+    #[test]
+    fn missing_base_is_reported() {
+        let store = MemStore::new(false);
+        let dangling = Object::Delta {
+            base: ObjectId::for_bytes(b"never stored"),
+            delta: bytes_delta::encode(&bytes_delta::diff(b"a", b"b")),
+        };
+        let id = store.put(&dangling).unwrap();
+        let m = Materializer::new(&store);
+        assert!(matches!(
+            m.materialize(id).unwrap_err(),
+            StoreError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn corrupt_delta_is_reported() {
+        let store = MemStore::new(false);
+        let base_id = store
+            .put(&Object::Full {
+                data: b"base".to_vec(),
+            })
+            .unwrap();
+        let bad = Object::Delta {
+            base: base_id,
+            delta: vec![0xff, 0xff, 0xff],
+        };
+        let id = store.put(&bad).unwrap();
+        let m = Materializer::new(&store);
+        assert!(matches!(
+            m.materialize(id).unwrap_err(),
+            StoreError::Corrupt(_)
+        ));
+    }
+}

@@ -1,0 +1,259 @@
+//! Object stores: in-memory and on-disk.
+//!
+//! Both implementations persist the *encoded* object form, so
+//! `total_bytes` reports the real (possibly compressed) storage footprint
+//! — the quantity §5.2 of the paper compares across SVN/Git/MCA.
+
+use crate::hash::ObjectId;
+use crate::object::{Object, StoreError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A key-value store of encoded objects.
+pub trait ObjectStore {
+    /// Persists `obj`; returns its id. Idempotent.
+    fn put(&self, obj: &Object) -> Result<ObjectId, StoreError>;
+    /// Fetches and decodes an object.
+    fn get(&self, id: ObjectId) -> Result<Object, StoreError>;
+    /// Whether the store holds `id`.
+    fn contains(&self, id: ObjectId) -> bool;
+    /// Total bytes of encoded objects (physical footprint).
+    fn total_bytes(&self) -> u64;
+    /// Number of stored objects.
+    fn len(&self) -> usize;
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Removes an object (used by repack garbage collection). Unknown ids
+    /// are ignored.
+    fn remove(&self, id: ObjectId);
+}
+
+/// An in-memory store (the default for experiments).
+pub struct MemStore {
+    compress: bool,
+    map: RwLock<HashMap<ObjectId, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// Creates a store; `compress` controls payload compression.
+    pub fn new(compress: bool) -> Self {
+        MemStore {
+            compress,
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl ObjectStore for MemStore {
+    fn put(&self, obj: &Object) -> Result<ObjectId, StoreError> {
+        let id = obj.id();
+        self.map
+            .write()
+            .entry(id)
+            .or_insert_with(|| obj.encode(self.compress));
+        Ok(id)
+    }
+
+    fn get(&self, id: ObjectId) -> Result<Object, StoreError> {
+        let guard = self.map.read();
+        let bytes = guard.get(&id).ok_or(StoreError::NotFound(id))?;
+        Object::decode(bytes)
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.map.read().contains_key(&id)
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.map.read().values().map(|v| v.len() as u64).sum()
+    }
+
+    fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    fn remove(&self, id: ObjectId) {
+        self.map.write().remove(&id);
+    }
+}
+
+/// An on-disk store: `dir/ab/<hex>` fan-out files, one per object.
+pub struct FileStore {
+    compress: bool,
+    dir: PathBuf,
+}
+
+impl FileStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: &Path, compress: bool) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        Ok(FileStore {
+            compress,
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn path_of(&self, id: ObjectId) -> PathBuf {
+        let hex = id.to_hex();
+        self.dir.join(&hex[..2]).join(&hex[2..])
+    }
+}
+
+impl ObjectStore for FileStore {
+    fn put(&self, obj: &Object) -> Result<ObjectId, StoreError> {
+        let id = obj.id();
+        let path = self.path_of(id);
+        if path.exists() {
+            return Ok(id);
+        }
+        std::fs::create_dir_all(path.parent().expect("fan-out parent"))?;
+        // Write-then-rename for atomicity against concurrent readers.
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            f.write_all(&obj.encode(self.compress))?;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(id)
+    }
+
+    fn get(&self, id: ObjectId) -> Result<Object, StoreError> {
+        let path = self.path_of(id);
+        let mut bytes = Vec::new();
+        let mut f = std::fs::File::open(&path).map_err(|_| StoreError::NotFound(id))?;
+        f.read_to_end(&mut bytes)?;
+        Object::decode(&bytes)
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.path_of(id).exists()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        if let Ok(fanout) = std::fs::read_dir(&self.dir) {
+            for d in fanout.flatten() {
+                if let Ok(files) = std::fs::read_dir(d.path()) {
+                    for f in files.flatten() {
+                        if let Ok(meta) = f.metadata() {
+                            total += meta.len();
+                        }
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    fn len(&self) -> usize {
+        let mut n = 0usize;
+        if let Ok(fanout) = std::fs::read_dir(&self.dir) {
+            for d in fanout.flatten() {
+                if let Ok(files) = std::fs::read_dir(d.path()) {
+                    n += files.count();
+                }
+            }
+        }
+        n
+    }
+
+    fn remove(&self, id: ObjectId) {
+        let _ = std::fs::remove_file(self.path_of(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ObjectStore) {
+        assert!(store.is_empty());
+        let a = Object::Full {
+            data: b"version one".to_vec(),
+        };
+        let id = store.put(&a).unwrap();
+        assert!(store.contains(id));
+        assert_eq!(store.get(id).unwrap(), a);
+        assert_eq!(store.len(), 1);
+        assert!(store.total_bytes() > 0);
+
+        // Idempotent put.
+        let id2 = store.put(&a).unwrap();
+        assert_eq!(id, id2);
+        assert_eq!(store.len(), 1);
+
+        // Unknown id.
+        let missing = ObjectId::for_bytes(b"nope");
+        assert!(matches!(
+            store.get(missing).unwrap_err(),
+            StoreError::NotFound(_)
+        ));
+
+        // Delta objects.
+        let d = Object::Delta {
+            base: id,
+            delta: vec![9, 9, 9],
+        };
+        let did = store.put(&d).unwrap();
+        assert_eq!(store.get(did).unwrap(), d);
+
+        // Removal.
+        store.remove(did);
+        assert!(!store.contains(did));
+        store.remove(missing); // no-op
+    }
+
+    #[test]
+    fn mem_store_basics() {
+        exercise(&MemStore::new(false));
+        exercise(&MemStore::new(true));
+    }
+
+    #[test]
+    fn file_store_basics() {
+        let dir = std::env::temp_dir().join(format!("dsv-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::open(&dir, true).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("dsv-store-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let id = {
+            let store = FileStore::open(&dir, false).unwrap();
+            store
+                .put(&Object::Full {
+                    data: b"persisted".to_vec(),
+                })
+                .unwrap()
+        };
+        let store = FileStore::open(&dir, false).unwrap();
+        assert_eq!(
+            store.get(id).unwrap(),
+            Object::Full {
+                data: b"persisted".to_vec()
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compression_reduces_footprint() {
+        let raw = MemStore::new(false);
+        let compressed = MemStore::new(true);
+        let obj = Object::Full {
+            data: b"line of repetitive content\n".repeat(200),
+        };
+        raw.put(&obj).unwrap();
+        compressed.put(&obj).unwrap();
+        assert!(compressed.total_bytes() < raw.total_bytes() / 2);
+    }
+}

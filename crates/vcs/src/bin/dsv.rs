@@ -1,0 +1,192 @@
+//! `dsv` — a command-line dataset version-control tool.
+//!
+//! The CLI face of the prototype system (the paper's §5 describes a
+//! client/server variant; this is the single-machine equivalent):
+//!
+//! ```text
+//! dsv init <repo-dir>
+//! dsv commit <repo-dir> <file> [-b branch] [-m message]
+//! dsv checkout <repo-dir> <version> [-o out-file]
+//! dsv log <repo-dir> [branch]
+//! dsv branch <repo-dir> <name> <version>
+//! dsv branches <repo-dir>
+//! dsv status <repo-dir>
+//! dsv optimize <repo-dir> <p1|p2|p3|p4|p5|p6> [bound]
+//! ```
+//!
+//! `optimize` bounds: p3/p4 take a storage budget in bytes; p5/p6 take a
+//! recreation threshold in bytes.
+
+use dsv_core::Problem;
+use dsv_storage::FileStore;
+use dsv_vcs::{persist, CommitId, Repository};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dsv: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "init" => {
+            let root = repo_dir(args, 1)?;
+            if root.join("meta.dsv").exists() {
+                return Err(format!("{} is already a repository", root.display()));
+            }
+            let store = FileStore::open(&root.join("objects"), true).map_err(stringify)?;
+            let repo: Repository<FileStore> = Repository::init(store);
+            persist::save(&repo, &root).map_err(stringify)?;
+            println!("initialized empty dsv repository at {}", root.display());
+            Ok(())
+        }
+        "commit" => {
+            let root = repo_dir(args, 1)?;
+            let file = args.get(2).ok_or("usage: dsv commit <repo> <file>")?;
+            let branch = flag_value(args, "-b").unwrap_or("main");
+            let message = flag_value(args, "-m").unwrap_or("(no message)");
+            let data = std::fs::read(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let mut repo = persist::load(&root, true).map_err(stringify)?;
+            let id = repo.commit(branch, &data, message).map_err(stringify)?;
+            persist::save(&repo, &root).map_err(stringify)?;
+            println!("committed {id} on '{branch}' ({} bytes)", data.len());
+            Ok(())
+        }
+        "checkout" => {
+            let root = repo_dir(args, 1)?;
+            let version = parse_version(args.get(2))?;
+            let repo = persist::load(&root, true).map_err(stringify)?;
+            let data = repo.checkout(version).map_err(stringify)?;
+            match flag_value(args, "-o") {
+                Some(path) => {
+                    std::fs::write(path, &data).map_err(|e| e.to_string())?;
+                    println!("checked out {version} to {path} ({} bytes)", data.len());
+                }
+                None => {
+                    use std::io::Write;
+                    std::io::stdout().write_all(&data).map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(())
+        }
+        "log" => {
+            let root = repo_dir(args, 1)?;
+            let branch = args.get(2).map(String::as_str).unwrap_or("main");
+            let repo = persist::load(&root, true).map_err(stringify)?;
+            for meta in repo.log(branch).map_err(stringify)? {
+                let merge = if meta.is_merge() { " (merge)" } else { "" };
+                println!("{}{merge}  {} bytes  {}", meta.id, meta.size, meta.message);
+            }
+            Ok(())
+        }
+        "branch" => {
+            let root = repo_dir(args, 1)?;
+            let name = args.get(2).ok_or("usage: dsv branch <repo> <name> <version>")?;
+            let from = parse_version(args.get(3))?;
+            let mut repo = persist::load(&root, true).map_err(stringify)?;
+            repo.branch(name, from).map_err(stringify)?;
+            persist::save(&repo, &root).map_err(stringify)?;
+            println!("branch '{name}' -> {from}");
+            Ok(())
+        }
+        "branches" => {
+            let root = repo_dir(args, 1)?;
+            let repo = persist::load(&root, true).map_err(stringify)?;
+            for (name, head) in repo.branches() {
+                println!("{name} -> {head}");
+            }
+            Ok(())
+        }
+        "status" => {
+            let root = repo_dir(args, 1)?;
+            let repo = persist::load(&root, true).map_err(stringify)?;
+            let materialized = repo
+                .current_plan()
+                .iter()
+                .filter(|p| p.is_none())
+                .count();
+            println!(
+                "{} versions, {} branches, {} materialized, {} bytes on disk",
+                repo.version_count(),
+                repo.branches().count(),
+                materialized,
+                repo.storage_bytes()
+            );
+            Ok(())
+        }
+        "optimize" => {
+            let root = repo_dir(args, 1)?;
+            let problem = parse_problem(args)?;
+            let mut repo = persist::load(&root, true).map_err(stringify)?;
+            let report = repo.optimize(problem, 5).map_err(stringify)?;
+            persist::save(&repo, &root).map_err(stringify)?;
+            println!(
+                "{}: {} -> {} bytes on disk ({} materialized, planned maxR {})",
+                report.problem,
+                report.storage_before,
+                report.storage_after,
+                report.materialized,
+                report.planned_max_recreation
+            );
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("usage: dsv <init|commit|checkout|log|branch|branches|status|optimize> ...");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try: dsv help)")),
+    }
+}
+
+fn repo_dir(args: &[String], idx: usize) -> Result<PathBuf, String> {
+    args.get(idx)
+        .map(|s| Path::new(s).to_path_buf())
+        .ok_or_else(|| "missing repository directory".to_owned())
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_version(arg: Option<&String>) -> Result<CommitId, String> {
+    let s = arg.ok_or("missing version (e.g. v3)")?;
+    let digits = s.strip_prefix('v').unwrap_or(s);
+    digits
+        .parse::<u32>()
+        .map(CommitId)
+        .map_err(|_| format!("invalid version '{s}'"))
+}
+
+fn parse_problem(args: &[String]) -> Result<Problem, String> {
+    let which = args.get(2).map(String::as_str).unwrap_or("p1");
+    let bound = || -> Result<u64, String> {
+        args.get(3)
+            .ok_or_else(|| format!("{which} needs a bound in bytes"))?
+            .parse::<u64>()
+            .map_err(|e| e.to_string())
+    };
+    Ok(match which {
+        "p1" => Problem::MinStorage,
+        "p2" => Problem::MinRecreation,
+        "p3" => Problem::MinSumRecreationGivenStorage { beta: bound()? },
+        "p4" => Problem::MinMaxRecreationGivenStorage { beta: bound()? },
+        "p5" => Problem::MinStorageGivenSumRecreation { theta: bound()? },
+        "p6" => Problem::MinStorageGivenMaxRecreation { theta: bound()? },
+        other => return Err(format!("unknown problem '{other}' (p1..p6)")),
+    })
+}
+
+fn stringify(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}

@@ -1,0 +1,68 @@
+//! Commit identity and metadata.
+
+/// A commit (= dataset version) identifier: a dense index into the
+/// repository's version list, assigned in commit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommitId(pub u32);
+
+impl CommitId {
+    /// The commit's position, usable as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CommitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Metadata recorded per commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitMeta {
+    /// This commit's id.
+    pub id: CommitId,
+    /// Parent commits (empty for a root, two or more for a merge).
+    pub parents: Vec<CommitId>,
+    /// Commit message.
+    pub message: String,
+    /// Logical timestamp (commit order).
+    pub sequence: u64,
+    /// Raw size of the committed version in bytes.
+    pub size: u64,
+}
+
+impl CommitMeta {
+    /// Whether this commit merged multiple parents.
+    pub fn is_merge(&self) -> bool {
+        self.parents.len() >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let id = CommitId(7);
+        assert_eq!(id.to_string(), "v7");
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn merge_detection() {
+        let mut m = CommitMeta {
+            id: CommitId(2),
+            parents: vec![CommitId(0), CommitId(1)],
+            message: "merge".into(),
+            sequence: 2,
+            size: 10,
+        };
+        assert!(m.is_merge());
+        m.parents.pop();
+        assert!(!m.is_merge());
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! A prototype dataset version-management system.
+//!
+//! This is the system of the paper's §5: a Git/SVN-like interface for
+//! dataset versioning, built over the optimizer (dsv-core) and the object
+//! store (dsv-storage). Users `commit` dataset versions, `branch`, perform
+//! merges themselves (the system records a commit with multiple parents —
+//! "unlike traditional VCS … we let the user perform the merge"), and
+//! `checkout` any version. [`Repository::optimize`] re-packs the
+//! repository under any of the paper's six problems, trading storage for
+//! recreation cost on demand.
+//!
+//! ```
+//! use dsv_vcs::Repository;
+//! use dsv_core::Problem;
+//!
+//! let mut repo = Repository::in_memory();
+//! let v0 = repo.commit("main", b"a,b\n1,2\n", "initial").unwrap();
+//! repo.branch("exp", v0).unwrap();
+//! let v1 = repo.commit("exp", b"a,b\n1,2\n3,4\n", "add row").unwrap();
+//! assert_eq!(repo.checkout(v1).unwrap(), b"a,b\n1,2\n3,4\n");
+//! let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+//! assert!(report.storage_after <= report.storage_before);
+//! ```
+
+pub mod commit;
+pub mod error;
+pub mod optimize;
+pub mod persist;
+pub mod repo;
+
+pub use commit::{CommitId, CommitMeta};
+pub use error::VcsError;
+pub use optimize::OptimizeReport;
+pub use repo::Repository;

@@ -1,0 +1,284 @@
+//! Repository re-packing under the paper's optimization problems.
+//!
+//! `optimize` is the paper's contribution made operational: materialize
+//! the history, reveal deltas around the commit DAG, solve the chosen
+//! [`Problem`], re-pack the object store along the resulting storage
+//! graph, and garbage-collect the objects the old plan used.
+
+use crate::commit::CommitId;
+use crate::error::VcsError;
+use crate::repo::Repository;
+use dsv_core::{solve, CostMatrix, CostPair, Problem, ProblemInstance};
+use dsv_delta::bytes_delta;
+use dsv_storage::{pack_versions, Materializer, ObjectStore, PackOptions};
+use std::collections::{HashSet, VecDeque};
+
+/// What an [`Repository::optimize`] call achieved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeReport {
+    /// Problem that was solved.
+    pub problem: Problem,
+    /// Physical store bytes before re-packing.
+    pub storage_before: u64,
+    /// Physical store bytes after re-packing and GC.
+    pub storage_after: u64,
+    /// Number of versions now materialized.
+    pub materialized: usize,
+    /// Predicted total storage cost of the chosen plan (matrix units).
+    pub planned_storage_cost: u64,
+    /// Predicted maximum recreation cost of the chosen plan.
+    pub planned_max_recreation: u64,
+    /// Predicted sum of recreation costs.
+    pub planned_sum_recreation: u64,
+}
+
+impl<S: ObjectStore> Repository<S> {
+    /// Rebuilds the repository's storage layout by solving `problem` over
+    /// deltas revealed within `reveal_hops` of the commit DAG.
+    pub fn optimize(
+        &mut self,
+        problem: Problem,
+        reveal_hops: usize,
+    ) -> Result<OptimizeReport, VcsError> {
+        let n = self.version_count();
+        if n == 0 {
+            return Err(VcsError::EmptyRepository);
+        }
+        let storage_before = self.store.total_bytes();
+
+        // Materialize every version once (cached chain walks).
+        let contents: Vec<Vec<u8>> = {
+            let m = Materializer::with_cache(&self.store);
+            let mut out = Vec::with_capacity(n);
+            for id in &self.objects {
+                out.push(m.materialize(*id)?.as_ref().clone());
+            }
+            out
+        };
+
+        // Build the instance: Φ = Δ over real byte-delta sizes.
+        let diag: Vec<CostPair> = contents
+            .iter()
+            .map(|c| CostPair::proportional(c.len() as u64))
+            .collect();
+        let mut matrix = CostMatrix::directed(diag);
+        for (a, b) in self.pairs_within_hops(reveal_hops) {
+            let fwd = bytes_delta::encode(&bytes_delta::diff(
+                &contents[a as usize],
+                &contents[b as usize],
+            ));
+            matrix.reveal(a, b, CostPair::proportional(fwd.len() as u64));
+            let rev = bytes_delta::encode(&bytes_delta::diff(
+                &contents[b as usize],
+                &contents[a as usize],
+            ));
+            matrix.reveal(b, a, CostPair::proportional(rev.len() as u64));
+        }
+        let instance = ProblemInstance::new(matrix);
+        let solution = solve(&instance, problem)?;
+
+        // Re-pack along the chosen storage graph, then GC stale objects.
+        let old_ids: HashSet<_> = self.objects.iter().copied().collect();
+        let packed = pack_versions(
+            &self.store,
+            &contents,
+            solution.parents(),
+            PackOptions::default(),
+        )?;
+        let new_ids: HashSet<_> = packed.ids.iter().copied().collect();
+        for stale in old_ids.difference(&new_ids) {
+            self.store.remove(*stale);
+        }
+        self.objects = packed.ids;
+        self.plan = solution.parents().to_vec();
+
+        Ok(OptimizeReport {
+            problem,
+            storage_before,
+            storage_after: self.store.total_bytes(),
+            materialized: solution.materialized().count(),
+            planned_storage_cost: solution.storage_cost(),
+            planned_max_recreation: solution.max_recreation(),
+            planned_sum_recreation: solution.sum_recreation(),
+        })
+    }
+
+    /// Unordered commit pairs within `hops` in the (undirected) commit
+    /// DAG — the reveal strategy for optimize.
+    fn pairs_within_hops(&self, hops: usize) -> Vec<(u32, u32)> {
+        let n = self.version_count();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for meta in &self.commits {
+            for p in &meta.parents {
+                adj[meta.id.index()].push(p.0);
+                adj[p.index()].push(meta.id.0);
+            }
+        }
+        let mut out = Vec::new();
+        let mut dist = vec![u32::MAX; n];
+        let mut touched = Vec::new();
+        let mut queue = VecDeque::new();
+        for s in 0..n as u32 {
+            dist[s as usize] = 0;
+            touched.push(s);
+            queue.push_back(s);
+            while let Some(v) = queue.pop_front() {
+                let d = dist[v as usize];
+                if d as usize >= hops {
+                    continue;
+                }
+                for &u in &adj[v as usize] {
+                    if dist[u as usize] == u32::MAX {
+                        dist[u as usize] = d + 1;
+                        touched.push(u);
+                        if u > s {
+                            out.push((s, u));
+                        }
+                        queue.push_back(u);
+                    }
+                }
+            }
+            for &t in &touched {
+                dist[t as usize] = u32::MAX;
+            }
+            touched.clear();
+        }
+        out
+    }
+
+    /// Convenience: measured recreation work (bytes fetched + produced)
+    /// for checking out `id` under the current plan.
+    pub fn checkout_work(&self, id: CommitId) -> Result<u64, VcsError> {
+        self.meta(id)?;
+        let m = Materializer::new(&self.store);
+        let (_, work) = m.materialize_measured(self.objects[id.index()])?;
+        Ok(work.bytes_read + work.bytes_written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_storage::MemStore;
+
+    /// A repo with a mainline and one long side chain, sized so the
+    /// tradeoff is visible.
+    fn populated() -> Repository<MemStore> {
+        let mut repo = Repository::in_memory();
+        let row = |i: usize| format!("{i},payload-{},2015\n", i * 31);
+        let csv_of = |rows: std::ops::Range<usize>| -> Vec<u8> {
+            let mut out = b"id,payload,year\n".to_vec();
+            for i in rows {
+                out.extend_from_slice(row(i).as_bytes());
+            }
+            out
+        };
+        let v0 = repo.commit("main", &csv_of(0..300), "base").unwrap();
+        for k in 1..=6 {
+            repo.commit("main", &csv_of(0..300 + k * 5), "grow").unwrap();
+        }
+        repo.branch("side", v0).unwrap();
+        for k in 1..=6 {
+            repo.commit("side", &csv_of(k..300), "shrink").unwrap();
+        }
+        repo
+    }
+
+    #[test]
+    fn optimize_min_storage_shrinks_the_store() {
+        let mut repo = populated();
+        // Inflate: force-materialize everything first via an optimize
+        // with hop 0 reveals... simpler: measure after MinStorage and
+        // compare with naive total.
+        let naive: u64 = (0..repo.version_count() as u32)
+            .map(|v| repo.meta(CommitId(v)).unwrap().size)
+            .sum();
+        let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+        assert!(report.storage_after < naive / 2);
+        assert_eq!(report.materialized, 1);
+        // Contents still intact.
+        for v in 0..repo.version_count() as u32 {
+            assert!(!repo.checkout(CommitId(v)).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn optimize_min_recreation_materializes_everything() {
+        let mut repo = populated();
+        let report = repo.optimize(Problem::MinRecreation, 4).unwrap();
+        // With Φ = Δ and real diffs, materializing is optimal per version
+        // unless a chain is cheaper — for grown/shrunk CSVs most versions
+        // should materialize.
+        assert!(report.materialized >= repo.version_count() / 2);
+    }
+
+    #[test]
+    fn optimize_respects_max_recreation_threshold() {
+        let mut repo = populated();
+        let max_size = (0..repo.version_count() as u32)
+            .map(|v| repo.meta(CommitId(v)).unwrap().size)
+            .max()
+            .unwrap();
+        let theta = max_size * 3 / 2;
+        let report = repo
+            .optimize(Problem::MinStorageGivenMaxRecreation { theta }, 4)
+            .unwrap();
+        assert!(report.planned_max_recreation <= theta);
+        // For an uncompressed store with Φ = Δ, the *measured* bytes read
+        // during checkout equal the plan's predicted recreation cost: the
+        // matrix was built from the same byte-delta encoder that packed
+        // the objects. This ties prediction to reality per version.
+        let m = Materializer::new(&repo.store);
+        for v in 0..repo.version_count() as u32 {
+            let (_, work) = m
+                .materialize_measured(repo.objects[v as usize])
+                .unwrap();
+            assert!(
+                work.bytes_read <= theta,
+                "v{v}: read {} vs theta {theta}",
+                work.bytes_read
+            );
+        }
+    }
+
+    #[test]
+    fn optimize_gc_reclaims_old_objects() {
+        let mut repo = populated();
+        repo.optimize(Problem::MinRecreation, 4).unwrap();
+        let after_spt = repo.storage_bytes();
+        let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+        assert_eq!(report.storage_before, after_spt);
+        assert!(report.storage_after < after_spt);
+    }
+
+    #[test]
+    fn roundtrip_after_repeated_optimizes() {
+        let mut repo = populated();
+        let snapshots: Vec<Vec<u8>> = (0..repo.version_count() as u32)
+            .map(|v| repo.checkout(CommitId(v)).unwrap())
+            .collect();
+        for problem in [
+            Problem::MinStorage,
+            Problem::MinRecreation,
+            Problem::MinStorage,
+        ] {
+            repo.optimize(problem, 3).unwrap();
+            for (v, expected) in snapshots.iter().enumerate() {
+                assert_eq!(
+                    &repo.checkout(CommitId(v as u32)).unwrap(),
+                    expected,
+                    "content must survive repacking (v{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_repo_rejected() {
+        let mut repo = Repository::in_memory();
+        assert!(matches!(
+            repo.optimize(Problem::MinStorage, 2),
+            Err(VcsError::EmptyRepository)
+        ));
+    }
+}

@@ -1,0 +1,243 @@
+//! On-disk repository persistence.
+//!
+//! Layout of a repository directory:
+//!
+//! ```text
+//! <root>/meta.dsv     line-based metadata (versions, branches, plan)
+//! <root>/objects/     content-addressed object files (FileStore)
+//! ```
+//!
+//! The metadata format is a deliberately simple, versioned text format —
+//! one record per line, fields space-separated, the commit message last
+//! (newlines in messages are flattened to spaces on save; a prototype
+//! limitation matching the paper's system).
+
+use crate::commit::{CommitId, CommitMeta};
+use crate::error::VcsError;
+use crate::repo::Repository;
+use dsv_storage::{FileStore, ObjectId, StoreError};
+use std::fmt::Write as _;
+use std::path::Path;
+
+const MAGIC: &str = "dsv-meta v1";
+
+/// Serializes repository metadata (not objects — those live in the
+/// FileStore) to `<root>/meta.dsv`.
+pub fn save<S: dsv_storage::ObjectStore>(
+    repo: &Repository<S>,
+    root: &Path,
+) -> Result<(), VcsError> {
+    std::fs::create_dir_all(root).map_err(StoreError::from)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let branches: Vec<(&str, CommitId)> = repo.branches().collect();
+    let _ = writeln!(out, "branches {}", branches.len());
+    for (name, head) in branches {
+        let _ = writeln!(out, "{} {}", head.0, name);
+    }
+    let _ = writeln!(out, "commits {}", repo.version_count());
+    for v in 0..repo.version_count() as u32 {
+        let meta = repo.meta(CommitId(v)).expect("in range");
+        let parents = if meta.parents.is_empty() {
+            "-".to_owned()
+        } else {
+            meta.parents
+                .iter()
+                .map(|p| p.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let plan = match repo.current_plan()[v as usize] {
+            None => "-".to_owned(),
+            Some(p) => p.to_string(),
+        };
+        let object = repo.object_id(CommitId(v)).to_hex();
+        let message = meta.message.replace('\n', " ");
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {}",
+            meta.size, meta.sequence, parents, plan, object, message
+        );
+    }
+    std::fs::write(root.join("meta.dsv"), out).map_err(StoreError::from)?;
+    Ok(())
+}
+
+/// Loads a repository whose objects live in `<root>/objects`.
+pub fn load(root: &Path, compress: bool) -> Result<Repository<FileStore>, VcsError> {
+    let store = FileStore::open(&root.join("objects"), compress)?;
+    let text = std::fs::read_to_string(root.join("meta.dsv")).map_err(StoreError::from)?;
+    let mut lines = text.lines();
+    let magic = lines.next().ok_or_else(corrupt)?;
+    if magic != MAGIC {
+        return Err(corrupt());
+    }
+
+    let (tag, count) = split_header(lines.next().ok_or_else(corrupt)?)?;
+    if tag != "branches" {
+        return Err(corrupt());
+    }
+    let mut branches = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = lines.next().ok_or_else(corrupt)?;
+        let (head, name) = line.split_once(' ').ok_or_else(corrupt)?;
+        let head: u32 = head.parse().map_err(|_| corrupt())?;
+        branches.push((name.to_owned(), CommitId(head)));
+    }
+
+    let (tag, count) = split_header(lines.next().ok_or_else(corrupt)?)?;
+    if tag != "commits" {
+        return Err(corrupt());
+    }
+    let mut commits = Vec::with_capacity(count);
+    let mut plan = Vec::with_capacity(count);
+    let mut objects = Vec::with_capacity(count);
+    for v in 0..count as u32 {
+        let line = lines.next().ok_or_else(corrupt)?;
+        let mut fields = line.splitn(6, ' ');
+        let size: u64 = next_field(&mut fields)?.parse().map_err(|_| corrupt())?;
+        let sequence: u64 = next_field(&mut fields)?.parse().map_err(|_| corrupt())?;
+        let parents_str = next_field(&mut fields)?;
+        let plan_str = next_field(&mut fields)?;
+        let object_hex = next_field(&mut fields)?;
+        let message = fields.next().unwrap_or("").to_owned();
+
+        let parents = if parents_str == "-" {
+            Vec::new()
+        } else {
+            parents_str
+                .split(',')
+                .map(|p| p.parse::<u32>().map(CommitId).map_err(|_| corrupt()))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let plan_parent = if plan_str == "-" {
+            None
+        } else {
+            Some(plan_str.parse::<u32>().map_err(|_| corrupt())?)
+        };
+        let object = ObjectId::from_hex(object_hex).ok_or_else(corrupt)?;
+        if !dsv_storage::ObjectStore::contains(&store, object) {
+            return Err(VcsError::Store(StoreError::NotFound(object)));
+        }
+        commits.push(CommitMeta {
+            id: CommitId(v),
+            parents,
+            message,
+            sequence,
+            size,
+        });
+        plan.push(plan_parent);
+        objects.push(object);
+    }
+
+    Repository::from_parts(store, commits, plan, objects, branches)
+}
+
+fn corrupt() -> VcsError {
+    VcsError::Store(StoreError::Corrupt("malformed meta.dsv"))
+}
+
+fn split_header(line: &str) -> Result<(&str, usize), VcsError> {
+    let (tag, n) = line.split_once(' ').ok_or_else(corrupt)?;
+    Ok((tag, n.parse().map_err(|_| corrupt())?))
+}
+
+fn next_field<'a>(fields: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, VcsError> {
+    fields.next().ok_or_else(corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_core::Problem;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsv-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn populated(root: &Path) -> Repository<FileStore> {
+        let store = FileStore::open(&root.join("objects"), false).unwrap();
+        let mut repo = Repository::init(store);
+        let v0 = repo
+            .commit("main", b"a,b\n1,2\n3,4\n", "initial import")
+            .unwrap();
+        repo.branch("dev", v0).unwrap();
+        repo.commit("dev", b"a,b\n1,2\n3,4\n5,6\n", "add row").unwrap();
+        repo.commit("main", b"a,b\n9,9\n3,4\n", "fix cell\nwith newline")
+            .unwrap();
+        repo
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let root = tmpdir("roundtrip");
+        let repo = populated(&root);
+        save(&repo, &root).unwrap();
+        let loaded = load(&root, false).unwrap();
+
+        assert_eq!(loaded.version_count(), repo.version_count());
+        for v in 0..repo.version_count() as u32 {
+            assert_eq!(
+                loaded.checkout(CommitId(v)).unwrap(),
+                repo.checkout(CommitId(v)).unwrap(),
+                "v{v}"
+            );
+            let a = loaded.meta(CommitId(v)).unwrap();
+            let b = repo.meta(CommitId(v)).unwrap();
+            assert_eq!(a.parents, b.parents);
+            assert_eq!(a.size, b.size);
+        }
+        let mut a: Vec<_> = loaded.branches().map(|(n, h)| (n.to_owned(), h)).collect();
+        let mut b: Vec<_> = repo.branches().map(|(n, h)| (n.to_owned(), h)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Newlines in messages are flattened, not lost.
+        assert!(loaded.meta(CommitId(2)).unwrap().message.contains("fix cell"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn optimize_then_persist_then_reload() {
+        let root = tmpdir("optimize");
+        let mut repo = populated(&root);
+        repo.optimize(Problem::MinStorage, 3).unwrap();
+        save(&repo, &root).unwrap();
+        let loaded = load(&root, false).unwrap();
+        for v in 0..repo.version_count() as u32 {
+            assert_eq!(
+                loaded.checkout(CommitId(v)).unwrap(),
+                repo.checkout(CommitId(v)).unwrap()
+            );
+        }
+        assert_eq!(loaded.current_plan(), repo.current_plan());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        let root = tmpdir("corrupt");
+        let repo = populated(&root);
+        save(&repo, &root).unwrap();
+        std::fs::write(root.join("meta.dsv"), "not a meta file\n").unwrap();
+        assert!(load(&root, false).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_detects_missing_objects() {
+        let root = tmpdir("missing");
+        let repo = populated(&root);
+        save(&repo, &root).unwrap();
+        // Blow away the object files.
+        std::fs::remove_dir_all(root.join("objects")).unwrap();
+        std::fs::create_dir_all(root.join("objects")).unwrap();
+        assert!(matches!(
+            load(&root, false),
+            Err(VcsError::Store(StoreError::NotFound(_)))
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,435 @@
+//! The repository: commits, branches, merges, checkout.
+
+use crate::commit::{CommitId, CommitMeta};
+use crate::error::VcsError;
+use dsv_delta::bytes_delta;
+use dsv_storage::{Materializer, MemStore, Object, ObjectId, ObjectStore};
+use std::collections::BTreeMap;
+
+/// A dataset version repository over an object store `S`.
+///
+/// Commits store one dataset (a byte string) per version. New commits are
+/// placed greedily — as a delta from their first parent when that beats
+/// materialization — and [`Repository::optimize`](crate::Repository)
+/// re-packs the whole history under one of the paper's problems.
+pub struct Repository<S: ObjectStore> {
+    pub(crate) store: S,
+    pub(crate) commits: Vec<CommitMeta>,
+    /// Current storage plan: `None` = materialized.
+    pub(crate) plan: Vec<Option<u32>>,
+    /// Object holding each version under the current plan.
+    pub(crate) objects: Vec<ObjectId>,
+    branches: BTreeMap<String, CommitId>,
+}
+
+impl Repository<MemStore> {
+    /// An in-memory repository (uncompressed store).
+    pub fn in_memory() -> Self {
+        Repository::init(MemStore::new(false))
+    }
+
+    /// An in-memory repository with a compressing store (the `Φ ≠ Δ`
+    /// regime).
+    pub fn in_memory_compressed() -> Self {
+        Repository::init(MemStore::new(true))
+    }
+}
+
+impl<S: ObjectStore> Repository<S> {
+    /// Creates an empty repository over `store`.
+    pub fn init(store: S) -> Self {
+        Repository {
+            store,
+            commits: Vec::new(),
+            plan: Vec::new(),
+            objects: Vec::new(),
+            branches: BTreeMap::new(),
+        }
+    }
+
+    /// Number of commits.
+    pub fn version_count(&self) -> usize {
+        self.commits.len()
+    }
+
+    /// Commit metadata.
+    pub fn meta(&self, id: CommitId) -> Result<&CommitMeta, VcsError> {
+        self.commits
+            .get(id.index())
+            .ok_or(VcsError::UnknownCommit(id.0))
+    }
+
+    /// All branch names with their heads.
+    pub fn branches(&self) -> impl Iterator<Item = (&str, CommitId)> {
+        self.branches.iter().map(|(n, &h)| (n.as_str(), h))
+    }
+
+    /// Head of a branch.
+    pub fn head(&self, branch: &str) -> Result<CommitId, VcsError> {
+        self.branches
+            .get(branch)
+            .copied()
+            .ok_or_else(|| VcsError::UnknownBranch(branch.to_owned()))
+    }
+
+    /// Creates a branch pointing at `from`.
+    pub fn branch(&mut self, name: &str, from: CommitId) -> Result<(), VcsError> {
+        self.meta(from)?;
+        if self.branches.contains_key(name) {
+            return Err(VcsError::BranchExists(name.to_owned()));
+        }
+        self.branches.insert(name.to_owned(), from);
+        Ok(())
+    }
+
+    /// Commits `data` on `branch`. The first commit of the repository
+    /// creates the branch implicitly; later commits require it to exist.
+    pub fn commit(
+        &mut self,
+        branch: &str,
+        data: &[u8],
+        message: &str,
+    ) -> Result<CommitId, VcsError> {
+        self.commit_bounded(branch, data, message, None)
+    }
+
+    /// Like [`commit`](Self::commit), but materializes the new version
+    /// whenever storing it as a delta would push its recreation work
+    /// (bytes fetched along the chain) above `max_recreation_bytes` — the
+    /// online flavour of the paper's Problem 6, applied at commit time so
+    /// checkout latency stays bounded between `optimize` runs.
+    pub fn commit_bounded(
+        &mut self,
+        branch: &str,
+        data: &[u8],
+        message: &str,
+        max_recreation_bytes: Option<u64>,
+    ) -> Result<CommitId, VcsError> {
+        let parent = match self.branches.get(branch) {
+            Some(&head) => Some(head),
+            None if self.commits.is_empty() => None,
+            None => return Err(VcsError::UnknownBranch(branch.to_owned())),
+        };
+        let parents: Vec<CommitId> = parent.into_iter().collect();
+        let id = self.record_commit(&parents, data, message, max_recreation_bytes)?;
+        self.branches.insert(branch.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Records a user-performed merge of `other` into `branch`: `data` is
+    /// the merged content the user produced; the commit gets both parents.
+    pub fn merge(
+        &mut self,
+        branch: &str,
+        other: CommitId,
+        data: &[u8],
+        message: &str,
+    ) -> Result<CommitId, VcsError> {
+        let head = self.head(branch)?;
+        self.meta(other)?;
+        if head == other {
+            return Err(VcsError::DegenerateMerge);
+        }
+        let id = self.record_commit(&[head, other], data, message, None)?;
+        self.branches.insert(branch.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Recreation work (bytes fetched) of checking out `id` under the
+    /// current plan — the quantity `commit_bounded` budgets.
+    fn recreation_bytes(&self, id: CommitId) -> Result<u64, VcsError> {
+        let m = Materializer::new(&self.store);
+        let (_, work) = m.materialize_measured(self.objects[id.index()])?;
+        Ok(work.bytes_read)
+    }
+
+    fn record_commit(
+        &mut self,
+        parents: &[CommitId],
+        data: &[u8],
+        message: &str,
+        max_recreation_bytes: Option<u64>,
+    ) -> Result<CommitId, VcsError> {
+        let id = CommitId(self.commits.len() as u32);
+        // Greedy online placement: delta off the first parent when it
+        // beats materialization (the offline optimizer revisits this) and,
+        // if a recreation budget is set, when the resulting chain stays
+        // within it.
+        let (object, plan_parent) = match parents.first() {
+            Some(&p) => {
+                let base = self.checkout(p)?;
+                let ops = bytes_delta::diff(&base, data);
+                let encoded = bytes_delta::encode(&ops);
+                let chain_ok = match max_recreation_bytes {
+                    None => true,
+                    Some(theta) => {
+                        self.recreation_bytes(p)?.saturating_add(encoded.len() as u64) <= theta
+                    }
+                };
+                if encoded.len() < data.len() && chain_ok {
+                    (
+                        Object::Delta {
+                            base: self.objects[p.index()],
+                            delta: encoded,
+                        },
+                        Some(p.0),
+                    )
+                } else {
+                    (
+                        Object::Full {
+                            data: data.to_vec(),
+                        },
+                        None,
+                    )
+                }
+            }
+            None => (
+                Object::Full {
+                    data: data.to_vec(),
+                },
+                None,
+            ),
+        };
+        let oid = self.store.put(&object)?;
+        self.objects.push(oid);
+        self.plan.push(plan_parent);
+        self.commits.push(CommitMeta {
+            id,
+            parents: parents.to_vec(),
+            message: message.to_owned(),
+            sequence: id.0 as u64,
+            size: data.len() as u64,
+        });
+        Ok(id)
+    }
+
+    /// Reconstructs the content of a commit.
+    pub fn checkout(&self, id: CommitId) -> Result<Vec<u8>, VcsError> {
+        self.meta(id)?;
+        let m = Materializer::new(&self.store);
+        Ok(m.materialize(self.objects[id.index()])?.as_ref().clone())
+    }
+
+    /// First-parent history of a branch, newest first.
+    pub fn log(&self, branch: &str) -> Result<Vec<&CommitMeta>, VcsError> {
+        let mut cur = Some(self.head(branch)?);
+        let mut out = Vec::new();
+        while let Some(id) = cur {
+            let meta = self.meta(id)?;
+            out.push(meta);
+            cur = meta.parents.first().copied();
+        }
+        Ok(out)
+    }
+
+    /// Physical bytes currently used by the store.
+    pub fn storage_bytes(&self) -> u64 {
+        self.store.total_bytes()
+    }
+
+    /// The current storage plan (parent assignment).
+    pub fn current_plan(&self) -> &[Option<u32>] {
+        &self.plan
+    }
+
+    /// The object currently holding a commit's content.
+    pub fn object_id(&self, id: CommitId) -> dsv_storage::ObjectId {
+        self.objects[id.index()]
+    }
+
+    /// Reassembles a repository from persisted parts (see
+    /// [`crate::persist`]). Validates branch heads and array lengths.
+    pub fn from_parts(
+        store: S,
+        commits: Vec<CommitMeta>,
+        plan: Vec<Option<u32>>,
+        objects: Vec<ObjectId>,
+        branches: Vec<(String, CommitId)>,
+    ) -> Result<Self, VcsError> {
+        if commits.len() != plan.len() || commits.len() != objects.len() {
+            return Err(VcsError::Store(dsv_storage::StoreError::Corrupt(
+                "metadata arrays disagree in length",
+            )));
+        }
+        let n = commits.len() as u32;
+        let mut map = BTreeMap::new();
+        for (name, head) in branches {
+            if head.0 >= n {
+                return Err(VcsError::UnknownCommit(head.0));
+            }
+            map.insert(name, head);
+        }
+        Ok(Repository {
+            store,
+            commits,
+            plan,
+            objects,
+            branches: map,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csv(rows: usize, tag: &str) -> Vec<u8> {
+        let mut out = b"id,value\n".to_vec();
+        for i in 0..rows {
+            out.extend_from_slice(format!("{i},{tag}-{}\n", i * 3).as_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn commit_and_checkout_roundtrip() {
+        let mut repo = Repository::in_memory();
+        let data = csv(50, "a");
+        let v0 = repo.commit("main", &data, "init").unwrap();
+        assert_eq!(repo.checkout(v0).unwrap(), data);
+        assert_eq!(repo.version_count(), 1);
+    }
+
+    #[test]
+    fn chained_commits_store_deltas() {
+        let mut repo = Repository::in_memory();
+        let base = csv(500, "a");
+        repo.commit("main", &base, "init").unwrap();
+        let mut v1 = base.clone();
+        v1.extend_from_slice(b"500,extra\n");
+        let id1 = repo.commit("main", &v1, "append").unwrap();
+        // Second commit must be stored as a delta.
+        assert_eq!(repo.current_plan()[1], Some(0));
+        assert_eq!(repo.checkout(id1).unwrap(), v1);
+        // Store footprint far below two full copies.
+        assert!(repo.storage_bytes() < 2 * base.len() as u64);
+    }
+
+    #[test]
+    fn unrelated_content_materializes() {
+        let mut repo = Repository::in_memory();
+        repo.commit("main", &csv(50, "a"), "init").unwrap();
+        // Totally different content: delta would be larger than full.
+        let noise: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        repo.commit("main", &noise, "binary blob").unwrap();
+        assert_eq!(repo.current_plan()[1], None);
+    }
+
+    #[test]
+    fn branches_and_merge() {
+        let mut repo = Repository::in_memory();
+        let v0 = repo.commit("main", &csv(100, "base"), "init").unwrap();
+        repo.branch("team1", v0).unwrap();
+        repo.branch("team2", v0).unwrap();
+        let a = repo.commit("team1", &csv(101, "base"), "team1 row").unwrap();
+        let b = repo.commit("team2", &csv(100, "edit"), "team2 edit").unwrap();
+        let merged = repo
+            .merge("team1", b, &csv(101, "edit"), "merge team2")
+            .unwrap();
+        let meta = repo.meta(merged).unwrap();
+        assert!(meta.is_merge());
+        assert_eq!(meta.parents, vec![a, b]);
+        assert_eq!(repo.checkout(merged).unwrap(), csv(101, "edit"));
+    }
+
+    #[test]
+    fn log_walks_first_parents() {
+        let mut repo = Repository::in_memory();
+        let v0 = repo.commit("main", &csv(10, "a"), "one").unwrap();
+        let v1 = repo.commit("main", &csv(11, "a"), "two").unwrap();
+        let v2 = repo.commit("main", &csv(12, "a"), "three").unwrap();
+        let log = repo.log("main").unwrap();
+        let ids: Vec<CommitId> = log.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![v2, v1, v0]);
+        assert_eq!(log[0].message, "three");
+    }
+
+    #[test]
+    fn branch_errors() {
+        let mut repo = Repository::in_memory();
+        let v0 = repo.commit("main", &csv(5, "x"), "init").unwrap();
+        assert!(matches!(
+            repo.commit("ghost", b"data", "no such branch"),
+            Err(VcsError::UnknownBranch(_))
+        ));
+        repo.branch("dev", v0).unwrap();
+        assert!(matches!(
+            repo.branch("dev", v0),
+            Err(VcsError::BranchExists(_))
+        ));
+        assert!(matches!(
+            repo.branch("dev2", CommitId(99)),
+            Err(VcsError::UnknownCommit(99))
+        ));
+    }
+
+    #[test]
+    fn degenerate_merge_rejected() {
+        let mut repo = Repository::in_memory();
+        let v0 = repo.commit("main", &csv(5, "x"), "init").unwrap();
+        assert!(matches!(
+            repo.merge("main", v0, b"data", "self merge"),
+            Err(VcsError::DegenerateMerge)
+        ));
+    }
+
+    #[test]
+    fn bounded_commit_caps_chain_depth() {
+        // A long series of appends: unbounded commits chain forever;
+        // bounded commits rematerialize once the chain's fetch bytes
+        // would exceed θ.
+        let base = csv(400, "x");
+        // Budget: the base plus a few hundred delta bytes.
+        let theta = base.len() as u64 + 400;
+        let mut unbounded = Repository::in_memory();
+        let mut bounded = Repository::in_memory();
+        let mut data = base.clone();
+        unbounded.commit("main", &data, "v0").unwrap();
+        bounded.commit_bounded("main", &data, "v0", Some(theta)).unwrap();
+        for i in 0..30 {
+            data.extend_from_slice(
+                format!("{},appended-payload-row-number-{i}-padding-padding\n", 400 + i)
+                    .as_bytes(),
+            );
+            unbounded.commit("main", &data, "grow").unwrap();
+            bounded
+                .commit_bounded("main", &data, "grow", Some(theta))
+                .unwrap();
+        }
+        // Unbounded: a single materialized root.
+        assert_eq!(unbounded.current_plan().iter().filter(|p| p.is_none()).count(), 1);
+        // Bounded: several materializations, and every checkout within θ
+        // (or the version's own size, for versions that outgrew θ and must
+        // be fetched whole).
+        let materialized = bounded.current_plan().iter().filter(|p| p.is_none()).count();
+        assert!(materialized > 1, "budget must force rematerialization");
+        for v in 0..bounded.version_count() as u32 {
+            let work = bounded.recreation_bytes(CommitId(v)).unwrap();
+            let own = bounded.meta(CommitId(v)).unwrap().size;
+            assert!(work <= theta.max(own), "v{v}: {work} > {theta}");
+            assert_eq!(bounded.checkout(CommitId(v)).unwrap().len(), unbounded.checkout(CommitId(v)).unwrap().len());
+        }
+        // The budget costs storage, as the tradeoff demands.
+        assert!(bounded.storage_bytes() > unbounded.storage_bytes());
+    }
+
+    #[test]
+    fn compressed_store_is_smaller() {
+        // Realistic tabular data repeats categorical values heavily.
+        let mut data = b"id,species,origin\n".to_vec();
+        for i in 0..800 {
+            data.extend_from_slice(
+                format!("{i},saccharomyces-cerevisiae,laboratory-strain-collection\n").as_bytes(),
+            );
+        }
+        let build = |mut repo: Repository<MemStore>| {
+            repo.commit("main", &data, "init").unwrap();
+            repo.storage_bytes()
+        };
+        let raw = build(Repository::in_memory());
+        let compressed = build(Repository::in_memory_compressed());
+        assert!(compressed < raw / 2, "{compressed} vs {raw}");
+    }
+}

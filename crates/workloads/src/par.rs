@@ -1,0 +1,81 @@
+//! Minimal data-parallel helper for delta computation.
+//!
+//! Building a dataset computes tens of thousands of independent diffs —
+//! embarrassingly parallel work that dominates generator runtime. This is
+//! a dependency-free scoped-thread map preserving input order; it is not a
+//! general-purpose thread pool (chunks are static, work per item is
+//! assumed roughly uniform, which holds for diffs over similarly-sized
+//! versions).
+
+/// Applies `f` to every item, splitting the input across up to
+/// `max_threads` OS threads (or available parallelism, whichever is
+/// smaller). Results are returned in input order. Falls back to a
+/// sequential map for small inputs where spawn overhead dominates.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    max_threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = max_threads.min(hw).max(1);
+    if threads == 1 || items.len() < 64 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_sequentially() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 8, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn single_thread_allowed() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = parallel_map(&items, 1, |&x| x);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        assert!(parallel_map(&items, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_result() {
+        let items: Vec<String> = (0..500).map(|i| format!("item-{i}")).collect();
+        let seq: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        let par = parallel_map(&items, 6, |s| s.len());
+        assert_eq!(seq, par);
+    }
+}

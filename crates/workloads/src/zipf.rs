@@ -1,0 +1,70 @@
+//! Zipfian access frequencies.
+//!
+//! The paper's workload-aware experiment (Fig. 16) assigns each version an
+//! access frequency from a Zipfian distribution with exponent 2, noting
+//! that "real-world access frequencies are known to follow such
+//! distributions". Ranks are randomly assigned to versions (the hottest
+//! version is not necessarily the newest).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns `n` access frequencies following `w(rank) = rank^(-exponent)`,
+/// with ranks randomly permuted over versions. Weights are relative (they
+/// do not sum to 1).
+pub fn zipf_weights(n: usize, exponent: f64, seed: u64) -> Vec<f64> {
+    assert!(exponent >= 0.0 && exponent.is_finite());
+    let mut ranks: Vec<usize> = (1..=n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ranks.shuffle(&mut rng);
+    ranks
+        .into_iter()
+        .map(|r| (r as f64).powf(-exponent))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_positive_and_bounded() {
+        let w = zipf_weights(100, 2.0, 1);
+        assert_eq!(w.len(), 100);
+        assert!(w.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn exactly_one_version_gets_rank_one() {
+        let w = zipf_weights(50, 2.0, 2);
+        let hot = w.iter().filter(|&&x| (x - 1.0).abs() < 1e-12).count();
+        assert_eq!(hot, 1);
+    }
+
+    #[test]
+    fn heavier_exponent_is_more_skewed() {
+        let w1 = zipf_weights(1000, 1.0, 3);
+        let w2 = zipf_weights(1000, 2.0, 3);
+        let mass_ratio = |w: &[f64]| {
+            let mut sorted: Vec<f64> = w.to_vec();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let top: f64 = sorted[..10].iter().sum();
+            let total: f64 = sorted.iter().sum();
+            top / total
+        };
+        assert!(mass_ratio(&w2) > mass_ratio(&w1));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let w = zipf_weights(10, 0.0, 4);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(zipf_weights(20, 2.0, 7), zipf_weights(20, 2.0, 7));
+        assert_ne!(zipf_weights(20, 2.0, 7), zipf_weights(20, 2.0, 8));
+    }
+}

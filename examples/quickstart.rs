@@ -1,0 +1,72 @@
+//! Quickstart: generate a versioned-dataset workload, explore the
+//! storage/recreation tradeoff, and pick a plan.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dataset_versioning::core::{solve, Problem};
+use dataset_versioning::workloads::presets;
+
+fn main() {
+    // A DC-shaped workload: 200 versions of a CSV dataset evolving under
+    // branches and merges, with real line-diff deltas revealed within 10
+    // hops of the version graph.
+    let dataset = presets::densely_connected().scaled(200).build(42);
+    let instance = dataset.instance();
+    println!(
+        "workload: {} versions, {} revealed deltas, avg version {:.1} KB",
+        dataset.version_count(),
+        dataset.delta_count(),
+        dataset.average_version_size() / 1024.0
+    );
+
+    // The two extremes of the spectrum.
+    let mca = solve(&instance, Problem::MinStorage).expect("solvable");
+    let spt = solve(&instance, Problem::MinRecreation).expect("solvable");
+    println!(
+        "\nminimum storage   (P1/MCA): C = {:>10} bytes, ΣR = {:>12}, maxR = {:>10}",
+        mca.storage_cost(),
+        mca.sum_recreation(),
+        mca.max_recreation()
+    );
+    println!(
+        "minimum recreation (P2/SPT): C = {:>10} bytes, ΣR = {:>12}, maxR = {:>10}",
+        spt.storage_cost(),
+        spt.sum_recreation(),
+        spt.max_recreation()
+    );
+
+    // The interesting middle: 20% more storage than the minimum buys a
+    // large cut in total recreation cost (Problem 3, solved by LMG).
+    let beta = mca.storage_cost() * 12 / 10;
+    let balanced = solve(&instance, Problem::MinSumRecreationGivenStorage { beta })
+        .expect("budget above MCA weight");
+    println!(
+        "\nbalanced (P3, β = 1.2×MCA): C = {:>10} bytes, ΣR = {:>12}, maxR = {:>10}",
+        balanced.storage_cost(),
+        balanced.sum_recreation(),
+        balanced.max_recreation()
+    );
+    let gap = (mca.sum_recreation() - spt.sum_recreation()) as f64;
+    let recovered = (mca.sum_recreation() - balanced.sum_recreation()) as f64;
+    println!(
+        "-> {:.0}% of the recreation gap closed for 20% extra storage",
+        100.0 * recovered / gap
+    );
+
+    // Or bound the worst-case checkout instead (Problem 6, solved by MP).
+    let theta = instance.max_materialization_cost() * 2;
+    let bounded = solve(&instance, Problem::MinStorageGivenMaxRecreation { theta })
+        .expect("theta above SPT max");
+    println!(
+        "\nbounded worst case (P6, θ = 2×largest version): C = {} bytes, maxR = {} (θ = {})",
+        bounded.storage_cost(),
+        bounded.max_recreation(),
+        theta
+    );
+    assert!(bounded.max_recreation() <= theta);
+    println!(
+        "materialized versions: {} of {}",
+        bounded.materialized().count(),
+        dataset.version_count()
+    );
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # dataset-versioning
+//!
+//! A full reproduction of *"Principles of Dataset Versioning: Exploring the
+//! Recreation/Storage Tradeoff"* (Bhattacherjee et al., VLDB 2015): a
+//! library for deciding how to store large collections of dataset versions
+//! — which versions to materialize and which to keep as deltas — so as to
+//! balance total storage cost against per-version recreation cost.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! - [`core`] — the paper's contribution: cost matrices, Problems 1–6, and
+//!   the solver suite (MST/MCA, SPT, LMG, MP, LAST, GitH, exact B&B).
+//! - [`graph`] — graph substrate (Dijkstra, Prim/Kruskal, Edmonds, trees).
+//! - [`delta`] — differencing substrate (Myers diff, byte/XOR/tabular
+//!   deltas).
+//! - [`compress`] — LZ77-style compression used for compact delta storage.
+//! - [`storage`] — content-addressed object store with delta chains.
+//! - [`vcs`] — the prototype dataset version-control system.
+//! - [`workloads`] — synthetic version-graph/dataset generators (DC, LC,
+//!   BF, LF analogues) and Zipfian access workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dataset_versioning::core::{Problem, solve};
+//! use dataset_versioning::workloads::presets;
+//!
+//! // Generate a small branching workload and pick a storage plan that
+//! // keeps every version's recreation cost within 3x its own size.
+//! let dataset = presets::densely_connected().scaled(50).build(42);
+//! let instance = dataset.instance();
+//! let theta = instance.max_materialization_cost() * 3;
+//! let solution = solve(&instance, Problem::MinStorageGivenMaxRecreation { theta }).unwrap();
+//! assert!(solution.max_recreation() <= theta);
+//! assert!(solution.validate(&instance).is_ok());
+//! ```
+
+pub use dsv_compress as compress;
+pub use dsv_core as core;
+pub use dsv_delta as delta;
+pub use dsv_graph as graph;
+pub use dsv_storage as storage;
+pub use dsv_vcs as vcs;
+pub use dsv_workloads as workloads;

@@ -1,0 +1,173 @@
+//! Property-based cross-solver invariants over randomly generated
+//! instances: every heuristic must return valid solutions that respect
+//! their constraints, ordered consistently with the exact baselines.
+
+use dataset_versioning::core::solvers::{gith, ilp, last, lmg, mp, mst, spt};
+use dataset_versioning::core::{CostMatrix, CostPair, ProblemInstance};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Strategy: a random directed instance with a spanning-tree skeleton
+/// (guaranteeing feasibility) plus extra revealed deltas.
+fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
+    (3usize..14).prop_flat_map(|n| {
+        let diag = proptest::collection::vec(500u64..5000, n);
+        let attach = proptest::collection::vec((0u32..u32::MAX, 10u64..800), n - 1);
+        let extra = proptest::collection::vec(
+            (0u32..n as u32, 0u32..n as u32, 10u64..1500),
+            0..3 * n,
+        );
+        (Just(n), diag, attach, extra).prop_map(|(_n, diag, attach, extra)| {
+            let mut m = CostMatrix::directed(
+                diag.into_iter().map(CostPair::proportional).collect(),
+            );
+            for (v, (r, w)) in attach.iter().enumerate() {
+                let v = (v + 1) as u32;
+                let p = r % v;
+                m.reveal(p, v, CostPair::proportional(*w));
+            }
+            for (a, b, w) in extra {
+                if a != b {
+                    m.reveal(a, b, CostPair::proportional(w));
+                }
+            }
+            ProblemInstance::new(m)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MST/MCA is the storage optimum; SPT is the recreation optimum;
+    /// every other solver lands between them on its respective axis.
+    #[test]
+    fn extremes_bound_every_heuristic(inst in arb_instance()) {
+        let mca = mst::solve(&inst).unwrap();
+        let spt_sol = spt::solve(&inst).unwrap();
+        prop_assert!(mca.storage_cost() <= spt_sol.storage_cost());
+
+        let candidates = vec![
+            lmg::solve_sum_given_storage(&inst, mca.storage_cost() * 2, false).unwrap(),
+            mp::solve_storage_given_max(&inst, spt_sol.max_recreation() * 2).unwrap(),
+            last::solve(&inst, 2.0).unwrap(),
+            gith::solve(&inst, gith::GitHParams::default()).unwrap(),
+        ];
+        for sol in candidates {
+            prop_assert!(sol.validate(&inst).is_ok());
+            prop_assert!(sol.storage_cost() >= mca.storage_cost());
+            for v in 0..inst.version_count() as u32 {
+                prop_assert!(sol.recreation_cost(v) >= spt_sol.recreation_cost(v));
+            }
+        }
+    }
+
+    /// MP respects θ and never stores more than full materialization:
+    /// every version's marginal storage `l(v)` starts at its
+    /// materialization cost (always θ-feasible once the instance is) and
+    /// only ever decreases. (Strict monotonicity in θ is NOT guaranteed —
+    /// MP is greedy, and proptest finds instances where a looser θ
+    /// misleads it; the paper makes no monotonicity claim either.)
+    #[test]
+    fn mp_thresholds_and_bounds(inst in arb_instance()) {
+        let spt_sol = spt::solve(&inst).unwrap();
+        let base = spt_sol.max_recreation();
+        let full = inst.matrix().total_materialization_storage();
+        let mca = mst::solve(&inst).unwrap();
+        for factor in [10u64, 12, 15, 20, 40] {
+            let theta = base * factor / 10;
+            let sol = mp::solve_storage_given_max(&inst, theta).unwrap();
+            prop_assert!(sol.max_recreation() <= theta);
+            prop_assert!(sol.storage_cost() <= full);
+            prop_assert!(sol.storage_cost() >= mca.storage_cost());
+        }
+    }
+
+    /// LMG respects β and never produces a worse ΣR than its MST/MCA
+    /// starting point (every local move strictly improves the sum).
+    #[test]
+    fn lmg_budgets_and_bounds(inst in arb_instance()) {
+        let mca = mst::solve(&inst).unwrap();
+        let base = mca.storage_cost();
+        for factor in [10u64, 12, 15, 20, 40] {
+            let beta = base * factor / 10;
+            let sol = lmg::solve_sum_given_storage(&inst, beta, false).unwrap();
+            prop_assert!(sol.storage_cost() <= beta);
+            prop_assert!(sol.sum_recreation() <= mca.sum_recreation());
+        }
+    }
+
+    /// The exact solver is never beaten by MP, and both respect θ.
+    #[test]
+    fn exact_lower_bounds_mp(inst in arb_instance()) {
+        let spt_sol = spt::solve(&inst).unwrap();
+        let theta = spt_sol.max_recreation() * 3 / 2;
+        let exact = ilp::solve_storage_given_max_exact(&inst, theta, Duration::from_secs(5))
+            .unwrap();
+        let heur = mp::solve_storage_given_max(&inst, theta).unwrap();
+        prop_assert!(exact.solution.max_recreation() <= theta);
+        if exact.proven_optimal {
+            prop_assert!(exact.solution.storage_cost() <= heur.storage_cost());
+            // The MCA is only feasible if its max recreation fits θ; when
+            // it does, the exact optimum must match or beat it too.
+            let mca = mst::solve(&inst).unwrap();
+            if mca.max_recreation() <= theta {
+                prop_assert_eq!(exact.solution.storage_cost(), mca.storage_cost());
+            }
+        }
+    }
+}
+
+/// Undirected Φ=Δ instances: LAST's two guarantees (§4.3).
+fn arb_undirected_instance() -> impl Strategy<Value = ProblemInstance> {
+    (3usize..12).prop_flat_map(|n| {
+        let diag = proptest::collection::vec(1000u64..5000, n);
+        let attach = proptest::collection::vec((0u32..u32::MAX, 50u64..900), n - 1);
+        let extra =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 50u64..2000), 0..2 * n);
+        (Just(n), diag, attach, extra).prop_map(|(_n, diag, attach, extra)| {
+            let mut m = CostMatrix::undirected(
+                diag.into_iter().map(CostPair::proportional).collect(),
+            );
+            for (v, (r, w)) in attach.iter().enumerate() {
+                let v = (v + 1) as u32;
+                m.reveal(r % v, v, CostPair::proportional(*w));
+            }
+            for (a, b, w) in extra {
+                if a != b {
+                    m.reveal(a, b, CostPair::proportional(w));
+                }
+            }
+            ProblemInstance::new(m)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn last_guarantees_on_undirected_proportional(
+        inst in arb_undirected_instance(),
+        alpha_pct in 110u32..500,
+    ) {
+        let alpha = f64::from(alpha_pct) / 100.0;
+        let mst_sol = mst::solve(&inst).unwrap();
+        let mins = spt::min_recreation_costs(&inst).unwrap();
+        let sol = last::solve(&inst, alpha).unwrap();
+        prop_assert!(sol.validate(&inst).is_ok());
+        // Guarantee 1: every recreation within α× its minimum.
+        for v in 0..inst.version_count() as u32 {
+            prop_assert!(
+                sol.recreation_cost(v) as f64 <= alpha * mins[v as usize] as f64 + 1e-6,
+                "version {} exceeds α bound", v
+            );
+        }
+        // Guarantee 2: storage within (1 + 2/(α−1))× the MST weight.
+        let bound = (1.0 + 2.0 / (alpha - 1.0)) * mst_sol.storage_cost() as f64;
+        prop_assert!(
+            sol.storage_cost() as f64 <= bound + 1e-6,
+            "storage {} exceeds LAST bound {}", sol.storage_cost(), bound
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Determinism: the whole pipeline — generation, optimization, packing —
+//! must be byte-reproducible from a seed (experiments depend on it).
+
+use dataset_versioning::core::{solve, Problem};
+use dataset_versioning::storage::{pack_versions, MemStore, ObjectStore, PackOptions};
+use dataset_versioning::workloads::presets;
+
+#[test]
+fn generation_is_reproducible() {
+    let a = presets::densely_connected().scaled(50).keep_contents().build(123);
+    let b = presets::densely_connected().scaled(50).keep_contents().build(123);
+    assert_eq!(a.sizes, b.sizes);
+    assert_eq!(a.contents, b.contents);
+    assert_eq!(a.matrix.revealed_count(), b.matrix.revealed_count());
+    for (i, j, pair) in a.matrix.revealed_entries() {
+        assert_eq!(b.matrix.get(i, j), Some(pair));
+    }
+}
+
+#[test]
+fn solving_is_reproducible() {
+    let ds = presets::linear_chain().scaled(60).build(7);
+    let inst = ds.instance();
+    let beta = solve(&inst, Problem::MinStorage).unwrap().storage_cost() * 2;
+    let s1 = solve(&inst, Problem::MinSumRecreationGivenStorage { beta }).unwrap();
+    let s2 = solve(&inst, Problem::MinSumRecreationGivenStorage { beta }).unwrap();
+    assert_eq!(s1.parents(), s2.parents());
+    assert_eq!(s1.storage_cost(), s2.storage_cost());
+}
+
+#[test]
+fn packing_is_reproducible() {
+    let ds = presets::bootstrap_forks().scaled(15).keep_contents().build(3);
+    let contents = ds.contents.as_ref().unwrap();
+    let inst = ds.instance();
+    let plan = solve(&inst, Problem::MinStorage).unwrap();
+
+    let run = || {
+        let store = MemStore::new(true);
+        let packed =
+            pack_versions(&store, contents, plan.parents(), PackOptions::default()).unwrap();
+        (store.total_bytes(), packed.ids)
+    };
+    let (bytes1, ids1) = run();
+    let (bytes2, ids2) = run();
+    assert_eq!(bytes1, bytes2);
+    assert_eq!(ids1, ids2);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = presets::densely_connected().scaled(50).build(1);
+    let b = presets::densely_connected().scaled(50).build(2);
+    assert_ne!(a.sizes, b.sizes);
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration: workload generation → optimization → real
+//! object store → verified checkout, across all six problems.
+
+use dataset_versioning::core::{solve, Problem, StorageSolution};
+use dataset_versioning::storage::{pack_versions, Materializer, MemStore, PackOptions};
+use dataset_versioning::workloads::presets;
+
+fn problems_for(instance: &dataset_versioning::core::ProblemInstance) -> Vec<Problem> {
+    let mca = solve(instance, Problem::MinStorage).unwrap();
+    let spt = solve(instance, Problem::MinRecreation).unwrap();
+    vec![
+        Problem::MinStorage,
+        Problem::MinRecreation,
+        Problem::MinSumRecreationGivenStorage {
+            beta: mca.storage_cost() * 3 / 2,
+        },
+        Problem::MinMaxRecreationGivenStorage {
+            beta: mca.storage_cost() * 3 / 2,
+        },
+        Problem::MinStorageGivenSumRecreation {
+            theta: spt.sum_recreation() * 2,
+        },
+        Problem::MinStorageGivenMaxRecreation {
+            theta: spt.max_recreation() * 2,
+        },
+    ]
+}
+
+#[test]
+fn all_six_problems_pack_and_checkout() {
+    let dataset = presets::densely_connected()
+        .scaled(60)
+        .keep_contents()
+        .build(11);
+    let instance = dataset.instance();
+    let contents = dataset.contents.as_ref().unwrap();
+
+    for problem in problems_for(&instance) {
+        let solution = solve(&instance, problem).unwrap_or_else(|e| {
+            panic!("{problem} failed: {e}");
+        });
+        assert!(solution.validate(&instance).is_ok(), "{problem}");
+
+        // Realize the plan against a real store.
+        let store = MemStore::new(false);
+        let packed =
+            pack_versions(&store, contents, solution.parents(), PackOptions::default()).unwrap();
+        let m = Materializer::new(&store);
+        for (v, expected) in contents.iter().enumerate() {
+            let (data, work) = packed.checkout(&m, v as u32).unwrap();
+            assert_eq!(&data, expected, "{problem}: version {v} corrupted");
+            // The matrix predicts line-script sizes while the store packs
+            // byte deltas, so measured and planned costs differ in
+            // absolute terms; the chain length must still match the plan.
+            assert_eq!(
+                work.objects_fetched,
+                solution.recreation_chain(v as u32).len(),
+                "{problem}: version {v} chain length"
+            );
+        }
+    }
+}
+
+#[test]
+fn budgets_and_thresholds_are_respected_end_to_end() {
+    let dataset = presets::bootstrap_forks().scaled(30).build(5);
+    let instance = dataset.instance();
+    let mca = solve(&instance, Problem::MinStorage).unwrap();
+    let spt = solve(&instance, Problem::MinRecreation).unwrap();
+
+    for slack in [105u64, 120, 150, 300] {
+        let beta = mca.storage_cost() * slack / 100;
+        let p3 = solve(&instance, Problem::MinSumRecreationGivenStorage { beta }).unwrap();
+        assert!(p3.storage_cost() <= beta, "P3 at {slack}%");
+        let p4 = solve(&instance, Problem::MinMaxRecreationGivenStorage { beta }).unwrap();
+        assert!(p4.storage_cost() <= beta, "P4 at {slack}%");
+    }
+    for slack in [100u64, 120, 200] {
+        let theta = spt.max_recreation() * slack / 100;
+        let p6 = solve(&instance, Problem::MinStorageGivenMaxRecreation { theta }).unwrap();
+        assert!(p6.max_recreation() <= theta, "P6 at {slack}%");
+        let theta_sum = spt.sum_recreation() * slack / 100;
+        let p5 = solve(&instance, Problem::MinStorageGivenSumRecreation { theta: theta_sum })
+            .unwrap();
+        assert!(p5.sum_recreation() <= theta_sum, "P5 at {slack}%");
+    }
+}
+
+#[test]
+fn tradeoff_orderings_hold_on_every_preset() {
+    for preset in presets::all() {
+        let dataset = preset.scaled(30).build(17);
+        let instance = dataset.instance();
+        let mca = solve(&instance, Problem::MinStorage).unwrap();
+        let spt = solve(&instance, Problem::MinRecreation).unwrap();
+        // The fundamental tradeoff (paper §1).
+        assert!(mca.storage_cost() <= spt.storage_cost(), "{}", dataset.name);
+        assert!(
+            spt.sum_recreation() <= mca.sum_recreation(),
+            "{}",
+            dataset.name
+        );
+        // Any feasible solution sits between the extremes.
+        let beta = mca.storage_cost() * 2;
+        let mid = solve(&instance, Problem::MinSumRecreationGivenStorage { beta }).unwrap();
+        assert!(mid.storage_cost() >= mca.storage_cost());
+        assert!(mid.sum_recreation() >= spt.sum_recreation());
+    }
+}
+
+#[test]
+fn online_insertion_matches_full_resolve_reasonably() {
+    use dataset_versioning::core::online::{insert_version, OnlinePolicy};
+    use dataset_versioning::core::{CostMatrix, CostPair, ProblemInstance};
+
+    // Build a growing chain; at each step insert online and compare with
+    // re-solving from scratch.
+    let mut matrix = CostMatrix::directed(vec![CostPair::proportional(10_000)]);
+    let mut instance = ProblemInstance::new(matrix.clone());
+    let mut online: StorageSolution = solve(&instance, Problem::MinStorage).unwrap();
+    for step in 1..20u32 {
+        matrix.push_version(CostPair::proportional(10_000 + u64::from(step) * 10));
+        matrix.reveal(step - 1, step, CostPair::proportional(50));
+        if step >= 2 {
+            matrix.reveal(step - 2, step, CostPair::proportional(120));
+        }
+        instance = ProblemInstance::new(matrix.clone());
+        online = insert_version(&instance, &online, OnlinePolicy::MinStorage).unwrap();
+        let offline = solve(&instance, Problem::MinStorage).unwrap();
+        // The greedy online plan is never better and — on this chain —
+        // should match the offline optimum.
+        assert!(online.storage_cost() >= offline.storage_cost());
+        assert!(
+            online.storage_cost() <= offline.storage_cost() * 11 / 10,
+            "step {step}: online {} vs offline {}",
+            online.storage_cost(),
+            offline.storage_cost()
+        );
+    }
+}
