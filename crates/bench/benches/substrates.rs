@@ -1,17 +1,27 @@
 //! Criterion benches for the substrates: diff, byte deltas, compression,
-//! and the graph algorithms.
+//! the graph algorithms, and the three storage regimes (Full / Delta /
+//! Chunked) packing and checking out the same dedup-friendly history.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsv_chunk::{pack_versions_chunked, Chunker, ChunkerParams};
 use dsv_compress::lz;
 use dsv_delta::{bytes_delta, script};
 use dsv_graph::{dijkstra, min_cost_arborescence, prim_mst, DiGraph, NodeId, UnGraph};
+use dsv_storage::{pack_versions, Materializer, MemStore, ObjectStore, PackOptions};
+use dsv_workloads::presets;
 use std::hint::black_box;
 
 fn csv(rows: usize, tag: u32) -> Vec<u8> {
     let mut out = b"id,name,score,notes\n".to_vec();
     for i in 0..rows {
         out.extend_from_slice(
-            format!("{i},user-{},{}.5,annotation text field {}\n", i ^ 7, i % 100, tag).as_bytes(),
+            format!(
+                "{i},user-{},{}.5,annotation text field {}\n",
+                i ^ 7,
+                i % 100,
+                tag
+            )
+            .as_bytes(),
         );
     }
     out
@@ -22,7 +32,10 @@ fn bench_diff(c: &mut Criterion) {
     let mut b = csv(2000, 0);
     // A realistic edit burst in the middle.
     let mid = b.len() / 2;
-    b.splice(mid..mid, b"999999,injected,0.0,inserted row\n".iter().copied());
+    b.splice(
+        mid..mid,
+        b"999999,injected,0.0,inserted row\n".iter().copied(),
+    );
 
     let mut group = c.benchmark_group("diff");
     group.throughput(Throughput::Bytes((a.len() + b.len()) as u64));
@@ -44,7 +57,9 @@ fn bench_compression(c: &mut Criterion) {
     let compressed = lz::compress(&data);
     let mut group = c.benchmark_group("lz");
     group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("compress_csv", |b| b.iter(|| lz::compress(black_box(&data))));
+    group.bench_function("compress_csv", |b| {
+        b.iter(|| lz::compress(black_box(&data)))
+    });
     group.bench_function("decompress_csv", |b| {
         b.iter(|| lz::decompress(black_box(&compressed)).unwrap())
     });
@@ -93,9 +108,93 @@ fn bench_graph(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_chunking(c: &mut Criterion) {
+    let data = csv(8000, 1);
+    let params = ChunkerParams::default();
+    let mut group = c.benchmark_group("cdc");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("chunk_8k_rows", |b| {
+        b.iter(|| Chunker::new(black_box(&data), params).count())
+    });
+    group.finish();
+}
+
+/// The three regimes packing and checking out the same 30-version
+/// dedup-friendly history (each version splices rows mid-file).
+fn bench_substrate_regimes(c: &mut Criterion) {
+    let ds = presets::dedup_chain().scaled(30).keep_contents().build(7);
+    let contents = ds.contents.expect("contents kept");
+    let n = contents.len();
+    let full_plan: Vec<Option<u32>> = vec![None; n];
+    let chain_plan: Vec<Option<u32>> = (0..n as u32).map(|i| i.checked_sub(1)).collect();
+
+    let mut group = c.benchmark_group("substrate_pack");
+    group.throughput(Throughput::Bytes(
+        contents.iter().map(|c| c.len() as u64).sum(),
+    ));
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            let store = MemStore::new(true);
+            pack_versions(
+                &store,
+                black_box(&contents),
+                &full_plan,
+                PackOptions::default(),
+            )
+            .unwrap();
+            store.total_bytes()
+        })
+    });
+    group.bench_function("delta_chain", |b| {
+        b.iter(|| {
+            let store = MemStore::new(true);
+            pack_versions(
+                &store,
+                black_box(&contents),
+                &chain_plan,
+                PackOptions::default(),
+            )
+            .unwrap();
+            store.total_bytes()
+        })
+    });
+    group.bench_function("chunked", |b| {
+        b.iter(|| {
+            let store = MemStore::new(true);
+            pack_versions_chunked(&store, black_box(&contents), ChunkerParams::default()).unwrap();
+            store.total_bytes()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("substrate_checkout_all");
+    group.bench_function("delta_chain", |b| {
+        let store = MemStore::new(true);
+        let packed = pack_versions(&store, &contents, &chain_plan, PackOptions::default()).unwrap();
+        b.iter(|| {
+            let m = Materializer::new(&store);
+            (0..n as u32)
+                .map(|v| packed.checkout(&m, v).unwrap().0.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("chunked", |b| {
+        let store = MemStore::new(true);
+        let (packed, _) =
+            pack_versions_chunked(&store, &contents, ChunkerParams::default()).unwrap();
+        b.iter(|| {
+            let m = Materializer::new(&store);
+            (0..n as u32)
+                .map(|v| packed.checkout(&m, v).unwrap().0.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_diff, bench_compression, bench_graph
+    targets = bench_diff, bench_compression, bench_graph, bench_chunking, bench_substrate_regimes
 }
 criterion_main!(benches);

@@ -22,5 +22,7 @@ fn main() {
     println!("[table2 done in {:.1}s]\n", d.as_secs_f64());
     let (_, d) = dsv_bench::timed(|| experiments::sec52::run(scale));
     println!("[sec52 done in {:.1}s]\n", d.as_secs_f64());
-    println!("CSV outputs: target/experiments/");
+    let (_, d) = dsv_bench::timed(|| experiments::substrates::run(scale));
+    println!("[substrates done in {:.1}s]\n", d.as_secs_f64());
+    println!("CSV outputs: target/experiments/ (plus BENCH_substrates.json)");
 }

@@ -1,0 +1,8 @@
+//! Substrate comparison (Full / Delta / Chunked) on the dedup-chain
+//! workload; writes `target/experiments/BENCH_substrates.json`. `--quick`
+//! shrinks the workload.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::substrates::run(scale);
+}

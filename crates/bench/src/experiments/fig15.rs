@@ -49,7 +49,10 @@ pub fn panel(dataset: &Dataset) -> Panel {
 
 /// Runs panels (a–d) and emits tables.
 pub fn run(scale: Scale) -> Vec<Panel> {
-    let panels: Vec<Panel> = super::undirected_datasets(scale).iter().map(panel).collect();
+    let panels: Vec<Panel> = super::undirected_datasets(scale)
+        .iter()
+        .map(panel)
+        .collect();
     for p in &panels {
         let mut table = Table::new(
             &format!(
@@ -81,7 +84,10 @@ mod tests {
 
     #[test]
     fn undirected_panel_has_the_tradeoff() {
-        let ds = presets::densely_connected().scaled(80).undirected().build(5);
+        let ds = presets::densely_connected()
+            .scaled(80)
+            .undirected()
+            .build(5);
         let p = panel(&ds);
         // LMG with generous budget approaches SPT's ΣR.
         let best_lmg = p

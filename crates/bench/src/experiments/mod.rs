@@ -7,6 +7,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod sec52;
+pub mod substrates;
 pub mod table2;
 
 use crate::Scale;
@@ -24,7 +25,11 @@ fn cache() -> &'static Cache {
     CACHE.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-fn cached(scale: Scale, undirected: bool, build: impl FnOnce() -> Vec<Dataset>) -> Arc<Vec<Dataset>> {
+fn cached(
+    scale: Scale,
+    undirected: bool,
+    build: impl FnOnce() -> Vec<Dataset>,
+) -> Arc<Vec<Dataset>> {
     let key = (scale, undirected);
     if let Some((_, hit)) = cache().lock().unwrap().iter().find(|(k, _)| *k == key) {
         return Arc::clone(hit);

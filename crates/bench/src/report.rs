@@ -76,11 +76,7 @@ impl Table {
 }
 
 /// Writes rows as CSV under `target/experiments/<name>.csv`.
-pub fn write_csv(
-    name: &str,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("target/experiments");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
@@ -144,7 +140,12 @@ mod tests {
     fn csv_written() {
         let mut t = Table::new("csv-demo", &["x", "y"]);
         t.row(vec!["1".into(), "2".into()]);
-        let path = write_csv("test_csv_demo", &["x", "y"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let path = write_csv(
+            "test_csv_demo",
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
         let content = std::fs::read_to_string(path).unwrap();
         assert_eq!(content, "x,y\n1,2\n");
         let _ = t;

@@ -1,0 +1,307 @@
+//! Content-defined chunking: a Gear-hash chunker with FastCDC-style
+//! normalized cut-points.
+//!
+//! Chunk boundaries are chosen where a rolling hash of the trailing bytes
+//! matches a mask, so they depend on *content*, not on byte offsets:
+//! inserting bytes mid-version shifts every downstream offset but leaves
+//! downstream boundaries (and therefore chunk identities) intact once the
+//! hash re-synchronizes — the property that makes chunk-level
+//! deduplication effective on shifted/overlapping versions, where
+//! fixed-size blocking deduplicates nothing.
+//!
+//! The cut rule is FastCDC's normalized variant (Xia et al., ATC'16): no
+//! boundary before `min_size`, a *harder* mask (more bits) before
+//! `avg_size` and an *easier* one after, and a forced cut at `max_size`.
+//! Normalization pulls the chunk-size distribution toward `avg_size`
+//! without the long tail of plain Gear chunking.
+
+use crate::ChunkError;
+use std::ops::Range;
+
+/// Per-byte Gear constants, generated deterministically at compile time
+/// (splitmix64 over the byte value), so chunking is stable across builds
+/// and platforms.
+static GEAR: [u64; 256] = build_gear_table();
+
+const fn build_gear_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        // splitmix64 finalizer over a fixed-seeded counter.
+        let mut z = (i as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        table[i] = z ^ (z >> 31);
+        i += 1;
+    }
+    table
+}
+
+/// Chunk-size parameters. `avg_size` must be a power of two (it defines
+/// the cut masks); sizes must satisfy `16 ≤ min ≤ avg ≤ max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkerParams {
+    /// No boundary is placed before this many bytes.
+    pub min_size: usize,
+    /// Target mean chunk size (a power of two).
+    pub avg_size: usize,
+    /// A boundary is forced at this many bytes.
+    pub max_size: usize,
+}
+
+impl Default for ChunkerParams {
+    /// Defaults tuned for this workspace's dataset versions (tens of KB):
+    /// 256 B / 1 KiB / 8 KiB.
+    fn default() -> Self {
+        ChunkerParams {
+            min_size: 256,
+            avg_size: 1024,
+            max_size: 8192,
+        }
+    }
+}
+
+impl ChunkerParams {
+    /// Validated constructor.
+    pub fn new(min_size: usize, avg_size: usize, max_size: usize) -> Result<Self, ChunkError> {
+        let params = ChunkerParams {
+            min_size,
+            avg_size,
+            max_size,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Checks the size invariants (see type docs).
+    pub fn validate(&self) -> Result<(), ChunkError> {
+        if self.min_size < 16 {
+            return Err(ChunkError::BadParams("min_size must be at least 16"));
+        }
+        if !self.avg_size.is_power_of_two() {
+            return Err(ChunkError::BadParams("avg_size must be a power of two"));
+        }
+        if self.min_size > self.avg_size || self.avg_size > self.max_size {
+            return Err(ChunkError::BadParams(
+                "sizes must satisfy min <= avg <= max",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Mask applied before the average point (two extra bits: boundaries
+    /// are 4x *less* likely than `1/avg`).
+    fn mask_hard(&self) -> u64 {
+        (self.avg_size as u64) * 4 - 1
+    }
+
+    /// Mask applied after the average point (two fewer bits: boundaries
+    /// are 4x *more* likely than `1/avg`).
+    fn mask_easy(&self) -> u64 {
+        ((self.avg_size as u64) / 4).max(1) - 1
+    }
+
+    /// Length of the chunk starting at `data[0]` (FastCDC cut rule).
+    fn cut(&self, data: &[u8]) -> usize {
+        let len = data.len();
+        if len <= self.min_size {
+            return len;
+        }
+        let bound = len.min(self.max_size);
+        let center = bound.min(self.avg_size);
+        let (mask_hard, mask_easy) = (self.mask_hard(), self.mask_easy());
+        let mut hash: u64 = 0;
+        let mut i = self.min_size;
+        while i < center {
+            hash = (hash << 1).wrapping_add(GEAR[data[i] as usize]);
+            if hash & mask_hard == 0 {
+                return i + 1;
+            }
+            i += 1;
+        }
+        while i < bound {
+            hash = (hash << 1).wrapping_add(GEAR[data[i] as usize]);
+            if hash & mask_easy == 0 {
+                return i + 1;
+            }
+            i += 1;
+        }
+        bound
+    }
+}
+
+/// Iterator over the content-defined chunks of a byte slice.
+///
+/// ```
+/// use dsv_chunk::{Chunker, ChunkerParams};
+///
+/// let data = vec![7u8; 40_000];
+/// let params = ChunkerParams::default();
+/// let chunks: Vec<&[u8]> = Chunker::new(&data, params).collect();
+/// assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), data.len());
+/// assert!(chunks.iter().all(|c| c.len() <= params.max_size));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chunker<'a> {
+    data: &'a [u8],
+    pos: usize,
+    params: ChunkerParams,
+}
+
+impl<'a> Chunker<'a> {
+    /// Chunks `data` under `params` (assumed valid; see
+    /// [`ChunkerParams::new`]).
+    pub fn new(data: &'a [u8], params: ChunkerParams) -> Self {
+        Chunker {
+            data,
+            pos: 0,
+            params,
+        }
+    }
+}
+
+impl<'a> Iterator for Chunker<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let rest = &self.data[self.pos..];
+        let cut = self.params.cut(rest);
+        self.pos += cut;
+        Some(&rest[..cut])
+    }
+}
+
+/// The chunk spans of `data` as byte ranges (offsets into `data`).
+pub fn chunk_spans(data: &[u8], params: ChunkerParams) -> Vec<Range<usize>> {
+    let mut spans = Vec::new();
+    let mut start = 0;
+    for chunk in Chunker::new(data, params) {
+        spans.push(start..start + chunk.len());
+        start += chunk.len();
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-text: repetitive structure with enough
+    /// variation for boundaries to land everywhere.
+    fn sample(len: usize, seed: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut s = seed | 1;
+        while out.len() < len {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            out.extend_from_slice(format!("row-{},col-{}\n", s % 1000, s % 97).as_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    const P: ChunkerParams = ChunkerParams {
+        min_size: 64,
+        avg_size: 256,
+        max_size: 1024,
+    };
+
+    #[test]
+    fn reassembly_is_exact() {
+        for seed in 1..6 {
+            let data = sample(20_000, seed);
+            let joined: Vec<u8> = Chunker::new(&data, P).flatten().copied().collect();
+            assert_eq!(joined, data);
+        }
+    }
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let data = sample(50_000, 3);
+        let chunks: Vec<&[u8]> = Chunker::new(&data, P).collect();
+        assert!(chunks.len() > 10, "expected many chunks");
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.len() <= P.max_size, "chunk {i} over max");
+            if i + 1 < chunks.len() {
+                assert!(c.len() >= P.min_size, "interior chunk {i} under min");
+            }
+        }
+        let mean: usize = chunks.iter().map(|c| c.len()).sum::<usize>() / chunks.len();
+        assert!(
+            (P.avg_size / 4..=P.max_size / 2).contains(&mean),
+            "mean chunk size {mean} far from target {}",
+            P.avg_size
+        );
+    }
+
+    #[test]
+    fn chunking_is_deterministic() {
+        let data = sample(10_000, 9);
+        let a = chunk_spans(&data, P);
+        let b = chunk_spans(&data, P);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insertion_shifts_only_local_boundaries() {
+        let base = sample(40_000, 5);
+        let mut edited = base.clone();
+        let at = edited.len() / 2;
+        edited.splice(at..at, b"INSERTED PAYLOAD".iter().copied());
+
+        let set = |d: &[u8]| -> std::collections::HashSet<Vec<u8>> {
+            Chunker::new(d, P).map(|c| c.to_vec()).collect()
+        };
+        let (a, b) = (set(&base), set(&edited));
+        let changed = a.symmetric_difference(&b).count();
+        assert!(
+            changed <= 6,
+            "one insertion disturbed {changed} chunks (want O(1))"
+        );
+    }
+
+    #[test]
+    fn small_and_empty_inputs() {
+        assert_eq!(Chunker::new(&[], P).count(), 0);
+        let tiny = b"below min size".to_vec();
+        let chunks: Vec<&[u8]> = Chunker::new(&tiny, P).collect();
+        assert_eq!(chunks, vec![tiny.as_slice()]);
+    }
+
+    #[test]
+    fn params_are_validated() {
+        assert!(ChunkerParams::new(64, 256, 1024).is_ok());
+        assert!(matches!(
+            ChunkerParams::new(4, 256, 1024),
+            Err(ChunkError::BadParams(_))
+        ));
+        assert!(matches!(
+            ChunkerParams::new(64, 300, 1024), // not a power of two
+            Err(ChunkError::BadParams(_))
+        ));
+        assert!(matches!(
+            ChunkerParams::new(512, 256, 1024), // min > avg
+            Err(ChunkError::BadParams(_))
+        ));
+        assert!(matches!(
+            ChunkerParams::new(64, 2048, 1024), // avg > max
+            Err(ChunkError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn spans_tile_the_input() {
+        let data = sample(13_337, 2);
+        let spans = chunk_spans(&data, P);
+        let mut expected_start = 0;
+        for s in &spans {
+            assert_eq!(s.start, expected_start);
+            expected_start = s.end;
+        }
+        assert_eq!(expected_start, data.len());
+    }
+}

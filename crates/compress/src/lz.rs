@@ -148,7 +148,9 @@ pub fn compress_with(data: &[u8], params: &Params) -> Vec<u8> {
             // Insert the skipped positions into chains (bounded to keep
             // compression O(n) on pathological inputs).
             let end = i + best_len;
-            let insert_to = end.min(i + 64).min(data.len().saturating_sub(MIN_MATCH - 1));
+            let insert_to = end
+                .min(i + 64)
+                .min(data.len().saturating_sub(MIN_MATCH - 1));
             for j in (i + 1)..insert_to {
                 let hj = hash4(&data[j..]);
                 prev[j] = head[hj];
@@ -296,7 +298,13 @@ mod tests {
         let data: Vec<u8> = (0..200u32)
             .flat_map(|i| format!("row {} of the table\n", i % 17).into_bytes())
             .collect();
-        let fast = compress_with(&data, &Params { window: 256, max_chain: 1 });
+        let fast = compress_with(
+            &data,
+            &Params {
+                window: 256,
+                max_chain: 1,
+            },
+        );
         let tight = compress_with(&data, &Params::default());
         assert_eq!(decompress(&fast).unwrap(), data);
         assert_eq!(decompress(&tight).unwrap(), data);

@@ -57,10 +57,18 @@ mod tests {
         assert!(p4.storage_cost() <= beta);
 
         let theta_sum = spt.sum_recreation() * 2;
-        let p5 = solve(&inst, Problem::MinStorageGivenSumRecreation { theta: theta_sum }).unwrap();
+        let p5 = solve(
+            &inst,
+            Problem::MinStorageGivenSumRecreation { theta: theta_sum },
+        )
+        .unwrap();
         assert!(p5.sum_recreation() <= theta_sum);
         let theta_max = spt.max_recreation() * 2;
-        let p6 = solve(&inst, Problem::MinStorageGivenMaxRecreation { theta: theta_max }).unwrap();
+        let p6 = solve(
+            &inst,
+            Problem::MinStorageGivenMaxRecreation { theta: theta_max },
+        )
+        .unwrap();
         assert!(p6.max_recreation() <= theta_max);
     }
 
@@ -77,8 +85,12 @@ mod tests {
             Problem::MinMaxRecreationGivenStorage {
                 beta: mca.storage_cost() * 2,
             },
-            Problem::MinStorageGivenSumRecreation { theta: u64::MAX / 2 },
-            Problem::MinStorageGivenMaxRecreation { theta: u64::MAX / 2 },
+            Problem::MinStorageGivenSumRecreation {
+                theta: u64::MAX / 2,
+            },
+            Problem::MinStorageGivenMaxRecreation {
+                theta: u64::MAX / 2,
+            },
         ];
         for p in problems {
             let sol = solve(&inst, p).unwrap();

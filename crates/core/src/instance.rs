@@ -91,8 +91,7 @@ impl ProblemInstance {
     pub fn augmented_graph(&self) -> DiGraph<CostPair> {
         let n = self.version_count();
         let extra = if self.matrix.is_symmetric() { 2 } else { 1 };
-        let mut g =
-            DiGraph::with_edge_capacity(n + 1, n + extra * self.matrix.revealed_count());
+        let mut g = DiGraph::with_edge_capacity(n + 1, n + extra * self.matrix.revealed_count());
         for i in 0..n as u32 {
             g.add_edge(NodeId(0), Self::node_of(i), self.matrix.materialization(i));
         }
@@ -173,10 +172,8 @@ mod tests {
 
     #[test]
     fn symmetric_graph_gets_both_arcs() {
-        let mut m = CostMatrix::undirected(vec![
-            CostPair::proportional(10),
-            CostPair::proportional(20),
-        ]);
+        let mut m =
+            CostMatrix::undirected(vec![CostPair::proportional(10), CostPair::proportional(20)]);
         m.reveal(0, 1, CostPair::proportional(3));
         let inst = ProblemInstance::new(m);
         let g = inst.augmented_graph();

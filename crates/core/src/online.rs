@@ -130,8 +130,7 @@ mod tests {
         // Delta hangs off version 1, whose recreation is 1030; adding 25
         // gives 1055 > θ=1040, so the new version must materialize.
         let inst2 = extended(Some((1, 25)));
-        let sol2 =
-            insert_version(&inst2, &sol, OnlinePolicy::MaxRecreationWithin(1040)).unwrap();
+        let sol2 = insert_version(&inst2, &sol, OnlinePolicy::MaxRecreationWithin(1040)).unwrap();
         assert_eq!(sol2.parent(2), None);
         assert_eq!(sol2.recreation_cost(2), 1020);
     }
@@ -140,8 +139,7 @@ mod tests {
     fn theta_too_small_even_for_materialization() {
         let (_, sol) = base_instance();
         let inst2 = extended(None);
-        let err =
-            insert_version(&inst2, &sol, OnlinePolicy::MaxRecreationWithin(10)).unwrap_err();
+        let err = insert_version(&inst2, &sol, OnlinePolicy::MaxRecreationWithin(10)).unwrap_err();
         assert!(matches!(
             err,
             SolveError::RecreationThresholdInfeasible { .. }

@@ -217,9 +217,8 @@ impl StorageSolution {
         instance: &ProblemInstance,
         parent: Vec<Option<u32>>,
     ) -> Result<Self, SolveError> {
-        StorageSolution::from_parents(instance, parent).map_err(|_| SolveError::Internal(
-            "solver produced an invalid parent assignment",
-        ))
+        StorageSolution::from_parents(instance, parent)
+            .map_err(|_| SolveError::Internal("solver produced an invalid parent assignment"))
     }
 }
 
@@ -231,11 +230,8 @@ mod tests {
     /// Figure 4 of the paper: V1 and V3 materialized; V2 <- V1,
     /// V4 <- V2, V5 <- V3. (0-indexed: 0 and 2 materialized.)
     fn figure4(instance: &ProblemInstance) -> StorageSolution {
-        StorageSolution::from_parents(
-            instance,
-            vec![None, Some(0), None, Some(1), Some(2)],
-        )
-        .unwrap()
+        StorageSolution::from_parents(instance, vec![None, Some(0), None, Some(1), Some(2)])
+            .unwrap()
     }
 
     #[test]
@@ -254,11 +250,9 @@ mod tests {
     fn paper_figure1_iii_single_materialization() {
         // Figure 1(iii): everything hangs off V1.
         let inst = paper_example();
-        let s = StorageSolution::from_parents(
-            &inst,
-            vec![None, Some(0), Some(0), Some(1), Some(2)],
-        )
-        .unwrap();
+        let s =
+            StorageSolution::from_parents(&inst, vec![None, Some(0), Some(0), Some(1), Some(2)])
+                .unwrap();
         assert_eq!(s.storage_cost(), 10000 + 200 + 1000 + 50 + 200);
         // R5 via V1->V3->V5 = 10000 + 3000 + 550 = 13550 (paper's example).
         assert_eq!(s.recreation_cost(4), 13550);
@@ -283,9 +277,8 @@ mod tests {
     #[test]
     fn cycle_detected() {
         let inst = paper_example();
-        let err =
-            StorageSolution::from_parents(&inst, vec![Some(1), Some(0), None, None, None])
-                .unwrap_err();
+        let err = StorageSolution::from_parents(&inst, vec![Some(1), Some(0), None, None, None])
+            .unwrap_err();
         assert!(matches!(err, SolutionError::Cycle(_)));
     }
 
@@ -293,18 +286,16 @@ mod tests {
     fn unrevealed_delta_detected() {
         let inst = paper_example();
         // 3 -> 0 (V4 -> V1) is not revealed.
-        let err =
-            StorageSolution::from_parents(&inst, vec![Some(3), None, None, None, Some(2)])
-                .unwrap_err();
+        let err = StorageSolution::from_parents(&inst, vec![Some(3), None, None, None, Some(2)])
+            .unwrap_err();
         assert_eq!(err, SolutionError::UnrevealedDelta { from: 3, to: 0 });
     }
 
     #[test]
     fn out_of_range_parent_detected() {
         let inst = paper_example();
-        let err =
-            StorageSolution::from_parents(&inst, vec![Some(9), None, None, None, None])
-                .unwrap_err();
+        let err = StorageSolution::from_parents(&inst, vec![Some(9), None, None, None, None])
+            .unwrap_err();
         assert_eq!(err, SolutionError::ParentOutOfRange(0));
     }
 
@@ -323,8 +314,7 @@ mod tests {
         assert!((s.weighted_sum_recreation(&uniform) - s.sum_recreation() as f64).abs() < 1e-9);
         let skewed = vec![0.0, 0.0, 0.0, 0.0, 2.0];
         assert!(
-            (s.weighted_sum_recreation(&skewed) - 2.0 * s.recreation_cost(4) as f64).abs()
-                < 1e-9
+            (s.weighted_sum_recreation(&skewed) - 2.0 * s.recreation_cost(4) as f64).abs() < 1e-9
         );
     }
 }

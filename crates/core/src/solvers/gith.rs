@@ -78,8 +78,7 @@ pub fn solve(
             if pair.storage >= full {
                 continue; // git only deltas when it beats the full object
             }
-            let biased =
-                pair.storage as f64 / (params.max_depth - depth[vl as usize]) as f64;
+            let biased = pair.storage as f64 / (params.max_depth - depth[vl as usize]) as f64;
             if best.is_none_or(|(b, _)| biased < b) {
                 best = Some((biased, vl));
             }
@@ -124,9 +123,7 @@ mod tests {
         // A long chain of versions where each deltas cheaply off the
         // previous: with max_depth = 2 chains must break.
         let n = 20u32;
-        let mut m = CostMatrix::directed(
-            (0..n).map(|_| CostPair::proportional(1000)).collect(),
-        );
+        let mut m = CostMatrix::directed((0..n).map(|_| CostPair::proportional(1000)).collect());
         for i in 0..n - 1 {
             m.reveal(i, i + 1, CostPair::proportional(10));
         }
@@ -146,7 +143,10 @@ mod tests {
         .unwrap();
         // Verify no chain exceeds 2 deltas.
         for v in 0..n {
-            assert!(sol.recreation_chain(v).len() <= 3, "version {v} chain too deep");
+            assert!(
+                sol.recreation_chain(v).len() <= 3,
+                "version {v} chain too deep"
+            );
         }
     }
 
@@ -170,8 +170,22 @@ mod tests {
         // the global effect is heuristic, but on the paper example wider
         // windows should not be significantly worse.
         let inst = paper_example();
-        let narrow = solve(&inst, GitHParams { window: 1, max_depth: 50 }).unwrap();
-        let wide = solve(&inst, GitHParams { window: 10, max_depth: 50 }).unwrap();
+        let narrow = solve(
+            &inst,
+            GitHParams {
+                window: 1,
+                max_depth: 50,
+            },
+        )
+        .unwrap();
+        let wide = solve(
+            &inst,
+            GitHParams {
+                window: 10,
+                max_depth: 50,
+            },
+        )
+        .unwrap();
         assert!(wide.storage_cost() <= narrow.storage_cost());
     }
 
@@ -179,11 +193,25 @@ mod tests {
     fn invalid_params_rejected() {
         let inst = paper_example();
         assert!(matches!(
-            solve(&inst, GitHParams { window: 0, max_depth: 5 }).unwrap_err(),
+            solve(
+                &inst,
+                GitHParams {
+                    window: 0,
+                    max_depth: 5
+                }
+            )
+            .unwrap_err(),
             SolveError::InvalidParameter(_)
         ));
         assert!(matches!(
-            solve(&inst, GitHParams { window: 5, max_depth: 0 }).unwrap_err(),
+            solve(
+                &inst,
+                GitHParams {
+                    window: 5,
+                    max_depth: 0
+                }
+            )
+            .unwrap_err(),
             SolveError::InvalidParameter(_)
         ));
     }

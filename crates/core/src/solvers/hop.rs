@@ -46,14 +46,13 @@ pub fn solve_storage_given_hops(
         hop_matrix.reveal(i, j, CostPair::new(pair.storage, 1));
     }
     let hop_instance = ProblemInstance::new(hop_matrix);
-    let hop_sol = mp::solve_storage_given_max(&hop_instance, u64::from(max_hops)).map_err(
-        |e| match e {
+    let hop_sol =
+        mp::solve_storage_given_max(&hop_instance, u64::from(max_hops)).map_err(|e| match e {
             SolveError::RecreationThresholdInfeasible { theta, minimum } => {
                 SolveError::RecreationThresholdInfeasible { theta, minimum }
             }
             other => other,
-        },
-    )?;
+        })?;
     // Re-cost the same tree under the real matrix.
     StorageSolution::from_validated_parts(instance, hop_sol.parents().to_vec())
 }

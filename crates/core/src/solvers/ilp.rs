@@ -184,8 +184,7 @@ pub fn solve_storage_given_max_exact(
                     break;
                 }
             }
-            let ok_cycle =
-                cand.from == ROOT || !creates_cycle(&parent, &assigned, v, cand.from);
+            let ok_cycle = cand.from == ROOT || !creates_cycle(&parent, &assigned, v, cand.from);
             if ok_cycle {
                 parent[v as usize] = cand.from;
                 assigned[v as usize] = true;
@@ -226,10 +225,7 @@ fn evaluate(
     parent: &[u32],
     theta: u64,
 ) -> Option<(u64, Vec<Option<u32>>)> {
-    let parents: Vec<Option<u32>> = parent
-        .iter()
-        .map(|&p| (p != ROOT).then_some(p))
-        .collect();
+    let parents: Vec<Option<u32>> = parent.iter().map(|&p| (p != ROOT).then_some(p)).collect();
     let sol = StorageSolution::from_parents(instance, parents.clone()).ok()?;
     (sol.max_recreation() <= theta).then(|| (sol.storage_cost(), parents))
 }
@@ -303,7 +299,9 @@ mod tests {
         for n in 2..=5usize {
             for _case in 0..10 {
                 let mut m = CostMatrix::directed(
-                    (0..n).map(|_| CostPair::proportional(500 + next() % 500)).collect(),
+                    (0..n)
+                        .map(|_| CostPair::proportional(500 + next() % 500))
+                        .collect(),
                 );
                 for i in 0..n as u32 {
                     for j in 0..n as u32 {

@@ -76,19 +76,18 @@ pub fn solve(instance: &ProblemInstance, alpha: f64) -> Result<StorageSolution, 
 
     // Relaxes the arc a→b if it exists, improves d(b), and keeps the
     // structure acyclic.
-    let relax =
-        |parent: &mut Vec<Option<NodeId>>, d: &mut Vec<u64>, a: NodeId, b: NodeId| {
-            if b == NodeId(0) {
-                return;
+    let relax = |parent: &mut Vec<Option<NodeId>>, d: &mut Vec<u64>, a: NodeId, b: NodeId| {
+        if b == NodeId(0) {
+            return;
+        }
+        if let Some(w) = phi(a, b) {
+            let nd = d[a.index()].saturating_add(w);
+            if nd < d[b.index()] && !is_ancestor_or_self(parent, b, a) {
+                d[b.index()] = nd;
+                parent[b.index()] = Some(a);
             }
-            if let Some(w) = phi(a, b) {
-                let nd = d[a.index()].saturating_add(w);
-                if nd < d[b.index()] && !is_ancestor_or_self(parent, b, a) {
-                    d[b.index()] = nd;
-                    parent[b.index()] = Some(a);
-                }
-            }
-        };
+        }
+    };
     // Grafts v's shortest path when the α check fails: every node on the
     // path whose shortest-path cost beats its current cost adopts its SPT
     // parent.

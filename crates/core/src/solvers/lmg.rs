@@ -231,7 +231,9 @@ pub fn solve_sum_given_storage(
                 best = Some((rho, idx, new_d, new_storage));
             }
         }
-        let Some((_, idx, new_d, _)) = best else { break };
+        let Some((_, idx, new_d, _)) = best else {
+            break;
+        };
         let c = candidates[idx];
         candidates[idx].used = true;
         state.apply_move(c.v, c.new_parent, c.delta, new_d);
@@ -252,7 +254,8 @@ pub fn solve_storage_given_sum(
     let spt_sol = spt::solve(instance)?;
     let measure = |s: &StorageSolution| -> u64 {
         if use_weights {
-            s.weighted_sum_recreation(instance.weights().unwrap_or(&[])).ceil() as u64
+            s.weighted_sum_recreation(instance.weights().unwrap_or(&[]))
+                .ceil() as u64
         } else {
             s.sum_recreation()
         }

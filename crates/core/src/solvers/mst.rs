@@ -18,8 +18,7 @@ pub fn solve(instance: &ProblemInstance) -> Result<StorageSolution, SolveError> 
     }
     if instance.matrix().is_symmetric() {
         let g = instance.undirected_graph();
-        let mst =
-            prim_mst(&g, NodeId(0), |e| e.weight.storage).ok_or(SolveError::Disconnected)?;
+        let mst = prim_mst(&g, NodeId(0), |e| e.weight.storage).ok_or(SolveError::Disconnected)?;
         augmented_to_solution(instance, &mst.parent)
     } else {
         let g = instance.augmented_graph();

@@ -89,14 +89,16 @@ mod tests {
     #[test]
     fn solve_builds_valid_solution() {
         let n = 16usize;
-        let mut m = CostMatrix::directed(
-            (0..n).map(|_| CostPair::proportional(1000)).collect(),
-        );
+        let mut m = CostMatrix::directed((0..n).map(|_| CostPair::proportional(1000)).collect());
         for i in 1..n as u32 {
             // Skip-delta size grows with the revision distance, as in
             // reality.
             let base = skip_parent(i);
-            m.reveal(base, i, CostPair::proportional(10 + 5 * u64::from(i - base)));
+            m.reveal(
+                base,
+                i,
+                CostPair::proportional(10 + 5 * u64::from(i - base)),
+            );
         }
         let inst = ProblemInstance::new(m);
         let sol = solve(&inst).unwrap();

@@ -25,7 +25,8 @@ pub fn solve(instance: &ProblemInstance) -> Result<StorageSolution, SolveError> 
     let sol = augmented_to_solution(instance, &sp.parent)?;
     debug_assert!(
         (0..instance.version_count()).all(|i| {
-            sp.dist[ProblemInstance::node_of(i as u32).index()] == Some(sol.recreation_cost(i as u32))
+            sp.dist[ProblemInstance::node_of(i as u32).index()]
+                == Some(sol.recreation_cost(i as u32))
         }),
         "solution recreation costs must equal Dijkstra distances"
     );
@@ -41,9 +42,7 @@ pub fn min_recreation_costs(instance: &ProblemInstance) -> Result<Vec<u64>, Solv
     let g = instance.augmented_graph();
     let sp = dijkstra(&g, NodeId(0), |e| e.weight.recreation);
     (0..instance.version_count() as u32)
-        .map(|i| {
-            sp.dist[ProblemInstance::node_of(i).index()].ok_or(SolveError::Disconnected)
-        })
+        .map(|i| sp.dist[ProblemInstance::node_of(i).index()].ok_or(SolveError::Disconnected))
         .collect()
 }
 

@@ -12,8 +12,7 @@ fn arb_degenerate_instance() -> impl Strategy<Value = ProblemInstance> {
     (2usize..10).prop_flat_map(|n| {
         let diag = proptest::collection::vec(0u64..3, n);
         let attach = proptest::collection::vec((0u32..u32::MAX, 0u64..3), n - 1);
-        let extra =
-            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0u64..3), 0..4 * n);
+        let extra = proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0u64..3), 0..4 * n);
         (Just(n), diag, attach, extra).prop_map(|(_n, diag, attach, extra)| {
             let mut m = CostMatrix::directed(
                 diag.into_iter()

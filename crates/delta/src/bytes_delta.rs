@@ -107,13 +107,17 @@ pub fn diff(src: &[u8], dst: &[u8]) -> Vec<DeltaOp> {
                 }
                 // Extend forwards.
                 let mut len = BLOCK;
-                while cand + len < src.len() && i + len < dst.len() && src[cand + len] == dst[i + len]
+                while cand + len < src.len()
+                    && i + len < dst.len()
+                    && src[cand + len] == dst[i + len]
                 {
                     len += 1;
                 }
                 // Extend backwards into pending literals.
                 let mut back = 0usize;
-                while back < cand && back < i - lit_start && src[cand - back - 1] == dst[i - back - 1]
+                while back < cand
+                    && back < i - lit_start
+                    && src[cand - back - 1] == dst[i - back - 1]
                 {
                     back += 1;
                 }
@@ -230,7 +234,9 @@ mod tests {
 
     #[test]
     fn small_edit_yields_small_delta() {
-        let src: Vec<u8> = (0..2000u32).flat_map(|i| format!("row-{i}\n").into_bytes()).collect();
+        let src: Vec<u8> = (0..2000u32)
+            .flat_map(|i| format!("row-{i}\n").into_bytes())
+            .collect();
         let mut dst = src.clone();
         // Change a few bytes in the middle.
         let pos = dst.len() / 2;
@@ -275,7 +281,10 @@ mod tests {
 
     #[test]
     fn apply_rejects_bad_copy() {
-        let ops = vec![DeltaOp::Copy { offset: 5, len: 100 }];
+        let ops = vec![DeltaOp::Copy {
+            offset: 5,
+            len: 100,
+        }];
         assert_eq!(apply(b"short", &ops), Err(DeltaError::CopyOutOfRange));
         let ops = vec![DeltaOp::Copy {
             offset: u64::MAX,

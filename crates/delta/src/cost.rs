@@ -53,8 +53,11 @@ pub fn full_annotation(model: CostModel, raw: &[u8]) -> CostAnnotation {
     match model {
         CostModel::Proportional => CostAnnotation::new(raw.len() as u64, raw.len() as u64),
         CostModel::CompressedStorage => {
-            let compressed = lz::compress(raw);
-            CostAnnotation::new(compressed.len() as u64, raw.len() as u64)
+            // The store keeps the raw payload when compression does not
+            // shrink it (see `Object::encode`), so the modelled storage
+            // cost mirrors that fallback.
+            let compressed = lz::compress(raw).len().min(raw.len());
+            CostAnnotation::new(compressed as u64, raw.len() as u64)
         }
     }
 }
@@ -62,16 +65,20 @@ pub fn full_annotation(model: CostModel, raw: &[u8]) -> CostAnnotation {
 /// Annotation for storing a version as a **delta** (`⟨Δ_ij, Φ_ij⟩`), given
 /// the encoded (uncompressed) delta bytes and the size of the version the
 /// delta reconstructs.
-pub fn delta_annotation(model: CostModel, encoded_delta: &[u8], target_len: usize) -> CostAnnotation {
+pub fn delta_annotation(
+    model: CostModel,
+    encoded_delta: &[u8],
+    target_len: usize,
+) -> CostAnnotation {
     match model {
-        CostModel::Proportional => CostAnnotation::new(
-            encoded_delta.len() as u64,
-            encoded_delta.len() as u64,
-        ),
+        CostModel::Proportional => {
+            CostAnnotation::new(encoded_delta.len() as u64, encoded_delta.len() as u64)
+        }
         CostModel::CompressedStorage => {
-            let compressed = lz::compress(encoded_delta);
+            // Same raw fallback as `full_annotation`.
+            let compressed = lz::compress(encoded_delta).len().min(encoded_delta.len());
             CostAnnotation::new(
-                compressed.len() as u64,
+                compressed as u64,
                 encoded_delta.len() as u64 + target_len as u64,
             )
         }

@@ -155,12 +155,12 @@ fn backtrack<T: PartialEq>(a: &[T], b: &[T], d_final: usize, trace: &[Vec<isize>
     for d in (1..=d_final as isize).rev() {
         let v = &trace[d as usize];
         let k = x - y;
-        let prev_k = if k == -d || (k != d && v[(k - 1 + offset) as usize] < v[(k + 1 + offset) as usize])
-        {
-            k + 1
-        } else {
-            k - 1
-        };
+        let prev_k =
+            if k == -d || (k != d && v[(k - 1 + offset) as usize] < v[(k + 1 + offset) as usize]) {
+                k + 1
+            } else {
+                k - 1
+            };
         let prev_x = v[(prev_k + offset) as usize];
         let prev_y = prev_x - prev_k;
         // Diagonal snake back to the point just after the edit.
@@ -271,7 +271,14 @@ mod tests {
     #[test]
     fn empty_to_nonempty() {
         let ops = check("", "xyz");
-        assert_eq!(ops, vec![DiffOp::Insert { a_pos: 0, b_pos: 0, len: 3 }]);
+        assert_eq!(
+            ops,
+            vec![DiffOp::Insert {
+                a_pos: 0,
+                b_pos: 0,
+                len: 3
+            }]
+        );
     }
 
     #[test]
@@ -327,7 +334,11 @@ mod tests {
             ops,
             vec![
                 DiffOp::Delete { a_pos: 0, len: 200 },
-                DiffOp::Insert { a_pos: 200, b_pos: 0, len: 200 },
+                DiffOp::Insert {
+                    a_pos: 200,
+                    b_pos: 0,
+                    len: 200
+                },
             ]
         );
         assert_eq!(apply_diff(&a, &b, &ops), b);

@@ -247,7 +247,13 @@ mod tests {
     fn identical_text_is_one_copy() {
         let script = line_diff(SRC, SRC);
         assert_eq!(script.ops.len(), 1);
-        assert!(matches!(script.ops[0], LineOp::Copy { src_line: 0, count: 5 }));
+        assert!(matches!(
+            script.ops[0],
+            LineOp::Copy {
+                src_line: 0,
+                count: 5
+            }
+        ));
         assert_eq!(script.apply(SRC).unwrap(), SRC);
     }
 

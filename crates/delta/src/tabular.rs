@@ -356,8 +356,12 @@ mod tests {
     fn sample() -> Table {
         let mut t = Table::new(vec!["id".into(), "name".into(), "age".into()]);
         for i in 0..5 {
-            t.push_row(vec![i.to_string(), format!("user{i}"), (20 + i).to_string()])
-                .unwrap();
+            t.push_row(vec![
+                i.to_string(),
+                format!("user{i}"),
+                (20 + i).to_string(),
+            ])
+            .unwrap();
         }
         t
     }

@@ -132,11 +132,17 @@ mod tests {
 
     #[test]
     fn similar_versions_compress_well() {
-        let a: Vec<u8> = (0..10_000u32).flat_map(|i| format!("r{i}\n").into_bytes()).collect();
+        let a: Vec<u8> = (0..10_000u32)
+            .flat_map(|i| format!("r{i}\n").into_bytes())
+            .collect();
         let mut b = a.clone();
         b[5000] ^= 0xff;
         let d = XorDelta::between(&a, &b);
-        assert!(d.encoded_size() < 200, "sparse xor should compress, got {}", d.encoded_size());
+        assert!(
+            d.encoded_size() < 200,
+            "sparse xor should compress, got {}",
+            d.encoded_size()
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ fn arb_text() -> impl Strategy<Value = Vec<u8>> {
 fn arb_edited_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
     (arb_text(), arb_text(), any::<prop::sample::Index>()).prop_map(|(base, insert, idx)| {
         let mut edited = base.clone();
-        let pos = if base.is_empty() { 0 } else { idx.index(base.len()) };
+        let pos = if base.is_empty() {
+            0
+        } else {
+            idx.index(base.len())
+        };
         edited.splice(pos..pos, insert.iter().copied());
         (base, edited)
     })

@@ -122,7 +122,9 @@ impl<W> DiGraph<W> {
 
     /// Successor nodes of `v` (with multiplicity, in insertion order).
     pub fn successors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out[v.index()].iter().map(|e| self.edges[e.index()].dst)
+        self.out[v.index()]
+            .iter()
+            .map(|e| self.edges[e.index()].dst)
     }
 
     /// Predecessor nodes of `v` (with multiplicity, in insertion order).

@@ -210,7 +210,10 @@ mod tests {
                 let (got_pri, got_key) = h.pop().unwrap();
                 assert_eq!(got_pri, pri);
                 // Remove the popped key from the reference if it differs.
-                if let Some(j) = reference.iter().position(|&(p, k)| k == got_key && p == pri) {
+                if let Some(j) = reference
+                    .iter()
+                    .position(|&(p, k)| k == got_key && p == pri)
+                {
                     reference.remove(j);
                     reference.push((pri, _key));
                 }

@@ -8,7 +8,10 @@ use dsv_graph::{
 use proptest::prelude::*;
 
 /// Strategy: a random directed graph as (n, edges) with weights.
-fn arb_digraph(max_n: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
+fn arb_digraph(
+    max_n: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
     (2..=max_n).prop_flat_map(move |n| {
         let edge = (0..n as u32, 0..n as u32, 0u64..1000);
         (Just(n), proptest::collection::vec(edge, 0..=max_edges))
@@ -17,9 +20,7 @@ fn arb_digraph(max_n: usize, max_edges: usize) -> impl Strategy<Value = (usize, 
 
 /// Strategy: a random *connected* undirected graph: a random spanning tree
 /// plus extra edges.
-fn arb_connected_ungraph(
-    max_n: usize,
-) -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
+fn arb_connected_ungraph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
     (2..=max_n).prop_flat_map(move |n| {
         let tree_weights = proptest::collection::vec(0u64..1000, n - 1);
         let tree_attach = proptest::collection::vec(0u32..u32::MAX, n - 1);

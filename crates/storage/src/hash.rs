@@ -12,22 +12,33 @@ pub struct ObjectId(pub [u8; 16]);
 
 const FNV_PRIME: u64 = 0x1000_0000_01b3;
 
-fn fnv1a(seed: u64, data: &[u8]) -> u64 {
+fn fnv1a_parts(seed: u64, parts: &[&[u8]]) -> u64 {
     let mut h = seed;
-    for &b in data {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
+    let mut len = 0u64;
+    for part in parts {
+        len += part.len() as u64;
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
     }
     // Finalize with the length so prefixes don't collide trivially.
-    h ^= data.len() as u64;
+    h ^= len;
     h.wrapping_mul(FNV_PRIME)
 }
 
 impl ObjectId {
     /// Hashes `data` into an id.
     pub fn for_bytes(data: &[u8]) -> Self {
-        let a = fnv1a(0xcbf2_9ce4_8422_2325, data);
-        let b = fnv1a(0x6c62_272e_07bb_0142, data);
+        ObjectId::for_parts(&[data])
+    }
+
+    /// Hashes the concatenation of `parts` into an id, without
+    /// materializing the concatenated buffer (used by `Object::id` to
+    /// domain-separate object kinds with a tag prefix).
+    pub fn for_parts(parts: &[&[u8]]) -> Self {
+        let a = fnv1a_parts(0xcbf2_9ce4_8422_2325, parts);
+        let b = fnv1a_parts(0x6c62_272e_07bb_0142, parts);
         let mut out = [0u8; 16];
         out[..8].copy_from_slice(&a.to_le_bytes());
         out[8..].copy_from_slice(&b.to_le_bytes());
@@ -82,6 +93,14 @@ mod tests {
     fn empty_input_has_an_id() {
         let a = ObjectId::for_bytes(b"");
         assert_ne!(a, ObjectId::for_bytes(b"\0"));
+    }
+
+    #[test]
+    fn parts_match_concatenation() {
+        let whole = ObjectId::for_bytes(b"abcdef");
+        assert_eq!(ObjectId::for_parts(&[b"abc", b"def"]), whole);
+        assert_eq!(ObjectId::for_parts(&[b"", b"abcdef", b""]), whole);
+        assert_ne!(ObjectId::for_parts(&[b"abc"]), whole);
     }
 
     #[test]

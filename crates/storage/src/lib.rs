@@ -4,17 +4,28 @@
 //!
 //! The optimizer (dsv-core) decides *which* versions to materialize and
 //! which to store as deltas; this crate actually stores them and recreates
-//! them:
+//! them. Three storage regimes ("substrates") share one object model:
+//!
+//! | Substrate | Object layout | Storage | Recreation |
+//! |---|---|---|---|
+//! | **Full** | one `Object::Full` per version | highest | one fetch |
+//! | **Delta** | `Object::Delta` chains per the optimizer's plan | lowest | walk + replay the chain |
+//! | **Chunked** | `Object::Chunked` manifest over deduplicated `Full` chunk objects | near-delta | fetch own chunks only |
+//!
+//! Full and Delta are the paper's two regimes; Chunked is the third point
+//! on the recreation/storage tradeoff (RStore-style chunk-level dedup),
+//! produced by the `dsv-chunk` crate and reassembled here by the
+//! [`Materializer`].
 //!
 //! - [`hash`]: 128-bit content addresses.
-//! - [`object`]: the two object kinds — `Full` bytes or `Delta{base,
-//!   ops}` — with an optional LZ-compressed on-disk encoding (the `Φ ≠ Δ`
-//!   regime of the paper).
+//! - [`object`]: the three object kinds — `Full` bytes, `Delta{base,
+//!   ops}`, or `Chunked{chunks}` — with an optional LZ-compressed on-disk
+//!   encoding (the `Φ ≠ Δ` regime of the paper).
 //! - [`store`]: the [`ObjectStore`] trait with in-memory and on-disk
 //!   implementations.
 //! - [`materialize`]: recreation — walk a version's delta chain back to a
-//!   materialized object and replay it, with a memoization cache and
-//!   measured recreation work.
+//!   materialized object or chunk manifest and replay it, with a
+//!   memoization cache and measured recreation work.
 //! - [`repack`]: apply a storage plan (a parent assignment from the
 //!   optimizer) to a set of version contents, producing objects and
 //!   **measured** storage/recreation statistics (what §5.2 reports).
@@ -26,7 +37,7 @@ pub mod repack;
 pub mod store;
 
 pub use hash::ObjectId;
-pub use materialize::Materializer;
+pub use materialize::{Materializer, RecreationWork};
 pub use object::{Object, StoreError};
 pub use repack::{pack_versions, PackOptions, PackedVersions};
 pub use store::{FileStore, MemStore, ObjectStore};

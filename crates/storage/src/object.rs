@@ -1,17 +1,20 @@
-//! Stored objects: materialized versions and deltas.
+//! Stored objects: materialized versions, deltas, and chunk manifests.
 //!
 //! Wire format (what [`crate::store`] persists):
 //!
 //! ```text
-//! byte tag        0 = Full, 1 = Delta
+//! byte tag        0 = Full, 1 = Delta, 2 = Chunked
 //! byte codec      0 = raw, 1 = LZ-compressed payload
 //! [16 bytes base id]            -- Delta only
-//! varint payload_len, payload   -- version bytes (Full) or encoded delta
+//! varint payload_len, payload   -- version bytes (Full), encoded delta
+//!                                  (Delta), or concatenated 16-byte chunk
+//!                                  ids in order (Chunked)
 //! ```
 
 use crate::hash::ObjectId;
 use dsv_compress::lz;
 use dsv_compress::varint::{decode_u64, encode_u64};
+use std::borrow::Cow;
 
 /// A stored object.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +30,14 @@ pub enum Object {
         base: ObjectId,
         /// Encoded byte-delta ops ([`dsv_delta::bytes_delta`]).
         delta: Vec<u8>,
+    },
+    /// A version stored as an ordered manifest of content-defined chunks
+    /// (the deduplicating third regime; chunking lives in `dsv-chunk`).
+    /// Each chunk is itself a [`Object::Full`] object holding the chunk
+    /// bytes, so identical chunks across versions are stored once.
+    Chunked {
+        /// Content addresses of the chunks, in reassembly order.
+        chunks: Vec<ObjectId>,
     },
 }
 
@@ -66,10 +77,12 @@ impl Object {
     /// Serializes the object, LZ-compressing the payload when
     /// `compress` is set and compression actually helps.
     pub fn encode(&self, compress: bool) -> Vec<u8> {
-        let (tag, base, payload): (u8, Option<&ObjectId>, &[u8]) = match self {
-            Object::Full { data } => (0, None, data),
-            Object::Delta { base, delta } => (1, Some(base), delta),
+        let (tag, base, payload): (u8, Option<&ObjectId>, Cow<'_, [u8]>) = match self {
+            Object::Full { data } => (0, None, Cow::Borrowed(data.as_slice())),
+            Object::Delta { base, delta } => (1, Some(base), Cow::Borrowed(delta.as_slice())),
+            Object::Chunked { chunks } => (2, None, Cow::Owned(concat_ids(chunks))),
         };
+        let payload: &[u8] = &payload;
         let mut out = Vec::with_capacity(payload.len() / 2 + 24);
         out.push(tag);
         let compressed = compress.then(|| lz::compress(payload));
@@ -104,13 +117,12 @@ impl Object {
             b.copy_from_slice(&input[pos..pos + 16]);
             pos += 16;
             Some(ObjectId(b))
-        } else if tag == 0 {
+        } else if tag == 0 || tag == 2 {
             None
         } else {
             return Err(StoreError::Corrupt("unknown tag"));
         };
-        let (len, used) =
-            decode_u64(&input[pos..]).ok_or(StoreError::Corrupt("bad length"))?;
+        let (len, used) = decode_u64(&input[pos..]).ok_or(StoreError::Corrupt("bad length"))?;
         pos += used;
         let len = len as usize;
         if input.len() != pos + len {
@@ -123,31 +135,68 @@ impl Object {
         } else {
             return Err(StoreError::Corrupt("unknown codec"));
         };
-        Ok(match base {
-            None => Object::Full { data: payload },
-            Some(base) => Object::Delta {
+        Ok(match (tag, base) {
+            (0, None) => Object::Full { data: payload },
+            (1, Some(base)) => Object::Delta {
                 base,
                 delta: payload,
             },
+            (2, None) => {
+                if payload.len() % 16 != 0 {
+                    return Err(StoreError::Corrupt("manifest not a multiple of 16 bytes"));
+                }
+                Object::Chunked {
+                    chunks: payload
+                        .chunks_exact(16)
+                        .map(|c| {
+                            let mut b = [0u8; 16];
+                            b.copy_from_slice(c);
+                            ObjectId(b)
+                        })
+                        .collect(),
+                }
+            }
+            _ => unreachable!("tag validated above"),
         })
     }
 
-    /// The object's content address. Full objects are addressed by their
-    /// data; delta objects by base-id plus delta bytes (so the same
-    /// version stored two ways has two ids — the *version* identity lives
-    /// in the VCS layer).
+    /// The object's content address: the kind tag plus the kind's payload
+    /// (data, base-id + delta bytes, or chunk ids). The tag prefix
+    /// domain-separates the kinds, so no byte string can be made to
+    /// collide with another kind's id by construction — in particular a
+    /// chunk (an arbitrary slice of user data stored `Full`) can never
+    /// alias a manifest's id. The same version stored two ways still has
+    /// two ids; the *version* identity lives in the VCS layer.
     pub fn id(&self) -> ObjectId {
         match self {
-            Object::Full { data } => ObjectId::for_bytes(data),
-            Object::Delta { base, delta } => {
-                let mut keyed = Vec::with_capacity(16 + delta.len() + 1);
-                keyed.push(1u8);
-                keyed.extend_from_slice(&base.0);
-                keyed.extend_from_slice(delta);
-                ObjectId::for_bytes(&keyed)
+            Object::Full { data } => Object::full_id(data),
+            Object::Delta { base, delta } => ObjectId::for_parts(&[&[1u8], &base.0, delta]),
+            Object::Chunked { chunks } => {
+                let mut parts: Vec<&[u8]> = Vec::with_capacity(1 + chunks.len());
+                parts.push(&[2u8]);
+                for c in chunks {
+                    parts.push(&c.0);
+                }
+                ObjectId::for_parts(&parts)
             }
         }
     }
+
+    /// The id a `Full { data }` object would have, without constructing
+    /// (or copying into) the object. Lets dedup callers probe
+    /// `ObjectStore::contains` before materializing a chunk.
+    pub fn full_id(data: &[u8]) -> ObjectId {
+        ObjectId::for_parts(&[&[0u8], data])
+    }
+}
+
+/// Concatenates chunk ids into the manifest payload layout.
+fn concat_ids(chunks: &[ObjectId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(chunks.len() * 16);
+    for c in chunks {
+        out.extend_from_slice(&c.0);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -189,7 +238,9 @@ mod tests {
             s ^= s << 17;
             noise.push((s >> 24) as u8);
         }
-        let obj = Object::Full { data: noise.clone() };
+        let obj = Object::Full {
+            data: noise.clone(),
+        };
         let enc = obj.encode(true);
         assert!(enc.len() <= noise.len() + 16);
         assert_eq!(Object::decode(&enc).unwrap(), obj);
@@ -227,5 +278,68 @@ mod tests {
     fn empty_payloads() {
         let obj = Object::Full { data: vec![] };
         assert_eq!(Object::decode(&obj.encode(true)).unwrap(), obj);
+    }
+
+    #[test]
+    fn chunked_roundtrip() {
+        let obj = Object::Chunked {
+            chunks: (0..7).map(|i| ObjectId::for_bytes(&[i as u8; 4])).collect(),
+        };
+        for compress in [false, true] {
+            assert_eq!(Object::decode(&obj.encode(compress)).unwrap(), obj);
+        }
+        // Empty manifests are legal (empty version).
+        let empty = Object::Chunked { chunks: vec![] };
+        assert_eq!(Object::decode(&empty.encode(false)).unwrap(), empty);
+    }
+
+    #[test]
+    fn chunked_decode_rejects_ragged_manifest() {
+        let obj = Object::Chunked {
+            chunks: vec![ObjectId::for_bytes(b"c1")],
+        };
+        let mut enc = obj.encode(false);
+        // Chop one byte off the single id and fix up the varint length.
+        enc.pop();
+        enc[2] -= 1; // single-byte varint (len 16 -> 15)
+        assert!(matches!(
+            Object::decode(&enc).unwrap_err(),
+            StoreError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn chunked_ids_depend_on_order_and_kind() {
+        let a = ObjectId::for_bytes(b"a");
+        let b = ObjectId::for_bytes(b"b");
+        let ab = Object::Chunked { chunks: vec![a, b] };
+        let ba = Object::Chunked { chunks: vec![b, a] };
+        assert_ne!(ab.id(), ba.id());
+        // A manifest never collides with a Full object of the same bytes.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&a.0);
+        raw.extend_from_slice(&b.0);
+        assert_ne!(ab.id(), Object::Full { data: raw }.id());
+    }
+
+    #[test]
+    fn full_id_matches_constructed_object() {
+        let data = b"chunk payload".to_vec();
+        assert_eq!(Object::full_id(&data), Object::Full { data }.id());
+    }
+
+    #[test]
+    fn crafted_chunk_cannot_alias_a_manifest() {
+        // Adversarial construction: a Full object (e.g. a CDC chunk of
+        // committed user data) whose bytes equal a manifest's id
+        // *preimage* — tag byte plus chunk ids. Domain separation (the
+        // Full preimage carries its own tag) keeps the ids distinct.
+        let x = ObjectId::for_bytes(b"x");
+        let y = ObjectId::for_bytes(b"y");
+        let manifest = Object::Chunked { chunks: vec![x, y] };
+        let mut preimage = vec![2u8];
+        preimage.extend_from_slice(&x.0);
+        preimage.extend_from_slice(&y.0);
+        assert_ne!(Object::full_id(&preimage), manifest.id());
     }
 }

@@ -30,6 +30,14 @@ pub trait ObjectStore {
     /// Removes an object (used by repack garbage collection). Unknown ids
     /// are ignored.
     fn remove(&self, id: ObjectId);
+    /// Removes every object: the bulk path for rebuilding or reusing a
+    /// store (e.g. packing several substrates through one store in
+    /// sequence), so rebuilds into the same `FileStore` never accumulate
+    /// orphaned objects on disk. Repack garbage collection in `dsv-vcs`
+    /// deliberately does *not* use it: stale objects are removed
+    /// individually only after a successful re-pack, so an interrupted
+    /// optimize can never destroy the only copy of a history.
+    fn clear(&self);
 }
 
 /// An in-memory store (the default for experiments).
@@ -78,6 +86,10 @@ impl ObjectStore for MemStore {
 
     fn remove(&self, id: ObjectId) {
         self.map.write().remove(&id);
+    }
+
+    fn clear(&self) {
+        self.map.write().clear();
     }
 }
 
@@ -165,6 +177,16 @@ impl ObjectStore for FileStore {
     fn remove(&self, id: ObjectId) {
         let _ = std::fs::remove_file(self.path_of(id));
     }
+
+    fn clear(&self) {
+        // Drop whole fan-out directories; the root stays so the store
+        // remains usable without re-opening.
+        if let Ok(fanout) = std::fs::read_dir(&self.dir) {
+            for d in fanout.flatten() {
+                let _ = std::fs::remove_dir_all(d.path());
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +228,16 @@ mod tests {
         store.remove(did);
         assert!(!store.contains(did));
         store.remove(missing); // no-op
+
+        // Bulk removal: the store is empty and still usable afterwards.
+        store.put(&d).unwrap();
+        assert!(store.len() >= 2);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.total_bytes(), 0);
+        let again = store.put(&a).unwrap();
+        assert_eq!(again, id);
+        assert!(store.contains(id));
     }
 
     #[test]

@@ -72,7 +72,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 None => {
                     use std::io::Write;
-                    std::io::stdout().write_all(&data).map_err(|e| e.to_string())?;
+                    std::io::stdout()
+                        .write_all(&data)
+                        .map_err(|e| e.to_string())?;
                 }
             }
             Ok(())
@@ -89,7 +91,9 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "branch" => {
             let root = repo_dir(args, 1)?;
-            let name = args.get(2).ok_or("usage: dsv branch <repo> <name> <version>")?;
+            let name = args
+                .get(2)
+                .ok_or("usage: dsv branch <repo> <name> <version>")?;
             let from = parse_version(args.get(3))?;
             let mut repo = persist::load(&root, true).map_err(stringify)?;
             repo.branch(name, from).map_err(stringify)?;
@@ -108,11 +112,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "status" => {
             let root = repo_dir(args, 1)?;
             let repo = persist::load(&root, true).map_err(stringify)?;
-            let materialized = repo
-                .current_plan()
-                .iter()
-                .filter(|p| p.is_none())
-                .count();
+            let materialized = repo.current_plan().iter().filter(|p| p.is_none()).count();
             println!(
                 "{} versions, {} branches, {} materialized, {} bytes on disk",
                 repo.version_count(),

@@ -9,7 +9,11 @@
 //! "unlike traditional VCS … we let the user perform the merge"), and
 //! `checkout` any version. [`Repository::optimize`] re-packs the
 //! repository under any of the paper's six problems, trading storage for
-//! recreation cost on demand.
+//! recreation cost on demand. Commits are placed per a [`Placement`]
+//! policy: greedy parent deltas (the paper's regime) or deduplicated
+//! chunk manifests ([`Repository::in_memory_chunked`] /
+//! [`Repository::init_chunked`]) whose checkout reassembles chunks
+//! instead of replaying chains.
 //!
 //! ```
 //! use dsv_vcs::Repository;
@@ -33,4 +37,4 @@ pub mod repo;
 pub use commit::{CommitId, CommitMeta};
 pub use error::VcsError;
 pub use optimize::OptimizeReport;
-pub use repo::Repository;
+pub use repo::{Placement, Repository};

@@ -77,8 +77,21 @@ impl<S: ObjectStore> Repository<S> {
         let instance = ProblemInstance::new(matrix);
         let solution = solve(&instance, problem)?;
 
-        // Re-pack along the chosen storage graph, then GC stale objects.
-        let old_ids: HashSet<_> = self.objects.iter().copied().collect();
+        // Collect the old plan's reference closure *before* repacking:
+        // the version objects themselves plus, for chunk manifests, the
+        // chunk objects they reference (so re-packing a chunked repository
+        // reclaims its chunks instead of leaking them). The extra decode
+        // per version is noise next to the O(n²) diff phase above. New
+        // objects are packed alongside the old ones and stale objects are
+        // removed only after the pack succeeds — a failed or interrupted
+        // repack must never destroy a store that is the only copy of the
+        // history (`ObjectStore::clear` would).
+        let mut old_ids: HashSet<_> = self.objects.iter().copied().collect();
+        for id in &self.objects {
+            if let Ok(dsv_storage::Object::Chunked { chunks }) = self.store.get(*id) {
+                old_ids.extend(chunks);
+            }
+        }
         let packed = pack_versions(
             &self.store,
             &contents,
@@ -175,7 +188,8 @@ mod tests {
         };
         let v0 = repo.commit("main", &csv_of(0..300), "base").unwrap();
         for k in 1..=6 {
-            repo.commit("main", &csv_of(0..300 + k * 5), "grow").unwrap();
+            repo.commit("main", &csv_of(0..300 + k * 5), "grow")
+                .unwrap();
         }
         repo.branch("side", v0).unwrap();
         for k in 1..=6 {
@@ -230,9 +244,7 @@ mod tests {
         // the objects. This ties prediction to reality per version.
         let m = Materializer::new(&repo.store);
         for v in 0..repo.version_count() as u32 {
-            let (_, work) = m
-                .materialize_measured(repo.objects[v as usize])
-                .unwrap();
+            let (_, work) = m.materialize_measured(repo.objects[v as usize]).unwrap();
             assert!(
                 work.bytes_read <= theta,
                 "v{v}: read {} vs theta {theta}",
@@ -270,6 +282,36 @@ mod tests {
                     "content must survive repacking (v{v})"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn optimize_reclaims_chunks_of_a_chunked_repo() {
+        // A chunked repo re-packed into a delta plan must GC its
+        // manifests AND their chunk objects.
+        let mut repo = Repository::with_placement(
+            MemStore::new(false),
+            crate::repo::Placement::Chunked(dsv_chunk::ChunkerParams::default()),
+        );
+        let row = |i: usize| format!("{i},payload-{},2015\n", i * 31);
+        let mut data = b"id,payload,year\n".to_vec();
+        for i in 0..600 {
+            data.extend_from_slice(row(i).as_bytes());
+        }
+        repo.commit("main", &data, "base").unwrap();
+        for k in 1..8 {
+            data.extend_from_slice(row(600 + k).as_bytes());
+            repo.commit("main", &data, "grow").unwrap();
+        }
+        let objects_before = repo.store.len();
+        let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+        // After repacking, only the plan's objects remain: one Full root
+        // plus a delta per remaining version. No orphaned chunks.
+        assert_eq!(repo.store.len(), repo.version_count());
+        assert!(repo.store.len() < objects_before);
+        assert!(report.storage_after < report.storage_before);
+        for v in 0..repo.version_count() as u32 {
+            assert!(!repo.checkout(CommitId(v)).unwrap().is_empty());
         }
     }
 

@@ -164,7 +164,8 @@ mod tests {
             .commit("main", b"a,b\n1,2\n3,4\n", "initial import")
             .unwrap();
         repo.branch("dev", v0).unwrap();
-        repo.commit("dev", b"a,b\n1,2\n3,4\n5,6\n", "add row").unwrap();
+        repo.commit("dev", b"a,b\n1,2\n3,4\n5,6\n", "add row")
+            .unwrap();
         repo.commit("main", b"a,b\n9,9\n3,4\n", "fix cell\nwith newline")
             .unwrap();
         repo
@@ -195,7 +196,11 @@ mod tests {
         b.sort();
         assert_eq!(a, b);
         // Newlines in messages are flattened, not lost.
-        assert!(loaded.meta(CommitId(2)).unwrap().message.contains("fix cell"));
+        assert!(loaded
+            .meta(CommitId(2))
+            .unwrap()
+            .message
+            .contains("fix cell"));
         std::fs::remove_dir_all(&root).unwrap();
     }
 

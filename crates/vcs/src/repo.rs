@@ -2,15 +2,30 @@
 
 use crate::commit::{CommitId, CommitMeta};
 use crate::error::VcsError;
+use dsv_chunk::{ChunkStore, ChunkerParams};
 use dsv_delta::bytes_delta;
 use dsv_storage::{Materializer, MemStore, Object, ObjectId, ObjectStore};
 use std::collections::BTreeMap;
 
+/// How new commits are placed in the store (the offline optimizer can
+/// later re-pack the whole history regardless of placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Greedy: delta off the first parent when that beats materializing
+    /// (the paper's online regime).
+    GreedyDelta,
+    /// Content-defined chunking: every commit becomes a chunk manifest,
+    /// deduplicated against all previously stored chunks (the third
+    /// regime; see `dsv-chunk`).
+    Chunked(ChunkerParams),
+}
+
 /// A dataset version repository over an object store `S`.
 ///
 /// Commits store one dataset (a byte string) per version. New commits are
-/// placed greedily — as a delta from their first parent when that beats
-/// materialization — and [`Repository::optimize`](crate::Repository)
+/// placed per the repository's [`Placement`] — greedily as a delta from
+/// their first parent when that beats materialization, or as deduplicated
+/// chunk manifests — and [`Repository::optimize`](crate::Repository)
 /// re-packs the whole history under one of the paper's problems.
 pub struct Repository<S: ObjectStore> {
     pub(crate) store: S,
@@ -20,6 +35,7 @@ pub struct Repository<S: ObjectStore> {
     /// Object holding each version under the current plan.
     pub(crate) objects: Vec<ObjectId>,
     branches: BTreeMap<String, CommitId>,
+    placement: Placement,
 }
 
 impl Repository<MemStore> {
@@ -33,18 +49,46 @@ impl Repository<MemStore> {
     pub fn in_memory_compressed() -> Self {
         Repository::init(MemStore::new(true))
     }
+
+    /// An in-memory repository storing commits as deduplicated chunk
+    /// manifests (compressing store, so chunk payloads also get the
+    /// `dsv-compress` treatment).
+    pub fn in_memory_chunked() -> Self {
+        Repository::init_chunked(MemStore::new(true), ChunkerParams::default())
+    }
 }
 
 impl<S: ObjectStore> Repository<S> {
-    /// Creates an empty repository over `store`.
+    /// Creates an empty repository over `store` with greedy-delta
+    /// placement.
     pub fn init(store: S) -> Self {
+        Repository::with_placement(store, Placement::GreedyDelta)
+    }
+
+    /// Creates an empty repository over `store` whose commits are stored
+    /// as content-defined chunk manifests under `params`. Checkout
+    /// reassembles manifests transparently; persistence
+    /// ([`crate::persist`]) round-trips manifests like any other object,
+    /// though a reloaded repository places *new* commits greedily.
+    pub fn init_chunked(store: S, params: ChunkerParams) -> Self {
+        Repository::with_placement(store, Placement::Chunked(params))
+    }
+
+    /// Creates an empty repository with an explicit placement policy.
+    pub fn with_placement(store: S, placement: Placement) -> Self {
         Repository {
             store,
             commits: Vec::new(),
             plan: Vec::new(),
             objects: Vec::new(),
             branches: BTreeMap::new(),
+            placement,
         }
+    }
+
+    /// The placement policy for new commits.
+    pub fn placement(&self) -> Placement {
+        self.placement
     }
 
     /// Number of commits.
@@ -151,6 +195,22 @@ impl<S: ObjectStore> Repository<S> {
         max_recreation_bytes: Option<u64>,
     ) -> Result<CommitId, VcsError> {
         let id = CommitId(self.commits.len() as u32);
+        if let Placement::Chunked(params) = self.placement {
+            // Chunked placement: dedup against every chunk already stored.
+            // Recreation cost is the version's own chunks (no chains), so
+            // any `max_recreation_bytes` budget is trivially respected.
+            let put = ChunkStore::new(&self.store, params).and_then(|cs| cs.put_version(data))?;
+            self.objects.push(put.id);
+            self.plan.push(None);
+            self.commits.push(CommitMeta {
+                id,
+                parents: parents.to_vec(),
+                message: message.to_owned(),
+                sequence: id.0 as u64,
+                size: data.len() as u64,
+            });
+            return Ok(id);
+        }
         // Greedy online placement: delta off the first parent when it
         // beats materialization (the offline optimizer revisits this) and,
         // if a recreation budget is set, when the resulting chain stays
@@ -163,7 +223,9 @@ impl<S: ObjectStore> Repository<S> {
                 let chain_ok = match max_recreation_bytes {
                     None => true,
                     Some(theta) => {
-                        self.recreation_bytes(p)?.saturating_add(encoded.len() as u64) <= theta
+                        self.recreation_bytes(p)?
+                            .saturating_add(encoded.len() as u64)
+                            <= theta
                     }
                 };
                 if encoded.len() < data.len() && chain_ok {
@@ -265,6 +327,7 @@ impl<S: ObjectStore> Repository<S> {
             plan,
             objects,
             branches: map,
+            placement: Placement::GreedyDelta,
         })
     }
 }
@@ -323,8 +386,12 @@ mod tests {
         let v0 = repo.commit("main", &csv(100, "base"), "init").unwrap();
         repo.branch("team1", v0).unwrap();
         repo.branch("team2", v0).unwrap();
-        let a = repo.commit("team1", &csv(101, "base"), "team1 row").unwrap();
-        let b = repo.commit("team2", &csv(100, "edit"), "team2 edit").unwrap();
+        let a = repo
+            .commit("team1", &csv(101, "base"), "team1 row")
+            .unwrap();
+        let b = repo
+            .commit("team2", &csv(100, "edit"), "team2 edit")
+            .unwrap();
         let merged = repo
             .merge("team1", b, &csv(101, "edit"), "merge team2")
             .unwrap();
@@ -387,11 +454,16 @@ mod tests {
         let mut bounded = Repository::in_memory();
         let mut data = base.clone();
         unbounded.commit("main", &data, "v0").unwrap();
-        bounded.commit_bounded("main", &data, "v0", Some(theta)).unwrap();
+        bounded
+            .commit_bounded("main", &data, "v0", Some(theta))
+            .unwrap();
         for i in 0..30 {
             data.extend_from_slice(
-                format!("{},appended-payload-row-number-{i}-padding-padding\n", 400 + i)
-                    .as_bytes(),
+                format!(
+                    "{},appended-payload-row-number-{i}-padding-padding\n",
+                    400 + i
+                )
+                .as_bytes(),
             );
             unbounded.commit("main", &data, "grow").unwrap();
             bounded
@@ -399,20 +471,100 @@ mod tests {
                 .unwrap();
         }
         // Unbounded: a single materialized root.
-        assert_eq!(unbounded.current_plan().iter().filter(|p| p.is_none()).count(), 1);
+        assert_eq!(
+            unbounded
+                .current_plan()
+                .iter()
+                .filter(|p| p.is_none())
+                .count(),
+            1
+        );
         // Bounded: several materializations, and every checkout within θ
         // (or the version's own size, for versions that outgrew θ and must
         // be fetched whole).
-        let materialized = bounded.current_plan().iter().filter(|p| p.is_none()).count();
+        let materialized = bounded
+            .current_plan()
+            .iter()
+            .filter(|p| p.is_none())
+            .count();
         assert!(materialized > 1, "budget must force rematerialization");
         for v in 0..bounded.version_count() as u32 {
             let work = bounded.recreation_bytes(CommitId(v)).unwrap();
             let own = bounded.meta(CommitId(v)).unwrap().size;
             assert!(work <= theta.max(own), "v{v}: {work} > {theta}");
-            assert_eq!(bounded.checkout(CommitId(v)).unwrap().len(), unbounded.checkout(CommitId(v)).unwrap().len());
+            assert_eq!(
+                bounded.checkout(CommitId(v)).unwrap().len(),
+                unbounded.checkout(CommitId(v)).unwrap().len()
+            );
         }
         // The budget costs storage, as the tradeoff demands.
         assert!(bounded.storage_bytes() > unbounded.storage_bytes());
+    }
+
+    #[test]
+    fn chunked_repo_roundtrips_and_dedups() {
+        let mut plain = Repository::in_memory();
+        let mut chunked =
+            Repository::init_chunked(MemStore::new(false), dsv_chunk::ChunkerParams::default());
+        assert!(matches!(chunked.placement(), Placement::Chunked(_)));
+        // Branchy history over a large shared base: each branch appends
+        // its own rows, so content overlaps heavily across versions.
+        let base = csv(3000, "base");
+        let v0p = plain.commit("main", &base, "init").unwrap();
+        let v0c = chunked.commit("main", &base, "init").unwrap();
+        assert_eq!(v0p, v0c);
+        for team in ["team1", "team2", "team3"] {
+            plain.branch(team, v0p).unwrap();
+            chunked.branch(team, v0c).unwrap();
+            let mut data = base.clone();
+            for i in 0..4 {
+                data.extend_from_slice(format!("{team}-extra-row-{i}\n").as_bytes());
+                let a = plain.commit(team, &data, "grow").unwrap();
+                let b = chunked.commit(team, &data, "grow").unwrap();
+                assert_eq!(a, b);
+            }
+        }
+        // Chunked placement materializes no delta chains...
+        assert!(chunked.current_plan().iter().all(|p| p.is_none()));
+        // ...but stays far below the all-materialized footprint by
+        // deduplicating the shared base across branches.
+        let materialized: u64 = (0..chunked.version_count() as u32)
+            .map(|v| chunked.meta(CommitId(v)).unwrap().size)
+            .sum();
+        assert!(
+            chunked.storage_bytes() < materialized / 2,
+            "{} vs {materialized}",
+            chunked.storage_bytes()
+        );
+        // Checkout reassembles manifests byte-exactly.
+        for v in 0..chunked.version_count() as u32 {
+            assert_eq!(
+                chunked.checkout(CommitId(v)).unwrap(),
+                plain.checkout(CommitId(v)).unwrap(),
+                "v{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_checkout_cost_is_flat_in_history_length() {
+        let mut repo = Repository::in_memory_chunked();
+        let mut data = csv(800, "x");
+        repo.commit("main", &data, "v0").unwrap();
+        for i in 0..25 {
+            data.extend_from_slice(format!("{},appended-{i}\n", 800 + i).as_bytes());
+            repo.commit("main", &data, "grow").unwrap();
+        }
+        let m = Materializer::new(&repo.store);
+        let (_, early) = m.materialize_measured(repo.objects[1]).unwrap();
+        let last = repo.version_count() - 1;
+        let (_, late) = m.materialize_measured(repo.objects[last]).unwrap();
+        // The 26th version fetches its own chunks, not a 26-step chain:
+        // work grows with version size (slightly), never with depth.
+        assert!(
+            late.bytes_written <= early.bytes_written * 2,
+            "late {late:?} vs early {early:?}"
+        );
     }
 
     #[test]

@@ -302,10 +302,28 @@ mod tests {
         let mut p = small_params();
         p.cost_model = CostModel::CompressedStorage;
         let compressed = build("c", &p, 21);
-        // Diagonal: compressed storage below raw recreation.
+        // Diagonal: compressed storage never exceeds raw recreation (the
+        // store falls back to raw payloads), and strictly improves for
+        // most versions. Random-hex cell values are nearly incompressible
+        // by construction, so the *margin* is small; the invariant that
+        // matters is storage <= recreation with strict improvement being
+        // the norm.
+        let mut total_storage = 0u64;
+        let mut total_recreation = 0u64;
+        let mut strictly_below = 0usize;
         for i in 0..compressed.version_count() as u32 {
             let m = compressed.matrix.materialization(i);
-            assert!(m.storage < m.recreation);
+            assert!(
+                m.storage <= m.recreation,
+                "v{i}: {} > {}",
+                m.storage,
+                m.recreation
+            );
+            strictly_below += usize::from(m.storage < m.recreation);
+            total_storage += m.storage;
+            total_recreation += m.recreation;
         }
+        assert!(total_storage < total_recreation);
+        assert!(strictly_below * 2 > compressed.version_count());
     }
 }

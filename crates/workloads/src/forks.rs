@@ -92,8 +92,7 @@ pub fn build(name: &str, params: &ForkParams, seed: u64) -> Dataset {
         let family = rng.gen_range(0..params.clusters);
         let mut table = cluster_bases[family].clone();
         let mut commits = 1usize;
-        while commits < params.max_commits_per_fork
-            && rng.gen_bool(params.divergence_continue_prob)
+        while commits < params.max_commits_per_fork && rng.gen_bool(params.divergence_continue_prob)
         {
             commits += 1;
         }

@@ -23,10 +23,15 @@
 //!   would be pointless.
 //! - [`zipf`]: Zipfian access frequencies (exponent 2 in the paper's
 //!   workload-aware experiment, Fig. 16).
+//! - [`dedup`]: a chain of shifted/overlapping versions — the
+//!   dedup-friendly workload on which the chunked substrate (dsv-chunk)
+//!   is compared against Full/Delta plans. Preset
+//!   [`presets::dedup_chain`] (DD).
 //!
 //! All generators are deterministic given a seed.
 
 pub mod dataset;
+pub mod dedup;
 pub mod forks;
 pub mod par;
 pub mod presets;
@@ -36,6 +41,7 @@ pub mod version_graph;
 pub mod zipf;
 
 pub use dataset::{Dataset, DatasetParams};
+pub use dedup::DedupParams;
 pub use forks::ForkParams;
 pub use presets::Preset;
 pub use version_graph::{GraphParams, VersionGraph};

@@ -12,6 +12,7 @@
 //! DESIGN.md §2.4). All presets are deterministic given the build seed.
 
 use crate::dataset::{self, Dataset, DatasetParams};
+use crate::dedup::{self, DedupParams};
 use crate::forks::{self, ForkParams};
 use crate::table_gen::EditParams;
 use crate::version_graph::GraphParams;
@@ -24,6 +25,7 @@ enum Kind {
     LinearChain,
     BootstrapForks,
     LinuxForks,
+    DedupChain,
 }
 
 /// A configurable, deterministic workload preset.
@@ -163,6 +165,17 @@ impl Preset {
                 },
                 seed,
             ),
+            Kind::DedupChain => dedup::build(
+                self.name,
+                &DedupParams {
+                    versions: self.scale,
+                    cost_model: self.cost_model,
+                    keep_contents: self.keep_contents,
+                    directed: self.directed,
+                    ..DedupParams::default()
+                },
+                seed,
+            ),
         }
     }
 }
@@ -212,6 +225,20 @@ pub fn linux_forks() -> Preset {
         name: "LF",
         kind: Kind::LinuxForks,
         scale: 48,
+        directed: true,
+        cost_model: CostModel::Proportional,
+        keep_contents: false,
+    }
+}
+
+/// DD — dedup chain: versions sharing shifted/overlapping content (small
+/// splices at random offsets). The workload where the chunked substrate
+/// shows its storage/recreation point between Full and Delta.
+pub fn dedup_chain() -> Preset {
+    Preset {
+        name: "DD",
+        kind: Kind::DedupChain,
+        scale: 60,
         directed: true,
         cost_model: CostModel::Proportional,
         keep_contents: false,

@@ -165,7 +165,11 @@ mod tests {
             .collect();
         by_hops.sort();
         let avg = |h: u32| {
-            let v: Vec<u64> = by_hops.iter().filter(|(x, _)| *x == h).map(|(_, d)| *d).collect();
+            let v: Vec<u64> = by_hops
+                .iter()
+                .filter(|(x, _)| *x == h)
+                .map(|(_, d)| *d)
+                .collect();
             v.iter().sum::<u64>() as f64 / v.len().max(1) as f64
         };
         assert!(avg(8) > avg(1) * 3.0);

@@ -54,11 +54,7 @@ fn fresh_row(rng: &mut StdRng, cols: usize) -> Vec<String> {
 
 /// Generates the initial (root) table.
 pub fn base_table(params: &EditParams, rng: &mut StdRng) -> Table {
-    let mut t = Table::new(
-        (0..params.base_cols)
-            .map(|c| format!("col{c}"))
-            .collect(),
-    );
+    let mut t = Table::new((0..params.base_cols).map(|c| format!("col{c}")).collect());
     for _ in 0..params.base_rows {
         let row = fresh_row(rng, params.base_cols);
         t.push_row(row).expect("arity matches by construction");
@@ -127,11 +123,7 @@ pub fn random_edit(params: &EditParams, table: &Table, rng: &mut StdRng) -> Tabl
 /// A commit's worth of edits: `edits_per_commit` commands, each generated
 /// against the table state left by the previous one. Returns the delta and
 /// the resulting table.
-pub fn random_commit(
-    params: &EditParams,
-    table: &Table,
-    rng: &mut StdRng,
-) -> (TableDelta, Table) {
+pub fn random_commit(params: &EditParams, table: &Table, rng: &mut StdRng) -> (TableDelta, Table) {
     let mut current = table.clone();
     let mut edits = Vec::with_capacity(params.edits_per_commit);
     for _ in 0..params.edits_per_commit {
@@ -167,7 +159,9 @@ mod tests {
         let mut t = base_table(&params, &mut rng);
         for _ in 0..200 {
             let e = random_edit(&params, &t, &mut rng);
-            t = TableDelta { edits: vec![e] }.apply(&t).expect("edit applies");
+            t = TableDelta { edits: vec![e] }
+                .apply(&t)
+                .expect("edit applies");
         }
         assert!(!t.columns.is_empty());
     }

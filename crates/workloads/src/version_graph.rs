@@ -70,17 +70,15 @@ impl VersionGraph {
         let mut head: u32 = 0; // current mainline head
         let mut since_branch = 0usize;
 
-        let new_version = |parents: &mut Vec<Vec<u32>>,
-                               edges: &mut Vec<(u32, u32)>,
-                               from: &[u32]|
-         -> u32 {
-            let id = parents.len() as u32;
-            parents.push(from.to_vec());
-            for &p in from {
-                edges.push((p, id));
-            }
-            id
-        };
+        let new_version =
+            |parents: &mut Vec<Vec<u32>>, edges: &mut Vec<(u32, u32)>, from: &[u32]| -> u32 {
+                let id = parents.len() as u32;
+                parents.push(from.to_vec());
+                for &p in from {
+                    edges.push((p, id));
+                }
+                id
+            };
 
         while parents.len() < params.commits {
             since_branch += 1;

@@ -12,7 +12,16 @@ use dataset_versioning::vcs::Repository;
 fn base_dataset(rows: usize) -> Vec<u8> {
     let mut out = b"sample_id,gene,expression,batch\n".to_vec();
     for i in 0..rows {
-        out.extend_from_slice(format!("S{i:05},GENE{},{}.{:02},batch-{}\n", i % 400, i % 17, i % 100, i % 6).as_bytes());
+        out.extend_from_slice(
+            format!(
+                "S{i:05},GENE{},{}.{:02},batch-{}\n",
+                i % 400,
+                i % 17,
+                i % 100,
+                i % 6
+            )
+            .as_bytes(),
+        );
     }
     out
 }
@@ -32,9 +41,7 @@ fn main() {
         // Each analyst appends derived columns-worth of rows and fixes a
         // few cells (simulated as line replacements).
         for j in 0..20 {
-            data.extend_from_slice(
-                format!("S9{k}{j:03},DERIVED{k},{j}.42,batch-x\n").as_bytes(),
-            );
+            data.extend_from_slice(format!("S9{k}{j:03},DERIVED{k},{j}.42,batch-x\n").as_bytes());
         }
         let tip = repo
             .commit(name, &data, &format!("{name}: cleaning + derived rows"))
@@ -58,10 +65,17 @@ fn main() {
     );
 
     let naive: u64 = (0..repo.version_count() as u32)
-        .map(|v| repo.meta(dataset_versioning::vcs::CommitId(v)).unwrap().size)
+        .map(|v| {
+            repo.meta(dataset_versioning::vcs::CommitId(v))
+                .unwrap()
+                .size
+        })
         .sum();
-    println!("\nstore before optimize: {} KB (naive copies would be {} KB)",
-        repo.storage_bytes() / 1024, naive / 1024);
+    println!(
+        "\nstore before optimize: {} KB (naive copies would be {} KB)",
+        repo.storage_bytes() / 1024,
+        naive / 1024
+    );
 
     // Repack for minimum storage...
     let report = repo.optimize(Problem::MinStorage, 4).unwrap();
@@ -88,5 +102,8 @@ fn main() {
         assert_eq!(&repo.checkout(*tip).unwrap(), expected, "{name}'s copy");
     }
     assert_eq!(repo.checkout(merge).unwrap(), merged_content);
-    println!("\nall {} versions verified intact after repacking", repo.version_count());
+    println!(
+        "\nall {} versions verified intact after repacking",
+        repo.version_count()
+    );
 }

@@ -9,7 +9,9 @@
 use dataset_versioning::core::{solve, CostMatrix, CostPair, Problem, ProblemInstance};
 use dataset_versioning::delta::bytes_delta;
 use dataset_versioning::delta::similarity::{similar_pairs, ResemblanceSketch};
-use dataset_versioning::storage::{pack_versions, Materializer, MemStore, ObjectStore, PackOptions};
+use dataset_versioning::storage::{
+    pack_versions, Materializer, MemStore, ObjectStore, PackOptions,
+};
 
 /// Simulates one pipeline run's intermediate result: a ranking table that
 /// differs slightly run-to-run (upstream cleaning changed a few inputs).
@@ -17,7 +19,11 @@ fn pipeline_output(run: usize) -> Vec<u8> {
     let mut out = b"node,rank\n".to_vec();
     for i in 0..4000 {
         // A few ranks wiggle per run; most of the output is identical.
-        let wiggle = if (i + run * 37).is_multiple_of(251) { run } else { 0 };
+        let wiggle = if (i + run * 37).is_multiple_of(251) {
+            run
+        } else {
+            0
+        };
         out.extend_from_slice(format!("n{i},{}\n", i * 13 % 997 + wiggle).as_bytes());
     }
     out
@@ -40,7 +46,10 @@ fn main() {
         .map(|r| ResemblanceSketch::build(r, 128))
         .collect();
     let candidates = similar_pairs(&sketches, 0.4);
-    println!("resemblance sketches propose {} candidate pairs", candidates.len());
+    println!(
+        "resemblance sketches propose {} candidate pairs",
+        candidates.len()
+    );
 
     // Reveal real byte-delta costs for the candidates.
     let diag: Vec<CostPair> = runs

@@ -14,8 +14,15 @@ fn main() {
     let mca = solve(&instance, Problem::MinStorage).unwrap();
     let spt_sol = solve(&instance, Problem::MinRecreation).unwrap();
 
-    println!("frontier for {} ({} versions):", dataset.name, dataset.version_count());
-    println!("{:>10} {:>14} {:>14} {:>12}", "budget", "storage", "Σ recreation", "max R");
+    println!(
+        "frontier for {} ({} versions):",
+        dataset.name,
+        dataset.version_count()
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>12}",
+        "budget", "storage", "Σ recreation", "max R"
+    );
     for factor in [100u64, 105, 110, 125, 150, 200, 300, 500] {
         let beta = mca.storage_cost() * factor / 100;
         let sol = lmg::solve_sum_given_storage(&instance, beta, false).unwrap();
@@ -29,7 +36,10 @@ fn main() {
     }
     println!(
         "{:>10} {:>14} {:>14} {:>12}   <- SPT bound",
-        "∞", spt_sol.storage_cost(), spt_sol.sum_recreation(), spt_sol.max_recreation()
+        "∞",
+        spt_sol.storage_cost(),
+        spt_sol.sum_recreation(),
+        spt_sol.max_recreation()
     );
 
     // Now suppose 90% of checkouts hit a handful of hot versions (Zipfian
@@ -47,8 +57,7 @@ fn main() {
     println!(
         "  aware LMG: weighted ΣR = {:.3e}  ({:.1}% better)",
         aware.weighted_sum_recreation(&weights),
-        100.0
-            * (plain.weighted_sum_recreation(&weights) - aware.weighted_sum_recreation(&weights))
+        100.0 * (plain.weighted_sum_recreation(&weights) - aware.weighted_sum_recreation(&weights))
             / plain.weighted_sum_recreation(&weights)
     );
 

@@ -17,9 +17,31 @@
 //!   deltas).
 //! - [`compress`] — LZ77-style compression used for compact delta storage.
 //! - [`storage`] — content-addressed object store with delta chains.
+//! - [`chunk`] — content-defined chunking and dedup (FastCDC-style).
 //! - [`vcs`] — the prototype dataset version-control system.
 //! - [`workloads`] — synthetic version-graph/dataset generators (DC, LC,
-//!   BF, LF analogues) and Zipfian access workloads.
+//!   BF, LF analogues), a dedup-chain workload (DD), and Zipfian access
+//!   workloads.
+//!
+//! ## The three storage substrates
+//!
+//! The paper explores two regimes — materialize a version fully, or store
+//! it as a delta from a parent — and six optimization problems over them.
+//! This codebase adds a third regime, giving three substrates that share
+//! one object model ([`storage`]):
+//!
+//! | Substrate | Storage cost | Recreation cost | Produced by |
+//! |---|---|---|---|
+//! | **Full** | one copy per version | fetch one object | `storage::pack_versions` (plan `None`) |
+//! | **Delta** | delta per plan edge | replay the chain | `storage::pack_versions` (optimizer plan) |
+//! | **Chunked** | unique chunks only | fetch own chunks | `chunk::pack_versions_chunked` |
+//!
+//! Chunked storage (RStore-style chunk-level dedup) sits between the
+//! paper's regimes: near-delta storage on overlapping versions with
+//! near-materialized, history-independent recreation. See
+//! `examples/dedup_store.rs` for a quickstart and
+//! `crates/bench/src/experiments/substrates.rs` for the measured
+//! comparison.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +59,7 @@
 //! assert!(solution.validate(&instance).is_ok());
 //! ```
 
+pub use dsv_chunk as chunk;
 pub use dsv_compress as compress;
 pub use dsv_core as core;
 pub use dsv_delta as delta;

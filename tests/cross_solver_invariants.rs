@@ -13,14 +13,11 @@ fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
     (3usize..14).prop_flat_map(|n| {
         let diag = proptest::collection::vec(500u64..5000, n);
         let attach = proptest::collection::vec((0u32..u32::MAX, 10u64..800), n - 1);
-        let extra = proptest::collection::vec(
-            (0u32..n as u32, 0u32..n as u32, 10u64..1500),
-            0..3 * n,
-        );
+        let extra =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 10u64..1500), 0..3 * n);
         (Just(n), diag, attach, extra).prop_map(|(_n, diag, attach, extra)| {
-            let mut m = CostMatrix::directed(
-                diag.into_iter().map(CostPair::proportional).collect(),
-            );
+            let mut m =
+                CostMatrix::directed(diag.into_iter().map(CostPair::proportional).collect());
             for (v, (r, w)) in attach.iter().enumerate() {
                 let v = (v + 1) as u32;
                 let p = r % v;
@@ -126,9 +123,8 @@ fn arb_undirected_instance() -> impl Strategy<Value = ProblemInstance> {
         let extra =
             proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 50u64..2000), 0..2 * n);
         (Just(n), diag, attach, extra).prop_map(|(_n, diag, attach, extra)| {
-            let mut m = CostMatrix::undirected(
-                diag.into_iter().map(CostPair::proportional).collect(),
-            );
+            let mut m =
+                CostMatrix::undirected(diag.into_iter().map(CostPair::proportional).collect());
             for (v, (r, w)) in attach.iter().enumerate() {
                 let v = (v + 1) as u32;
                 m.reveal(r % v, v, CostPair::proportional(*w));

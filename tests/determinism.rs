@@ -7,8 +7,14 @@ use dataset_versioning::workloads::presets;
 
 #[test]
 fn generation_is_reproducible() {
-    let a = presets::densely_connected().scaled(50).keep_contents().build(123);
-    let b = presets::densely_connected().scaled(50).keep_contents().build(123);
+    let a = presets::densely_connected()
+        .scaled(50)
+        .keep_contents()
+        .build(123);
+    let b = presets::densely_connected()
+        .scaled(50)
+        .keep_contents()
+        .build(123);
     assert_eq!(a.sizes, b.sizes);
     assert_eq!(a.contents, b.contents);
     assert_eq!(a.matrix.revealed_count(), b.matrix.revealed_count());
@@ -30,7 +36,10 @@ fn solving_is_reproducible() {
 
 #[test]
 fn packing_is_reproducible() {
-    let ds = presets::bootstrap_forks().scaled(15).keep_contents().build(3);
+    let ds = presets::bootstrap_forks()
+        .scaled(15)
+        .keep_contents()
+        .build(3);
     let contents = ds.contents.as_ref().unwrap();
     let inst = ds.instance();
     let plan = solve(&inst, Problem::MinStorage).unwrap();

@@ -80,8 +80,11 @@ fn budgets_and_thresholds_are_respected_end_to_end() {
         let p6 = solve(&instance, Problem::MinStorageGivenMaxRecreation { theta }).unwrap();
         assert!(p6.max_recreation() <= theta, "P6 at {slack}%");
         let theta_sum = spt.sum_recreation() * slack / 100;
-        let p5 = solve(&instance, Problem::MinStorageGivenSumRecreation { theta: theta_sum })
-            .unwrap();
+        let p5 = solve(
+            &instance,
+            Problem::MinStorageGivenSumRecreation { theta: theta_sum },
+        )
+        .unwrap();
         assert!(p5.sum_recreation() <= theta_sum, "P5 at {slack}%");
     }
 }

@@ -9,7 +9,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Drives a repository through a branching history of generated tables.
-fn build_history(commits_per_branch: usize) -> (Repository<dataset_versioning::storage::MemStore>, Vec<Vec<u8>>) {
+fn build_history(
+    commits_per_branch: usize,
+) -> (
+    Repository<dataset_versioning::storage::MemStore>,
+    Vec<Vec<u8>>,
+) {
     let params = EditParams {
         base_rows: 150,
         base_cols: 5,
