@@ -1,0 +1,9 @@
+//! Hybrid per-version storage modes (Full / Delta / Chunked chosen by the
+//! solver) vs the pure regimes on the LC/DD/BF workloads; writes
+//! `target/experiments/BENCH_hybrid.json`. `--quick` shrinks the
+//! workloads.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::hybrid::run(scale);
+}

@@ -6,6 +6,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod hybrid;
 pub mod sec52;
 pub mod substrates;
 pub mod table2;

@@ -25,7 +25,12 @@
 //! - [`pack_versions_chunked`]: drop-in counterpart of
 //!   `dsv_storage::pack_versions`, so the chunked substrate is compared
 //!   head-to-head with the paper's Full/Delta plans by the same measured
-//!   storage/recreation reporting.
+//!   storage/recreation reporting;
+//! - [`estimate`]: [`chunked_cost_pairs`], the per-version incremental
+//!   chunked-cost estimates that feed the optimizer's three-mode
+//!   `CostMatrix` (hybrid Full/Delta/Chunked plans);
+//! - [`hybrid`]: [`pack_versions_hybrid`], the executor for solver-chosen
+//!   per-version `StorageMode` plans.
 //!
 //! ```
 //! use dsv_chunk::{ChunkStore, ChunkerParams};
@@ -44,9 +49,13 @@
 //! ```
 
 pub mod cdc;
+pub mod estimate;
+pub mod hybrid;
 pub mod store;
 
 pub use cdc::{chunk_spans, Chunker, ChunkerParams};
+pub use estimate::chunked_cost_pairs;
+pub use hybrid::pack_versions_hybrid;
 pub use store::{pack_versions_chunked, ChunkStore, DedupStats, PutVersion};
 
 use dsv_storage::{ObjectId, StoreError};

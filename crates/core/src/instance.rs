@@ -6,6 +6,14 @@
 //! (materialize `Vi`); edge `Vi → Vj` carries the revealed `⟨Δ_ij, Φ_ij⟩`.
 //! Every storage solution is a spanning arborescence of `G` rooted at `V0`
 //! (Lemma 1).
+//!
+//! When the matrix reveals per-version **chunked** costs, `G` gains a
+//! second dummy root `Vc` (node `n + 1`, the shared chunk store): a
+//! zero-cost edge `V0 → Vc` and, for each version with a chunked estimate,
+//! an edge `Vc → Vi` carrying `⟨Δ_ci, Φ_ci⟩`. The spanning-tree
+//! characterization is unchanged — chunked storage is just an alternative
+//! root edge — so every tree solver becomes hybrid-aware without
+//! structural modification.
 
 use crate::matrix::{CostMatrix, CostPair};
 use dsv_graph::{DiGraph, NodeId, UnGraph};
@@ -71,10 +79,21 @@ impl ProblemInstance {
         NodeId(i + 1)
     }
 
-    /// The version index of augmented node `v` (`None` for `V0`).
+    /// The version index of augmented node `v` (`None` for `V0`). Callers
+    /// of instances with chunked costs must check
+    /// [`chunk_node`](Self::chunk_node) first: the chunk root maps to the
+    /// out-of-range pseudo-version `n`.
     #[inline]
     pub fn version_of(v: NodeId) -> Option<u32> {
         v.0.checked_sub(1)
+    }
+
+    /// The chunk-store dummy root `Vc` (node `n + 1`), present in the
+    /// augmented graphs iff the matrix reveals any chunked cost.
+    pub fn chunk_node(&self) -> Option<NodeId> {
+        self.matrix
+            .has_chunked()
+            .then(|| NodeId(self.version_count() as u32 + 1))
     }
 
     /// Largest materialization recreation cost `max_i Φ_ii` — a convenient
@@ -87,11 +106,15 @@ impl ProblemInstance {
     }
 
     /// Builds the augmented directed graph `G` (§2.2). For symmetric
-    /// matrices each revealed entry contributes both arcs.
+    /// matrices each revealed entry contributes both arcs. If the matrix
+    /// reveals chunked costs, the chunk root `Vc` and its edges are
+    /// included (see the module docs).
     pub fn augmented_graph(&self) -> DiGraph<CostPair> {
         let n = self.version_count();
         let extra = if self.matrix.is_symmetric() { 2 } else { 1 };
-        let mut g = DiGraph::with_edge_capacity(n + 1, n + extra * self.matrix.revealed_count());
+        let chunk = self.chunk_node();
+        let nodes = n + 1 + usize::from(chunk.is_some());
+        let mut g = DiGraph::with_edge_capacity(nodes, n + extra * self.matrix.revealed_count());
         for i in 0..n as u32 {
             g.add_edge(NodeId(0), Self::node_of(i), self.matrix.materialization(i));
         }
@@ -101,19 +124,38 @@ impl ProblemInstance {
                 g.add_edge(Self::node_of(j), Self::node_of(i), pair);
             }
         }
+        if let Some(cn) = chunk {
+            g.add_edge(NodeId(0), cn, CostPair::new(0, 0));
+            for i in 0..n as u32 {
+                if let Some(pair) = self.matrix.chunked(i) {
+                    g.add_edge(cn, Self::node_of(i), pair);
+                }
+            }
+        }
         g
     }
 
     /// Builds the undirected augmented graph (only meaningful for
     /// symmetric matrices; used by Prim's MST in the undirected case).
+    /// Chunk-root edges are included like in
+    /// [`augmented_graph`](Self::augmented_graph).
     pub fn undirected_graph(&self) -> UnGraph<CostPair> {
         let n = self.version_count();
-        let mut g = UnGraph::new(n + 1);
+        let chunk = self.chunk_node();
+        let mut g = UnGraph::new(n + 1 + usize::from(chunk.is_some()));
         for i in 0..n as u32 {
             g.add_edge(NodeId(0), Self::node_of(i), self.matrix.materialization(i));
         }
         for (i, j, pair) in self.matrix.revealed_entries() {
             g.add_edge(Self::node_of(i), Self::node_of(j), pair);
+        }
+        if let Some(cn) = chunk {
+            g.add_edge(NodeId(0), cn, CostPair::new(0, 0));
+            for i in 0..n as u32 {
+                if let Some(pair) = self.matrix.chunked(i) {
+                    g.add_edge(cn, Self::node_of(i), pair);
+                }
+            }
         }
         g
     }
@@ -144,6 +186,19 @@ pub(crate) mod fixtures {
         m.reveal(2, 4, CostPair::new(200, 550)); // V3->V5
         m.reveal(3, 4, CostPair::new(900, 2500)); // V4->V5
         m.reveal(4, 3, CostPair::new(800, 2300)); // V5->V4
+        ProblemInstance::new(m)
+    }
+
+    /// The paper example extended with per-version chunked costs: storage
+    /// increments well below materialization (the store dedups shared
+    /// chunks) at recreation slightly above it (manifest overhead).
+    pub fn paper_example_chunked() -> ProblemInstance {
+        let mut m = paper_example().matrix().clone();
+        let increments = [4000u64, 900, 2500, 700, 800];
+        for (i, &inc) in increments.iter().enumerate() {
+            let mat = m.materialization(i as u32);
+            m.set_chunked(i as u32, CostPair::new(inc, mat.recreation + 64));
+        }
         ProblemInstance::new(m)
     }
 }
@@ -186,6 +241,34 @@ mod tests {
     fn max_materialization() {
         let inst = fixtures::paper_example();
         assert_eq!(inst.max_materialization_cost(), 10120);
+    }
+
+    #[test]
+    fn chunked_costs_add_the_chunk_root() {
+        let plain = fixtures::paper_example();
+        assert_eq!(plain.chunk_node(), None);
+        let inst = fixtures::paper_example_chunked();
+        assert_eq!(inst.chunk_node(), Some(NodeId(6)));
+        let g = inst.augmented_graph();
+        // 6 version/root nodes + the chunk root.
+        assert_eq!(g.node_count(), 7);
+        // 5 materializations + 9 deltas + V0→Vc + 5 chunk edges.
+        assert_eq!(g.edge_count(), 5 + 9 + 1 + 5);
+        assert_eq!(g.out_degree(NodeId(6)), 5);
+        assert_eq!(g.in_degree(NodeId(6)), 1);
+    }
+
+    #[test]
+    fn partial_chunked_reveals_only_those_edges() {
+        let mut m =
+            CostMatrix::undirected(vec![CostPair::proportional(10), CostPair::proportional(20)]);
+        m.reveal(0, 1, CostPair::proportional(3));
+        m.set_chunked(1, CostPair::new(5, 22));
+        let inst = ProblemInstance::new(m);
+        let ug = inst.undirected_graph();
+        assert_eq!(ug.node_count(), 4);
+        // 2 materializations + 1 delta + root—chunk + 1 chunk edge.
+        assert_eq!(ug.edge_count(), 5);
     }
 
     #[test]

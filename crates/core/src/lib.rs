@@ -6,10 +6,13 @@
 //! Given `n` versions with a (partially revealed) pair of cost matrices —
 //! `Δ` (bytes to store a version fully, or as a delta from another version)
 //! and `Φ` (work to recreate a version from a materialized ancestor chain)
-//! — choose for every version either *materialize* or *delta-from-parent*
-//! such that the chosen edges form a spanning tree of the augmented graph
-//! rooted at the dummy source `V0` (Lemma 1), optimizing one of six
-//! objectives (Table 1 of the paper):
+//! — choose for every version a [`StorageMode`]: *materialize*,
+//! *delta-from-parent*, or (when the matrix reveals per-version chunked
+//! costs) *chunked* into a shared deduplicating store, such that the
+//! chosen edges form a spanning tree of the augmented graph rooted at the
+//! dummy source `V0` (Lemma 1; the chunk store is a second dummy root
+//! hanging off `V0`), optimizing one of six objectives (Table 1 of the
+//! paper):
 //!
 //! | Problem | Objective | Constraint | Solver |
 //! |---|---|---|---|
@@ -44,4 +47,4 @@ pub use error::SolveError;
 pub use instance::ProblemInstance;
 pub use matrix::{CostMatrix, CostPair, TriangleViolation};
 pub use problem::{Problem, Scenario};
-pub use solution::{SolutionError, StorageSolution};
+pub use solution::{SolutionError, StorageMode, StorageSolution};

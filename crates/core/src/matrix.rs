@@ -59,6 +59,11 @@ pub struct TriangleViolation {
 pub struct CostMatrix {
     diag: Vec<CostPair>,
     off: FxHashMap<(u32, u32), CostPair>,
+    /// Per-version chunked-storage cost `⟨Δ_ci, Φ_ci⟩`: the incremental
+    /// unique-chunk bytes version `i` adds to the shared chunk store, and
+    /// the work to reassemble it from its manifest. `None` = no chunked
+    /// estimate revealed for this version (the binary model of the paper).
+    chunked: Vec<Option<CostPair>>,
     symmetric: bool,
 }
 
@@ -66,9 +71,11 @@ impl CostMatrix {
     /// Creates a matrix for the **directed** case (`Δ` may be asymmetric)
     /// with the given materialization costs.
     pub fn directed(diag: Vec<CostPair>) -> Self {
+        let chunked = vec![None; diag.len()];
         CostMatrix {
             diag,
             off: FxHashMap::default(),
+            chunked,
             symmetric: false,
         }
     }
@@ -76,9 +83,11 @@ impl CostMatrix {
     /// Creates a matrix for the **undirected** case (`Δ_ij = Δ_ji`,
     /// `Φ_ij = Φ_ji`); entries are stored once under the normalized key.
     pub fn undirected(diag: Vec<CostPair>) -> Self {
+        let chunked = vec![None; diag.len()];
         CostMatrix {
             diag,
             off: FxHashMap::default(),
+            chunked,
             symmetric: true,
         }
     }
@@ -104,11 +113,38 @@ impl CostMatrix {
         self.diag[i as usize] = pair;
     }
 
-    /// Appends a new version with the given materialization cost, returning
-    /// its index.
+    /// Appends a new version with the given materialization cost (and no
+    /// chunked estimate), returning its index.
     pub fn push_version(&mut self, pair: CostPair) -> u32 {
         self.diag.push(pair);
+        self.chunked.push(None);
         (self.diag.len() - 1) as u32
+    }
+
+    /// Reveals the chunked-storage cost `⟨Δ_ci, Φ_ci⟩` of version `i`:
+    /// the incremental unique-chunk bytes it adds to the shared chunk
+    /// store plus manifest overhead, and the work to reassemble it from
+    /// its chunks. Estimates are order-dependent (a version's increment
+    /// depends on the chunks earlier versions contributed), so callers
+    /// reveal them for all versions at once, in version order.
+    pub fn set_chunked(&mut self, i: u32, pair: CostPair) {
+        self.chunked[i as usize] = Some(pair);
+    }
+
+    /// The revealed chunked cost of version `i`, if any.
+    pub fn chunked(&self, i: u32) -> Option<CostPair> {
+        self.chunked[i as usize]
+    }
+
+    /// Whether any version has a chunked cost revealed (i.e. the instance
+    /// models the three-way Full/Delta/Chunked choice).
+    pub fn has_chunked(&self) -> bool {
+        self.chunked.iter().any(|c| c.is_some())
+    }
+
+    /// Number of versions with a revealed chunked cost.
+    pub fn chunked_count(&self) -> usize {
+        self.chunked.iter().filter(|c| c.is_some()).count()
     }
 
     #[inline]
@@ -272,6 +308,24 @@ mod tests {
         assert_eq!(idx, 1);
         assert_eq!(m.version_count(), 2);
         assert_eq!(m.materialization(1).storage, 9);
+        assert_eq!(m.chunked(1), None);
+    }
+
+    #[test]
+    fn chunked_costs_are_per_version_and_optional() {
+        let mut m = CostMatrix::directed(diag(&[100, 200, 300]));
+        assert!(!m.has_chunked());
+        assert_eq!(m.chunked_count(), 0);
+        m.set_chunked(1, CostPair::new(40, 210));
+        assert!(m.has_chunked());
+        assert_eq!(m.chunked_count(), 1);
+        assert_eq!(m.chunked(0), None);
+        assert_eq!(m.chunked(1), Some(CostPair::new(40, 210)));
+        // A pushed version starts without an estimate.
+        let v = m.push_version(CostPair::proportional(9));
+        assert_eq!(m.chunked(v), None);
+        m.set_chunked(v, CostPair::new(1, 10));
+        assert_eq!(m.chunked_count(), 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::error::SolveError;
 use crate::instance::ProblemInstance;
-use crate::solution::StorageSolution;
+use crate::solution::{StorageMode, StorageSolution};
 
 /// What the greedy placement should respect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,41 +42,45 @@ pub fn insert_version(
     let v = (n - 1) as u32;
     let matrix = instance.matrix();
 
-    // Candidates: materialize, or delta from any revealed source.
+    // Candidates: materialize, chunk (when an estimate is revealed), or
+    // delta from any revealed source.
     let mat = matrix.materialization(v);
-    let mut best: Option<(u64, Option<u32>)> = None;
-    let mut consider = |from: Option<u32>, delta: u64, phi: u64| {
+    let mut best: Option<(u64, StorageMode)> = None;
+    let mut consider = |mode: StorageMode, delta: u64, phi: u64| {
         let feasible = match policy {
             OnlinePolicy::MinStorage => true,
             OnlinePolicy::MaxRecreationWithin(theta) => {
-                let base = match from {
-                    None => 0,
-                    Some(u) => existing.recreation_cost(u),
+                let base = match mode {
+                    StorageMode::Delta(u) => existing.recreation_cost(u),
+                    _ => 0,
                 };
                 base.saturating_add(phi) <= theta
             }
         };
         if feasible && best.is_none_or(|(b, _)| delta < b) {
-            best = Some((delta, from));
+            best = Some((delta, mode));
         }
     };
-    consider(None, mat.storage, mat.recreation);
+    consider(StorageMode::Materialized, mat.storage, mat.recreation);
+    if let Some(pair) = matrix.chunked(v) {
+        consider(StorageMode::Chunked, pair.storage, pair.recreation);
+    }
     for u in 0..v {
         if let Some(pair) = matrix.get(u, v) {
-            consider(Some(u), pair.storage, pair.recreation);
+            consider(StorageMode::Delta(u), pair.storage, pair.recreation);
         }
     }
 
-    let (_, parent) = best.ok_or(SolveError::RecreationThresholdInfeasible {
+    let (_, mode) = best.ok_or(SolveError::RecreationThresholdInfeasible {
         theta: match policy {
             OnlinePolicy::MaxRecreationWithin(t) => t,
             OnlinePolicy::MinStorage => 0,
         },
         minimum: mat.recreation,
     })?;
-    let mut parents = existing.parents().to_vec();
-    parents.push(parent);
-    StorageSolution::from_parents(instance, parents)
+    let mut modes = existing.modes().to_vec();
+    modes.push(mode);
+    StorageSolution::from_modes(instance, modes)
         .map_err(|_| SolveError::Internal("online insertion built an invalid solution"))
 }
 

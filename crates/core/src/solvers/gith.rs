@@ -11,10 +11,16 @@
 //! GitH optimizes no explicit objective; the paper compares it as the
 //! "good enough" practitioner baseline (its Figures 13 shows it recreates
 //! cheaply but stores notably more than LMG).
+//!
+//! **Hybrid extension.** On instances with chunked costs, a version's
+//! "store in full" fallback becomes the cheaper of materializing and
+//! chunking (both are root modes; git itself has no analogue, but the
+//! window search is unchanged): deltas are only taken when they beat that
+//! cheaper root cost, mirroring git's delta-vs-full comparison.
 
 use crate::error::SolveError;
 use crate::instance::ProblemInstance;
-use crate::solution::StorageSolution;
+use crate::solution::{StorageMode, StorageSolution};
 use std::collections::VecDeque;
 
 /// GitH tuning parameters (git defaults are `window = 10`, `depth = 50`).
@@ -56,17 +62,28 @@ pub fn solve(
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by_key(|&v| std::cmp::Reverse(matrix.materialization(v).storage));
 
-    let mut parent: Vec<Option<u32>> = vec![None; n];
+    // The root-mode fallback for a version: chunked when revealed and
+    // cheaper than materializing, else materialized.
+    let root_mode = |v: u32| -> (StorageMode, u64) {
+        let full = matrix.materialization(v).storage;
+        match matrix.chunked(v) {
+            Some(c) if c.storage < full => (StorageMode::Chunked, c.storage),
+            _ => (StorageMode::Materialized, full),
+        }
+    };
+
+    let mut modes: Vec<StorageMode> = vec![StorageMode::Materialized; n];
     let mut depth: Vec<u32> = vec![0; n];
     let mut window: VecDeque<u32> = VecDeque::with_capacity(params.window + 1);
 
     for (rank, &vi) in order.iter().enumerate() {
+        let (fallback, root_cost) = root_mode(vi);
         if rank == 0 {
-            // The first (largest) version is the root: materialized.
+            // The first (largest) version is a root.
+            modes[vi as usize] = fallback;
             window.push_back(vi);
             continue;
         }
-        let full = matrix.materialization(vi).storage;
         let mut best: Option<(f64, u32)> = None; // (depth-biased size, base)
         for &vl in &window {
             if depth[vl as usize] >= params.max_depth {
@@ -75,7 +92,7 @@ pub fn solve(
             let Some(pair) = matrix.get(vl, vi) else {
                 continue;
             };
-            if pair.storage >= full {
+            if pair.storage >= root_cost {
                 continue; // git only deltas when it beats the full object
             }
             let biased = pair.storage as f64 / (params.max_depth - depth[vl as usize]) as f64;
@@ -84,13 +101,15 @@ pub fn solve(
             }
         }
         if let Some((_, vj)) = best {
-            parent[vi as usize] = Some(vj);
+            modes[vi as usize] = StorageMode::Delta(vj);
             depth[vi as usize] = depth[vj as usize] + 1;
             // Step 3: rotate the chosen base to the back of the window.
             if let Some(pos) = window.iter().position(|&x| x == vj) {
                 window.remove(pos);
                 window.push_back(vj);
             }
+        } else {
+            modes[vi as usize] = fallback;
         }
         window.push_back(vi);
         while window.len() > params.window {
@@ -98,7 +117,7 @@ pub fn solve(
         }
     }
 
-    StorageSolution::from_validated_parts(instance, parent)
+    StorageSolution::from_validated_modes(instance, modes)
 }
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ pub fn solve_storage_given_hops(
     for (i, j, pair) in instance.matrix().revealed_entries() {
         hop_matrix.reveal(i, j, CostPair::new(pair.storage, 1));
     }
+    // Chunked root edges count one hop too (a manifest fetch).
+    for i in 0..n as u32 {
+        if let Some(pair) = instance.matrix().chunked(i) {
+            hop_matrix.set_chunked(i, CostPair::new(pair.storage, 1));
+        }
+    }
     let hop_instance = ProblemInstance::new(hop_matrix);
     let hop_sol =
         mp::solve_storage_given_max(&hop_instance, u64::from(max_hops)).map_err(|e| match e {
@@ -54,7 +60,7 @@ pub fn solve_storage_given_hops(
             other => other,
         })?;
     // Re-cost the same tree under the real matrix.
-    StorageSolution::from_validated_parts(instance, hop_sol.parents().to_vec())
+    StorageSolution::from_validated_modes(instance, hop_sol.modes().to_vec())
 }
 
 #[cfg(test)]

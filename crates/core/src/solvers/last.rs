@@ -16,7 +16,7 @@
 
 use crate::error::SolveError;
 use crate::instance::ProblemInstance;
-use crate::solution::StorageSolution;
+use crate::solution::{StorageMode, StorageSolution};
 use crate::solvers::{augmented_to_solution, mst};
 use dsv_graph::{dijkstra, NodeId, RootedTree};
 
@@ -36,14 +36,20 @@ pub fn solve(instance: &ProblemInstance, alpha: f64) -> Result<StorageSolution, 
     }
     let mst_sol = mst::solve(instance)?;
 
-    let n1 = instance.version_count() + 1;
-    // Parent/d over augmented nodes; start from the MST.
+    let n1 = g.node_count(); // includes the chunk root for hybrid instances
+    let chunk = instance.chunk_node();
+    // Parent/d over augmented nodes; start from the MST. The chunk root
+    // (when present) always hangs off `V0` by its zero-cost edge.
     let mut parent: Vec<Option<NodeId>> = vec![None; n1];
-    for (i, p) in mst_sol.parents().iter().enumerate() {
+    if let Some(cn) = chunk {
+        parent[cn.index()] = Some(NodeId(0));
+    }
+    for (i, m) in mst_sol.modes().iter().enumerate() {
         let node = ProblemInstance::node_of(i as u32);
-        parent[node.index()] = Some(match p {
-            None => NodeId(0),
-            Some(j) => ProblemInstance::node_of(*j),
+        parent[node.index()] = Some(match m {
+            StorageMode::Materialized => NodeId(0),
+            StorageMode::Chunked => chunk.expect("chunked mode implies chunk node"),
+            StorageMode::Delta(j) => ProblemInstance::node_of(*j),
         });
     }
     let mst_tree = RootedTree::from_parents(NodeId(0), parent.clone())
@@ -54,8 +60,16 @@ pub fn solve(instance: &ProblemInstance, alpha: f64) -> Result<StorageSolution, 
     }
 
     // Φ lookup on the augmented graph (None if the arc is not revealed).
+    // The chunk root is never a relaxation *target* (the store depends on
+    // no version); as a source it offers each version its chunked Φ.
     let phi = |from: NodeId, to: NodeId| -> Option<u64> {
+        if Some(to) == chunk {
+            return None;
+        }
         let t = ProblemInstance::version_of(to)?;
+        if Some(from) == chunk {
+            return instance.matrix().chunked(t).map(|p| p.recreation);
+        }
         match ProblemInstance::version_of(from) {
             None => Some(instance.matrix().materialization(t).recreation),
             Some(f) => instance.matrix().get(f, t).map(|p| p.recreation),
@@ -215,6 +229,26 @@ mod tests {
         let mst_sol = mst::solve(&inst).unwrap();
         let sol = solve(&inst, 1e9).unwrap();
         assert_eq!(sol.storage_cost(), mst_sol.storage_cost());
+    }
+
+    #[test]
+    fn hybrid_instance_keeps_alpha_guarantee() {
+        use crate::instance::fixtures::paper_example_chunked;
+        let inst = paper_example_chunked();
+        let mins = spt::min_recreation_costs(&inst).unwrap();
+        for alpha in [1.2f64, 2.0, 8.0] {
+            let sol = solve(&inst, alpha).unwrap();
+            assert!(sol.validate(&inst).is_ok());
+            for i in 0..5u32 {
+                assert!(
+                    sol.recreation_cost(i) as f64 <= alpha * mins[i as usize] as f64 + 1e-9,
+                    "alpha={alpha} version={i}"
+                );
+            }
+        }
+        // Large α keeps the hybrid MST, which chunks the root version.
+        let sol = solve(&inst, 1e9).unwrap();
+        assert!(sol.chunked().count() >= 1);
     }
 
     #[test]

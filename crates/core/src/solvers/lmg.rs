@@ -19,21 +19,29 @@
 //! **workload-aware** variant, the subtree's total access frequency.
 //! Subtree masses and recreation costs are maintained incrementally, giving
 //! the paper's `O(|V|²)` bound rather than the naive `O(|V|³)`.
+//!
+//! **Hybrid extension.** When the instance reveals chunked costs, the
+//! candidate set gains, per version, the *chunked* root edge alongside the
+//! SPT in-edge: chunking a version cuts its delta chain like a
+//! materialization would, at a fraction of the storage increase (only the
+//! version's incremental unique-chunk bytes are paid). Under a storage
+//! budget this makes chain-cutting moves far cheaper, so hybrid LMG
+//! reaches lower recreation costs than the binary variant at equal `β`.
 
 use crate::error::SolveError;
 use crate::instance::ProblemInstance;
-use crate::solution::StorageSolution;
+use crate::solution::{StorageMode, StorageSolution};
 use crate::solvers::{mst, spt};
 
-/// One candidate move: re-parent `v` onto its SPT parent.
+/// One candidate move: switch `v`'s in-edge to `new_mode` (its SPT
+/// in-edge, or the chunked root edge).
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
     v: u32,
-    /// `None` = materialize (edge from `V0`).
-    new_parent: Option<u32>,
-    /// `Δ` of the SPT edge.
+    new_mode: StorageMode,
+    /// `Δ` of the candidate edge.
     delta: u64,
-    /// `Φ` of the SPT edge.
+    /// `Φ` of the candidate edge.
     phi: u64,
     used: bool,
 }
@@ -41,7 +49,9 @@ struct Candidate {
 /// Mutable optimizer state: the current storage tree plus incrementally
 /// maintained aggregates.
 struct LmgState {
-    parent: Vec<Option<u32>>,
+    mode: Vec<StorageMode>,
+    /// Delta children of each version (root-mode versions are forest
+    /// roots).
     children: Vec<Vec<u32>>,
     /// Recreation cost of each version in the current tree.
     d: Vec<u64>,
@@ -55,11 +65,11 @@ struct LmgState {
 impl LmgState {
     fn from_solution(sol: &StorageSolution, weights: &[f64]) -> Self {
         let n = sol.version_count();
-        let parent: Vec<Option<u32>> = sol.parents().to_vec();
+        let mode: Vec<StorageMode> = sol.modes().to_vec();
         let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (i, p) in parent.iter().enumerate() {
-            if let Some(p) = p {
-                children[*p as usize].push(i as u32);
+        for (i, m) in mode.iter().enumerate() {
+            if let Some(p) = m.delta_parent() {
+                children[p as usize].push(i as u32);
             }
         }
         // Subtree masses: process versions in decreasing depth order.
@@ -68,11 +78,11 @@ impl LmgState {
         let depth = {
             let mut depth = vec![0u32; n];
             // Depth via repeated parent walks is O(n·depth); build via BFS
-            // from the materialized roots instead.
-            let mut stack: Vec<u32> = parent
+            // from the root-mode versions instead.
+            let mut stack: Vec<u32> = mode
                 .iter()
                 .enumerate()
-                .filter(|(_, p)| p.is_none())
+                .filter(|(_, m)| m.is_root())
                 .map(|(i, _)| i as u32)
                 .collect();
             while let Some(v) = stack.pop() {
@@ -85,12 +95,12 @@ impl LmgState {
         };
         order.sort_unstable_by_key(|&v| std::cmp::Reverse(depth[v as usize]));
         for &v in &order {
-            if let Some(p) = parent[v as usize] {
+            if let Some(p) = mode[v as usize].delta_parent() {
                 mass[p as usize] += mass[v as usize];
             }
         }
         LmgState {
-            parent,
+            mode,
             children,
             d: sol.recreation_costs().to_vec(),
             in_storage: Vec::new(), // filled by caller (needs the matrix)
@@ -99,12 +109,13 @@ impl LmgState {
         }
     }
 
-    /// Re-parents `v` onto `new_parent`, updating children lists, subtree
-    /// masses along both ancestor paths, the storage account, and the
-    /// recreation costs of `v`'s whole subtree (which all shift by the
+    /// Switches `v` onto `new_mode`, updating children lists, subtree
+    /// masses along both delta-ancestor paths, the storage account, and
+    /// the recreation costs of `v`'s whole subtree (which all shift by the
     /// same amount).
-    fn apply_move(&mut self, v: u32, new_parent: Option<u32>, new_delta: u64, new_d: u64) {
-        let old_parent = self.parent[v as usize];
+    fn apply_move(&mut self, v: u32, new_mode: StorageMode, new_delta: u64, new_d: u64) {
+        let old_parent = self.mode[v as usize].delta_parent();
+        let new_parent = new_mode.delta_parent();
         // Children list surgery.
         if let Some(p) = old_parent {
             let list = &mut self.children[p as usize];
@@ -114,22 +125,22 @@ impl LmgState {
         if let Some(p) = new_parent {
             self.children[p as usize].push(v);
         }
-        // Subtree mass updates along both ancestor chains.
+        // Subtree mass updates along both delta-ancestor chains.
         let mv = self.mass[v as usize];
         let mut cur = old_parent;
         while let Some(x) = cur {
             self.mass[x as usize] -= mv;
-            cur = self.parent[x as usize];
+            cur = self.mode[x as usize].delta_parent();
         }
         let mut cur = new_parent;
         while let Some(x) = cur {
             self.mass[x as usize] += mv;
-            cur = self.parent[x as usize];
+            cur = self.mode[x as usize].delta_parent();
         }
         // Storage account.
         self.storage_used = self.storage_used - self.in_storage[v as usize] + new_delta;
         self.in_storage[v as usize] = new_delta;
-        self.parent[v as usize] = new_parent;
+        self.mode[v as usize] = new_mode;
         // Shift the subtree's recreation costs.
         let old_d = self.d[v as usize];
         let shift = old_d - new_d; // moves are only applied when improving
@@ -174,39 +185,56 @@ pub fn solve_sum_given_storage(
     let matrix = instance.matrix();
     let mut state = LmgState::from_solution(&mst_sol, weights);
     state.in_storage = (0..n as u32)
-        .map(|i| match state.parent[i as usize] {
-            None => matrix.materialization(i).storage,
-            Some(p) => matrix.get(p, i).expect("mst edge revealed").storage,
+        .map(|i| match state.mode[i as usize] {
+            StorageMode::Materialized => matrix.materialization(i).storage,
+            StorageMode::Chunked => matrix.chunked(i).expect("mst chunk edge revealed").storage,
+            StorageMode::Delta(p) => matrix.get(p, i).expect("mst edge revealed").storage,
         })
         .collect();
 
-    // ξ: SPT edges not already in the tree.
+    // ξ: SPT edges not already in the tree, plus — for hybrid instances —
+    // each version's chunked root edge (a cheap chain cutter).
     let mut candidates: Vec<Candidate> = (0..n as u32)
         .filter_map(|v| {
-            let sp = spt_sol.parent(v);
+            let sp = spt_sol.mode(v);
             let pair = match sp {
-                None => matrix.materialization(v),
-                Some(u) => matrix.get(u, v).expect("spt edge revealed"),
+                StorageMode::Materialized => matrix.materialization(v),
+                StorageMode::Chunked => matrix.chunked(v).expect("spt chunk edge revealed"),
+                StorageMode::Delta(u) => matrix.get(u, v).expect("spt edge revealed"),
             };
-            (sp != state.parent[v as usize]).then_some(Candidate {
+            (sp != state.mode[v as usize]).then_some(Candidate {
                 v,
-                new_parent: sp,
+                new_mode: sp,
                 delta: pair.storage,
                 phi: pair.recreation,
                 used: false,
             })
         })
         .collect();
+    for v in 0..n as u32 {
+        if spt_sol.mode(v).is_chunked() || state.mode[v as usize].is_chunked() {
+            continue; // already covered by the SPT candidate / current edge
+        }
+        if let Some(pair) = matrix.chunked(v) {
+            candidates.push(Candidate {
+                v,
+                new_mode: StorageMode::Chunked,
+                delta: pair.storage,
+                phi: pair.recreation,
+                used: false,
+            });
+        }
+    }
 
     loop {
         let mut best: Option<(f64, usize, u64, u64)> = None; // (ρ, idx, new_d, new_storage)
         for (idx, c) in candidates.iter().enumerate() {
-            if c.used || state.parent[c.v as usize] == c.new_parent {
+            if c.used || state.mode[c.v as usize] == c.new_mode {
                 continue;
             }
-            let base = match c.new_parent {
-                None => 0,
-                Some(u) => state.d[u as usize],
+            let base = match c.new_mode {
+                StorageMode::Delta(u) => state.d[u as usize],
+                _ => 0,
             };
             let new_d = base.saturating_add(c.phi);
             let old_d = state.d[c.v as usize];
@@ -236,10 +264,10 @@ pub fn solve_sum_given_storage(
         };
         let c = candidates[idx];
         candidates[idx].used = true;
-        state.apply_move(c.v, c.new_parent, c.delta, new_d);
+        state.apply_move(c.v, c.new_mode, c.delta, new_d);
     }
 
-    StorageSolution::from_validated_parts(instance, state.parent)
+    StorageSolution::from_validated_modes(instance, state.mode)
 }
 
 /// Solves Problem 5: minimize `C` subject to `Σ Ri ≤ theta` (weighted sum
@@ -387,6 +415,55 @@ mod tests {
         );
         // The hot version ends up materialized.
         assert_eq!(weighted.parent(2), None);
+    }
+
+    #[test]
+    fn hybrid_lmg_cuts_chains_with_chunked_moves() {
+        use crate::instance::fixtures::{paper_example, paper_example_chunked};
+        let binary_inst = paper_example();
+        let hybrid_inst = paper_example_chunked();
+        let mca = mst::solve(&binary_inst).unwrap();
+        // Modest slack: binary LMG can afford few materializations, hybrid
+        // LMG can chunk several versions for the same bytes.
+        let beta = mca.storage_cost() + 3000;
+        let binary = solve_sum_given_storage(&binary_inst, beta, false).unwrap();
+        let hybrid = solve_sum_given_storage(&hybrid_inst, beta, false).unwrap();
+        assert!(hybrid.storage_cost() <= beta);
+        assert!(
+            hybrid.sum_recreation() <= binary.sum_recreation(),
+            "hybrid {} vs binary {}",
+            hybrid.sum_recreation(),
+            binary.sum_recreation()
+        );
+        assert!(hybrid.validate(&hybrid_inst).is_ok());
+    }
+
+    #[test]
+    fn hybrid_chunked_candidates_actually_fire() {
+        // A chain 0 -> 1 -> 2 -> 3 where every version has a cheap chunked
+        // increment: with budget for chunking but not materializing, LMG
+        // must use chunked moves to cut the chain.
+        let mut m = CostMatrix::directed((0..4).map(|_| CostPair::new(10_000, 10_000)).collect());
+        for v in 0..3u32 {
+            m.reveal(v, v + 1, CostPair::new(50, 3_000));
+        }
+        for v in 0..4u32 {
+            m.set_chunked(v, CostPair::new(400, 10_100));
+        }
+        let inst = ProblemInstance::new(m);
+        let mca = mst::solve(&inst).unwrap();
+        // Enough for two chunked conversions (2 × (400 − 50)), far below
+        // one extra materialization.
+        let beta = mca.storage_cost() + 800;
+        let sol = solve_sum_given_storage(&inst, beta, false).unwrap();
+        assert!(sol.storage_cost() <= beta);
+        assert!(
+            sol.chunked().count() >= 1,
+            "expected chunked conversions, got modes {:?}",
+            sol.modes()
+        );
+        // Chains got shorter than the full MST chain.
+        assert!(sol.max_recreation() < mca.max_recreation());
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! | [`skip_delta`] | SVN FSFS skip-delta baseline (§5.2) | baseline |
 //! | [`ilp`] | exact branch-and-bound (stands in for the §2.3 ILP) | 6 (exact) |
 //! | [`hop`] | bounded-hop variant (`Φ ≡ 1`, §3) | 6-hop |
+//!
+//! On instances with per-version chunked costs, MST/SPT (via the
+//! augmented graph's chunk root), LMG, MP, LAST, GitH and [`hop`] choose
+//! the three-way `StorageMode` per version; [`ilp`] and [`skip_delta`]
+//! remain binary (the former deliberately — exact hybrid search is a
+//! ROADMAP item; the latter because SVN has no chunked mode to mirror).
 
 pub mod gith;
 pub mod hop;
@@ -24,27 +30,41 @@ pub mod spt;
 
 use crate::error::SolveError;
 use crate::instance::ProblemInstance;
-use crate::solution::StorageSolution;
+use crate::solution::{StorageMode, StorageSolution};
 use dsv_graph::NodeId;
 
-/// Converts a parent array over *augmented* nodes (root `V0` = node 0)
+/// Converts a parent array over *augmented* nodes (root `V0` = node 0,
+/// chunk root `Vc` = node `n + 1` when the instance has chunked costs)
 /// into a [`StorageSolution`] over versions.
+///
+/// The chunk root's own parent entry is ignored: `Vc` represents the
+/// shared chunk store, which depends on no version, so whatever tree edge
+/// attached it (always the zero-cost `V0 → Vc` arc in directed solves;
+/// possibly a version-side edge in undirected MSTs, where orientation is
+/// an artifact) is normalized away. Any version whose parent is `Vc` is
+/// chunked — a root of its own delta subtree — so the normalization never
+/// introduces a cycle.
 pub(crate) fn augmented_to_solution(
     instance: &ProblemInstance,
     aug_parent: &[Option<NodeId>],
 ) -> Result<StorageSolution, SolveError> {
     let n = instance.version_count();
-    debug_assert_eq!(aug_parent.len(), n + 1);
-    let mut parent: Vec<Option<u32>> = Vec::with_capacity(n);
+    let chunk = instance.chunk_node();
+    debug_assert_eq!(aug_parent.len(), n + 1 + usize::from(chunk.is_some()));
+    let mut modes: Vec<StorageMode> = Vec::with_capacity(n);
     for i in 0..n as u32 {
         let node = ProblemInstance::node_of(i);
         match aug_parent[node.index()] {
-            Some(NodeId(0)) => parent.push(None),
-            Some(p) => parent.push(ProblemInstance::version_of(p)),
+            Some(NodeId(0)) => modes.push(StorageMode::Materialized),
+            Some(p) if Some(p) == chunk => modes.push(StorageMode::Chunked),
+            Some(p) => match ProblemInstance::version_of(p) {
+                Some(v) => modes.push(StorageMode::Delta(v)),
+                None => return Err(SolveError::Disconnected),
+            },
             None => return Err(SolveError::Disconnected),
         }
     }
-    StorageSolution::from_validated_parts(instance, parent)
+    StorageSolution::from_validated_modes(instance, modes)
 }
 
 #[cfg(test)]

@@ -31,7 +31,10 @@ pub fn solve_storage_given_max(
         return Err(SolveError::EmptyInstance);
     }
     let g = instance.augmented_graph();
-    let total = n + 1;
+    // Node universe includes the chunk root when the instance has chunked
+    // costs; MP treats it like any other node (it joins the tree over the
+    // zero-cost root edge, then offers chunk edges to every version).
+    let total = g.node_count();
 
     let mut in_tree = vec![false; total];
     let mut parent: Vec<Option<NodeId>> = vec![None; total];
@@ -256,6 +259,32 @@ mod tests {
             assert!(sol.storage_cost() <= last);
             last = sol.storage_cost();
         }
+    }
+
+    #[test]
+    fn hybrid_mp_chunks_to_meet_tight_theta_cheaply() {
+        use crate::instance::fixtures::paper_example_chunked;
+        use crate::solvers::mst;
+        let inst = paper_example_chunked();
+        // θ at the SPT bound forces every version onto a root-ish edge;
+        // chunked roots satisfy slightly looser θ at far less storage.
+        let spt_sol = spt::solve(&inst).unwrap();
+        let theta = spt_sol.max_recreation() + 200; // admits Φ_c = Φ_ii + 64
+        let sol = solve_storage_given_max(&inst, theta).unwrap();
+        assert!(sol.max_recreation() <= theta);
+        assert!(sol.validate(&inst).is_ok());
+        // The binary solution at the same θ cannot use the cheap chunk
+        // edges and must pay more storage.
+        let binary =
+            solve_storage_given_max(&crate::instance::fixtures::paper_example(), theta).unwrap();
+        assert!(
+            sol.storage_cost() < binary.storage_cost(),
+            "hybrid {} vs binary {}",
+            sol.storage_cost(),
+            binary.storage_cost()
+        );
+        // And it still respects the true minimum-storage floor.
+        assert!(sol.storage_cost() >= mst::solve(&inst).unwrap().storage_cost());
     }
 
     #[test]

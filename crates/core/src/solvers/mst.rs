@@ -78,6 +78,52 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_mca_uses_chunked_edges_when_cheapest() {
+        // Two unrelated versions (no deltas revealed): binary MCA must
+        // materialize both; with cheap chunked increments revealed, the
+        // hybrid MCA chunks both.
+        let mut m = CostMatrix::directed(vec![CostPair::new(1000, 1000), CostPair::new(900, 900)]);
+        m.set_chunked(0, CostPair::new(300, 1050));
+        m.set_chunked(1, CostPair::new(50, 950));
+        let inst = ProblemInstance::new(m);
+        let sol = solve(&inst).unwrap();
+        assert_eq!(sol.storage_cost(), 350);
+        assert_eq!(sol.chunked().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(sol.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn hybrid_mca_never_stores_more_than_binary() {
+        use crate::instance::fixtures::{paper_example, paper_example_chunked};
+        let binary = solve(&paper_example()).unwrap();
+        let hybrid = solve(&paper_example_chunked()).unwrap();
+        // The hybrid graph is a supergraph: its minimum arborescence can
+        // only be cheaper or equal.
+        assert!(hybrid.storage_cost() <= binary.storage_cost());
+        // The paper example's root materialization (10000) loses to its
+        // 4000-byte chunked increment.
+        assert!(hybrid.chunked().count() >= 1);
+    }
+
+    #[test]
+    fn hybrid_undirected_mst_handles_chunk_root() {
+        let mut m = CostMatrix::undirected(vec![
+            CostPair::proportional(100),
+            CostPair::proportional(110),
+            CostPair::proportional(120),
+        ]);
+        m.reveal(0, 1, CostPair::proportional(10));
+        m.reveal(1, 2, CostPair::proportional(15));
+        // Chunking version 0 (40) beats materializing it (100).
+        m.set_chunked(0, CostPair::new(40, 105));
+        let inst = ProblemInstance::new(m);
+        let sol = solve(&inst).unwrap();
+        assert_eq!(sol.storage_cost(), 40 + 10 + 15);
+        assert_eq!(sol.mode(0), crate::solution::StorageMode::Chunked);
+        assert!(sol.validate(&inst).is_ok());
+    }
+
+    #[test]
     fn directed_asymmetry_exploited() {
         // Storing 1 as a delta from 0 is cheap; the reverse is expensive.
         let mut m = CostMatrix::directed(vec![CostPair::new(100, 100), CostPair::new(100, 100)]);

@@ -4,7 +4,10 @@
 
 use dsv_core::online::{insert_version, OnlinePolicy};
 use dsv_core::solvers::{hop, lmg, mp, mst, spt};
-use dsv_core::{solve, CostMatrix, CostPair, Problem, ProblemInstance, StorageSolution};
+use dsv_core::{
+    solve, CostMatrix, CostPair, Problem, ProblemInstance, SolutionError, StorageMode,
+    StorageSolution,
+};
 use proptest::prelude::*;
 
 /// Instances with potentially zero-cost deltas and ties everywhere.
@@ -29,6 +32,42 @@ fn arb_degenerate_instance() -> impl Strategy<Value = ProblemInstance> {
                 }
             }
             ProblemInstance::new(m)
+        })
+    })
+}
+
+/// Hybrid cases: chunked costs revealed on a subset of versions (never
+/// version 0, so rejection tests always have a chunk-less version), plus
+/// a valid mixed mode assignment whose delta parents point at revealed
+/// in-edges of earlier versions (acyclic by construction).
+fn arb_hybrid_case() -> impl Strategy<Value = (ProblemInstance, Vec<StorageMode>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let diag = proptest::collection::vec(1u64..1000, n);
+        let attach = proptest::collection::vec((0u32..u32::MAX, 1u64..200), n - 1);
+        let chunk = proptest::collection::vec((0u8..2, 1u64..400, 1u64..1400), n);
+        let mode_sel = proptest::collection::vec(0u8..3, n);
+        (Just(n), diag, attach, chunk, mode_sel).prop_map(|(_n, diag, attach, chunk, mode_sel)| {
+            let mut m =
+                CostMatrix::directed(diag.into_iter().map(CostPair::proportional).collect());
+            for (v, (r, w)) in attach.iter().enumerate() {
+                let v = (v + 1) as u32;
+                m.reveal(r % v, v, CostPair::proportional(*w));
+            }
+            for (i, (has, s, r)) in chunk.iter().enumerate() {
+                if *has == 1 && i > 0 {
+                    m.set_chunked(i as u32, CostPair::new(*s, *r));
+                }
+            }
+            let modes: Vec<StorageMode> = mode_sel
+                .iter()
+                .enumerate()
+                .map(|(i, sel)| match sel {
+                    1 if i > 0 => StorageMode::Delta(attach[i - 1].0 % i as u32),
+                    2 if m.chunked(i as u32).is_some() => StorageMode::Chunked,
+                    _ => StorageMode::Materialized,
+                })
+                .collect();
+            (ProblemInstance::new(m), modes)
         })
     })
 }
@@ -94,6 +133,83 @@ proptest! {
         let sol = solve(&inst, Problem::MinStorageGivenSumRecreation { theta }).unwrap();
         prop_assert!(sol.sum_recreation() <= theta);
         prop_assert!(sol.storage_cost() <= spt_sol.storage_cost());
+    }
+
+    /// Any mode assignment containing `Chunked` round-trips through
+    /// `StorageSolution::from_modes` with costs matching an independent
+    /// recomputation.
+    #[test]
+    fn hybrid_modes_round_trip_with_recomputed_costs((inst, modes) in arb_hybrid_case()) {
+        let sol = StorageSolution::from_modes(&inst, modes.clone()).unwrap();
+        prop_assert_eq!(sol.modes(), modes.as_slice());
+        prop_assert!(sol.validate(&inst).is_ok());
+        // Recompute both cost accounts from scratch, independently of the
+        // solution's internal tree machinery.
+        let m = inst.matrix();
+        let pair_of = |i: u32| match modes[i as usize] {
+            StorageMode::Materialized => m.materialization(i),
+            StorageMode::Chunked => m.chunked(i).expect("validated"),
+            StorageMode::Delta(p) => m.get(p, i).expect("revealed"),
+        };
+        let storage: u64 = (0..modes.len() as u32).map(|i| pair_of(i).storage).sum();
+        prop_assert_eq!(sol.storage_cost(), storage);
+        for i in 0..modes.len() as u32 {
+            let mut r = 0u64;
+            let mut cur = i;
+            loop {
+                r += pair_of(cur).recreation;
+                match modes[cur as usize] {
+                    StorageMode::Delta(p) => cur = p,
+                    _ => break,
+                }
+            }
+            prop_assert_eq!(sol.recreation_cost(i), r, "version {}", i);
+        }
+        // And the binary view is consistent with the modes.
+        for (i, mode) in modes.iter().enumerate() {
+            prop_assert_eq!(sol.parent(i as u32), mode.delta_parent());
+        }
+    }
+
+    /// Invalid mixed assignments are rejected: chunking a version without
+    /// a revealed chunked cost, and delta cycles threaded between chunked
+    /// roots.
+    #[test]
+    fn invalid_hybrid_assignments_rejected((inst, modes) in arb_hybrid_case()) {
+        // Version 0 never has a chunked cost (by construction).
+        let mut bad = modes.clone();
+        bad[0] = StorageMode::Chunked;
+        prop_assert_eq!(
+            StorageSolution::from_modes(&inst, bad).unwrap_err(),
+            SolutionError::ChunkedUnavailable(0)
+        );
+        // A two-cycle among deltas invalidates the assignment even when
+        // every other version is a valid root mode.
+        if modes.len() >= 3 {
+            let mut cyclic = modes;
+            cyclic[1] = StorageMode::Delta(2);
+            cyclic[2] = StorageMode::Delta(1);
+            prop_assert!(StorageSolution::from_modes(&inst, cyclic).is_err());
+        }
+    }
+
+    /// Every solver stays valid on hybrid instances (chunked costs on a
+    /// random subset of versions).
+    #[test]
+    fn solvers_handle_hybrid_instances((inst, _modes) in arb_hybrid_case()) {
+        let mca = mst::solve(&inst).unwrap();
+        prop_assert!(mca.validate(&inst).is_ok());
+        let spt_sol = spt::solve(&inst).unwrap();
+        prop_assert!(spt_sol.validate(&inst).is_ok());
+        for i in 0..inst.version_count() as u32 {
+            prop_assert!(spt_sol.recreation_cost(i) <= mca.recreation_cost(i));
+        }
+        let l = lmg::solve_sum_given_storage(&inst, mca.storage_cost() + 50, false).unwrap();
+        prop_assert!(l.validate(&inst).is_ok());
+        prop_assert!(l.storage_cost() <= mca.storage_cost() + 50);
+        let m = mp::solve_storage_given_max(&inst, spt_sol.max_recreation() + 50).unwrap();
+        prop_assert!(m.validate(&inst).is_ok());
+        prop_assert!(m.max_recreation() <= spt_sol.max_recreation() + 50);
     }
 
     /// Extreme asymmetry: forward deltas free, reverse deltas enormous.

@@ -39,5 +39,5 @@ pub mod store;
 pub use hash::ObjectId;
 pub use materialize::{Materializer, RecreationWork};
 pub use object::{Object, StoreError};
-pub use repack::{pack_versions, PackOptions, PackedVersions};
+pub use repack::{dependency_order, pack_versions, PackOptions, PackedVersions};
 pub use store::{FileStore, MemStore, ObjectStore};

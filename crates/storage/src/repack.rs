@@ -42,20 +42,12 @@ impl PackedVersions {
     }
 }
 
-/// Packs `contents` into `store` following `plan`.
-///
-/// The plan must be a valid forest over the versions (every delta chain
-/// ends at a materialized version); [`StoreError::ChainTooLong`] is
-/// returned otherwise.
-pub fn pack_versions<S: ObjectStore + ?Sized>(
-    store: &S,
-    contents: &[Vec<u8>],
-    plan: &[Option<u32>],
-    _opts: PackOptions,
-) -> Result<PackedVersions, StoreError> {
-    assert_eq!(contents.len(), plan.len(), "one plan entry per version");
-    let n = contents.len();
-    // Process in dependency order (parents before children).
+/// Orders versions parents-before-children under a parent assignment
+/// (`None` = root). Returns [`StoreError::ChainTooLong`] when the
+/// assignment contains a cycle. Shared by [`pack_versions`] and the
+/// chunk crate's hybrid packer.
+pub fn dependency_order(plan: &[Option<u32>]) -> Result<Vec<u32>, StoreError> {
+    let n = plan.len();
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
     for start in 0..n as u32 {
@@ -83,6 +75,23 @@ pub fn pack_versions<S: ObjectStore + ?Sized>(
             order.push(v);
         }
     }
+    Ok(order)
+}
+
+/// Packs `contents` into `store` following `plan`.
+///
+/// The plan must be a valid forest over the versions (every delta chain
+/// ends at a materialized version); [`StoreError::ChainTooLong`] is
+/// returned otherwise.
+pub fn pack_versions<S: ObjectStore + ?Sized>(
+    store: &S,
+    contents: &[Vec<u8>],
+    plan: &[Option<u32>],
+    _opts: PackOptions,
+) -> Result<PackedVersions, StoreError> {
+    assert_eq!(contents.len(), plan.len(), "one plan entry per version");
+    let n = contents.len();
+    let order = dependency_order(plan)?;
 
     let mut ids: Vec<Option<ObjectId>> = vec![None; n];
     for v in order {

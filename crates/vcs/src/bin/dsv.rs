@@ -112,12 +112,18 @@ fn run(args: &[String]) -> Result<(), String> {
         "status" => {
             let root = repo_dir(args, 1)?;
             let repo = persist::load(&root, true).map_err(stringify)?;
-            let materialized = repo.current_plan().iter().filter(|p| p.is_none()).count();
+            let plan = repo.current_plan();
+            let materialized = plan
+                .iter()
+                .filter(|m| matches!(m, dsv_core::StorageMode::Materialized))
+                .count();
+            let chunked = plan.iter().filter(|m| m.is_chunked()).count();
             println!(
-                "{} versions, {} branches, {} materialized, {} bytes on disk",
+                "{} versions, {} branches, {} materialized, {} chunked, {} bytes on disk",
                 repo.version_count(),
                 repo.branches().count(),
                 materialized,
+                chunked,
                 repo.storage_bytes()
             );
             Ok(())

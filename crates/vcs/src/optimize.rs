@@ -8,6 +8,7 @@
 use crate::commit::CommitId;
 use crate::error::VcsError;
 use crate::repo::Repository;
+use dsv_chunk::{chunked_cost_pairs, pack_versions_hybrid, ChunkerParams};
 use dsv_core::{solve, CostMatrix, CostPair, Problem, ProblemInstance};
 use dsv_delta::bytes_delta;
 use dsv_storage::{pack_versions, Materializer, ObjectStore, PackOptions};
@@ -24,6 +25,9 @@ pub struct OptimizeReport {
     pub storage_after: u64,
     /// Number of versions now materialized.
     pub materialized: usize,
+    /// Number of versions now stored as chunk manifests (hybrid target
+    /// only; 0 for binary optimizes).
+    pub chunked: usize,
     /// Predicted total storage cost of the chosen plan (matrix units).
     pub planned_storage_cost: u64,
     /// Predicted maximum recreation cost of the chosen plan.
@@ -34,11 +38,39 @@ pub struct OptimizeReport {
 
 impl<S: ObjectStore> Repository<S> {
     /// Rebuilds the repository's storage layout by solving `problem` over
-    /// deltas revealed within `reveal_hops` of the commit DAG.
+    /// deltas revealed within `reveal_hops` of the commit DAG. The solver
+    /// chooses between materializing and delta chains (the paper's binary
+    /// model); see [`optimize_hybrid`](Self::optimize_hybrid) for the
+    /// three-mode variant.
     pub fn optimize(
         &mut self,
         problem: Problem,
         reveal_hops: usize,
+    ) -> Result<OptimizeReport, VcsError> {
+        self.optimize_inner(problem, reveal_hops, None)
+    }
+
+    /// Rebuilds the repository's storage layout under the **hybrid**
+    /// three-mode model: alongside the byte-delta reveals, every version
+    /// gets a chunked cost estimate (its incremental unique-chunk bytes
+    /// under `params`, via the gear-hash chunker), and the solver chooses
+    /// Full / Delta / Chunked *per version*. The chosen plan is executed
+    /// end-to-end: chunked versions become deduplicated manifests, delta
+    /// versions chain off whatever mode their parent landed in.
+    pub fn optimize_hybrid(
+        &mut self,
+        problem: Problem,
+        reveal_hops: usize,
+        params: ChunkerParams,
+    ) -> Result<OptimizeReport, VcsError> {
+        self.optimize_inner(problem, reveal_hops, Some(params))
+    }
+
+    fn optimize_inner(
+        &mut self,
+        problem: Problem,
+        reveal_hops: usize,
+        chunking: Option<ChunkerParams>,
     ) -> Result<OptimizeReport, VcsError> {
         let n = self.version_count();
         if n == 0 {
@@ -56,7 +88,8 @@ impl<S: ObjectStore> Repository<S> {
             out
         };
 
-        // Build the instance: Φ = Δ over real byte-delta sizes.
+        // Build the instance: Φ = Δ over real byte-delta sizes, plus —
+        // for the hybrid target — per-version chunked estimates.
         let diag: Vec<CostPair> = contents
             .iter()
             .map(|c| CostPair::proportional(c.len() as u64))
@@ -73,6 +106,14 @@ impl<S: ObjectStore> Repository<S> {
                 &contents[a as usize],
             ));
             matrix.reveal(b, a, CostPair::proportional(rev.len() as u64));
+        }
+        if let Some(params) = chunking {
+            for (i, pair) in chunked_cost_pairs(&contents, params)?
+                .into_iter()
+                .enumerate()
+            {
+                matrix.set_chunked(i as u32, pair);
+            }
         }
         let instance = ProblemInstance::new(matrix);
         let solution = solve(&instance, problem)?;
@@ -92,24 +133,37 @@ impl<S: ObjectStore> Repository<S> {
                 old_ids.extend(chunks);
             }
         }
-        let packed = pack_versions(
-            &self.store,
-            &contents,
-            solution.parents(),
-            PackOptions::default(),
-        )?;
-        let new_ids: HashSet<_> = packed.ids.iter().copied().collect();
+        let packed = match chunking {
+            Some(params) => {
+                pack_versions_hybrid(&self.store, &contents, solution.modes(), params)?.0
+            }
+            None => pack_versions(
+                &self.store,
+                &contents,
+                solution.parents(),
+                PackOptions::default(),
+            )?,
+        };
+        // The new plan's reference closure: chunked manifests keep their
+        // chunk objects alive.
+        let mut new_ids: HashSet<_> = packed.ids.iter().copied().collect();
+        for id in &packed.ids {
+            if let Ok(dsv_storage::Object::Chunked { chunks }) = self.store.get(*id) {
+                new_ids.extend(chunks);
+            }
+        }
         for stale in old_ids.difference(&new_ids) {
             self.store.remove(*stale);
         }
         self.objects = packed.ids;
-        self.plan = solution.parents().to_vec();
+        self.plan = solution.modes().to_vec();
 
         Ok(OptimizeReport {
             problem,
             storage_before,
             storage_after: self.store.total_bytes(),
             materialized: solution.materialized().count(),
+            chunked: solution.chunked().count(),
             planned_storage_cost: solution.storage_cost(),
             planned_max_recreation: solution.max_recreation(),
             planned_sum_recreation: solution.sum_recreation(),
@@ -313,6 +367,54 @@ mod tests {
         for v in 0..repo.version_count() as u32 {
             assert!(!repo.checkout(CommitId(v)).unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn hybrid_optimize_executes_mixed_plans_end_to_end() {
+        let mut repo = populated();
+        let snapshots: Vec<Vec<u8>> = (0..repo.version_count() as u32)
+            .map(|v| repo.checkout(CommitId(v)).unwrap())
+            .collect();
+        // A max-recreation bound just above the largest version: binary
+        // solves must materialize aggressively; the hybrid target can
+        // chunk instead where increments are cheaper.
+        let max_size = snapshots.iter().map(|s| s.len() as u64).max().unwrap();
+        let theta = max_size * 13 / 10;
+        let problem = Problem::MinStorageGivenMaxRecreation { theta };
+        let hybrid = repo
+            .optimize_hybrid(problem, 4, dsv_chunk::ChunkerParams::default())
+            .unwrap();
+        assert!(hybrid.planned_max_recreation <= theta);
+        // The solver-chosen plan survives in the repo and contents are
+        // byte-exact under the mixed layout.
+        assert_eq!(
+            repo.current_plan()
+                .iter()
+                .filter(|m| m.is_chunked())
+                .count(),
+            hybrid.chunked
+        );
+        for (v, expected) in snapshots.iter().enumerate() {
+            assert_eq!(
+                &repo.checkout(CommitId(v as u32)).unwrap(),
+                expected,
+                "v{v}"
+            );
+        }
+        // Against the binary solve of the same problem on a fresh copy of
+        // the same history, the hybrid plan stores no more.
+        let mut binary_repo = populated();
+        let binary = binary_repo.optimize(problem, 4).unwrap();
+        assert!(
+            hybrid.planned_storage_cost <= binary.planned_storage_cost,
+            "hybrid {} vs binary {}",
+            hybrid.planned_storage_cost,
+            binary.planned_storage_cost
+        );
+        // Re-optimizing back to a pure delta plan reclaims the chunks.
+        let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+        assert_eq!(report.chunked, 0);
+        assert_eq!(repo.store.len(), repo.version_count());
     }
 
     #[test]

@@ -11,15 +11,23 @@
 //! one record per line, fields space-separated, the commit message last
 //! (newlines in messages are flattened to spaces on save; a prototype
 //! limitation matching the paper's system).
+//!
+//! Format v2 adds the placement policy (so a reloaded chunked repository
+//! keeps chunking new commits) and a `c` plan marker for versions stored
+//! as chunk manifests. v1 files (binary plans, implicit greedy placement)
+//! still load.
 
 use crate::commit::{CommitId, CommitMeta};
 use crate::error::VcsError;
-use crate::repo::Repository;
+use crate::repo::{Placement, Repository};
+use dsv_chunk::ChunkerParams;
+use dsv_core::StorageMode;
 use dsv_storage::{FileStore, ObjectId, StoreError};
 use std::fmt::Write as _;
 use std::path::Path;
 
-const MAGIC: &str = "dsv-meta v1";
+const MAGIC_V1: &str = "dsv-meta v1";
+const MAGIC_V2: &str = "dsv-meta v2";
 
 /// Serializes repository metadata (not objects — those live in the
 /// FileStore) to `<root>/meta.dsv`.
@@ -29,7 +37,19 @@ pub fn save<S: dsv_storage::ObjectStore>(
 ) -> Result<(), VcsError> {
     std::fs::create_dir_all(root).map_err(StoreError::from)?;
     let mut out = String::new();
-    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "{MAGIC_V2}");
+    match repo.placement() {
+        Placement::GreedyDelta => {
+            let _ = writeln!(out, "placement greedy");
+        }
+        Placement::Chunked(p) => {
+            let _ = writeln!(
+                out,
+                "placement chunked {} {} {}",
+                p.min_size, p.avg_size, p.max_size
+            );
+        }
+    }
     let branches: Vec<(&str, CommitId)> = repo.branches().collect();
     let _ = writeln!(out, "branches {}", branches.len());
     for (name, head) in branches {
@@ -48,8 +68,9 @@ pub fn save<S: dsv_storage::ObjectStore>(
                 .join(",")
         };
         let plan = match repo.current_plan()[v as usize] {
-            None => "-".to_owned(),
-            Some(p) => p.to_string(),
+            StorageMode::Materialized => "-".to_owned(),
+            StorageMode::Chunked => "c".to_owned(),
+            StorageMode::Delta(p) => p.to_string(),
         };
         let object = repo.object_id(CommitId(v)).to_hex();
         let message = meta.message.replace('\n', " ");
@@ -69,9 +90,17 @@ pub fn load(root: &Path, compress: bool) -> Result<Repository<FileStore>, VcsErr
     let text = std::fs::read_to_string(root.join("meta.dsv")).map_err(StoreError::from)?;
     let mut lines = text.lines();
     let magic = lines.next().ok_or_else(corrupt)?;
-    if magic != MAGIC {
-        return Err(corrupt());
-    }
+    let v2 = match magic {
+        MAGIC_V1 => false,
+        MAGIC_V2 => true,
+        _ => return Err(corrupt()),
+    };
+
+    let placement = if v2 {
+        parse_placement(lines.next().ok_or_else(corrupt)?)?
+    } else {
+        Placement::GreedyDelta
+    };
 
     let (tag, count) = split_header(lines.next().ok_or_else(corrupt)?)?;
     if tag != "branches" {
@@ -110,10 +139,10 @@ pub fn load(root: &Path, compress: bool) -> Result<Repository<FileStore>, VcsErr
                 .map(|p| p.parse::<u32>().map(CommitId).map_err(|_| corrupt()))
                 .collect::<Result<Vec<_>, _>>()?
         };
-        let plan_parent = if plan_str == "-" {
-            None
-        } else {
-            Some(plan_str.parse::<u32>().map_err(|_| corrupt())?)
+        let plan_mode = match plan_str {
+            "-" => StorageMode::Materialized,
+            "c" => StorageMode::Chunked,
+            other => StorageMode::Delta(other.parse::<u32>().map_err(|_| corrupt())?),
         };
         let object = ObjectId::from_hex(object_hex).ok_or_else(corrupt)?;
         if !dsv_storage::ObjectStore::contains(&store, object) {
@@ -126,15 +155,37 @@ pub fn load(root: &Path, compress: bool) -> Result<Repository<FileStore>, VcsErr
             sequence,
             size,
         });
-        plan.push(plan_parent);
+        plan.push(plan_mode);
         objects.push(object);
     }
 
-    Repository::from_parts(store, commits, plan, objects, branches)
+    Repository::from_parts(store, commits, plan, objects, branches, placement)
 }
 
 fn corrupt() -> VcsError {
     VcsError::Store(StoreError::Corrupt("malformed meta.dsv"))
+}
+
+fn parse_placement(line: &str) -> Result<Placement, VcsError> {
+    let mut fields = line.split(' ');
+    if fields.next() != Some("placement") {
+        return Err(corrupt());
+    }
+    match fields.next() {
+        Some("greedy") => Ok(Placement::GreedyDelta),
+        Some("chunked") => {
+            let mut num = || -> Result<usize, VcsError> {
+                fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(corrupt)
+            };
+            let (min, avg, max) = (num()?, num()?, num()?);
+            let params = ChunkerParams::new(min, avg, max).map_err(|_| corrupt())?;
+            Ok(Placement::Chunked(params))
+        }
+        _ => Err(corrupt()),
+    }
 }
 
 fn split_header(line: &str) -> Result<(&str, usize), VcsError> {
@@ -151,10 +202,28 @@ mod tests {
     use super::*;
     use dsv_core::Problem;
 
-    fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("dsv-persist-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir
+    /// A temp directory that removes itself on drop, so panicking tests
+    /// don't leak directories (the old trailing `remove_dir_all` calls
+    /// never ran on failure).
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("dsv-persist-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
     }
 
     fn populated(root: &Path) -> Repository<FileStore> {
@@ -173,10 +242,11 @@ mod tests {
 
     #[test]
     fn save_load_roundtrip() {
-        let root = tmpdir("roundtrip");
-        let repo = populated(&root);
-        save(&repo, &root).unwrap();
-        let loaded = load(&root, false).unwrap();
+        let tmp = TempDir::new("roundtrip");
+        let root = tmp.path();
+        let repo = populated(root);
+        save(&repo, root).unwrap();
+        let loaded = load(root, false).unwrap();
 
         assert_eq!(loaded.version_count(), repo.version_count());
         for v in 0..repo.version_count() as u32 {
@@ -201,16 +271,16 @@ mod tests {
             .unwrap()
             .message
             .contains("fix cell"));
-        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
     fn optimize_then_persist_then_reload() {
-        let root = tmpdir("optimize");
-        let mut repo = populated(&root);
+        let tmp = TempDir::new("optimize");
+        let root = tmp.path();
+        let mut repo = populated(root);
         repo.optimize(Problem::MinStorage, 3).unwrap();
-        save(&repo, &root).unwrap();
-        let loaded = load(&root, false).unwrap();
+        save(&repo, root).unwrap();
+        let loaded = load(root, false).unwrap();
         for v in 0..repo.version_count() as u32 {
             assert_eq!(
                 loaded.checkout(CommitId(v)).unwrap(),
@@ -218,31 +288,92 @@ mod tests {
             );
         }
         assert_eq!(loaded.current_plan(), repo.current_plan());
-        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn chunked_placement_survives_reload() {
+        let tmp = TempDir::new("chunked");
+        let root = tmp.path();
+        let params = ChunkerParams::new(64, 256, 1024).unwrap();
+        let store = FileStore::open(&root.join("objects"), false).unwrap();
+        let mut repo = Repository::init_chunked(store, params);
+        let mut data: Vec<u8> = b"id,value\n".to_vec();
+        for i in 0..400 {
+            data.extend_from_slice(format!("{i},row-payload-{}\n", i * 7).as_bytes());
+        }
+        repo.commit("main", &data, "base").unwrap();
+        data.extend_from_slice(b"400,appended\n");
+        repo.commit("main", &data, "grow").unwrap();
+        save(&repo, root).unwrap();
+
+        let mut loaded = load(root, false).unwrap();
+        // Placement and per-version chunked plan entries round-trip.
+        assert_eq!(loaded.placement(), Placement::Chunked(params));
+        assert!(loaded.current_plan().iter().all(|m| m.is_chunked()));
+        for v in 0..repo.version_count() as u32 {
+            assert_eq!(
+                loaded.checkout(CommitId(v)).unwrap(),
+                repo.checkout(CommitId(v)).unwrap()
+            );
+        }
+        // New commits on the reloaded repository keep chunking (no silent
+        // fallback to greedy deltas): the commit dedups against existing
+        // chunks instead of storing a delta or a full copy.
+        let before = loaded.storage_bytes();
+        data.extend_from_slice(b"401,appended-after-reload\n");
+        let id = loaded.commit("main", &data, "post-reload").unwrap();
+        assert!(loaded.current_plan()[id.index()].is_chunked());
+        let added = loaded.storage_bytes() - before;
+        assert!(
+            added < data.len() as u64 / 4,
+            "chunked commit added {added} of {} bytes",
+            data.len()
+        );
+        assert_eq!(loaded.checkout(id).unwrap(), data);
+    }
+
+    #[test]
+    fn v1_meta_files_still_load() {
+        let tmp = TempDir::new("v1compat");
+        let root = tmp.path();
+        let repo = populated(root);
+        save(&repo, root).unwrap();
+        // Rewrite the meta file as v1: drop the placement line.
+        let text = std::fs::read_to_string(root.join("meta.dsv")).unwrap();
+        let v1 = text
+            .replacen(MAGIC_V2, MAGIC_V1, 1)
+            .lines()
+            .filter(|l| !l.starts_with("placement"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(root.join("meta.dsv"), v1 + "\n").unwrap();
+        let loaded = load(root, false).unwrap();
+        assert_eq!(loaded.placement(), Placement::GreedyDelta);
+        assert_eq!(loaded.current_plan(), repo.current_plan());
     }
 
     #[test]
     fn load_rejects_corruption() {
-        let root = tmpdir("corrupt");
-        let repo = populated(&root);
-        save(&repo, &root).unwrap();
+        let tmp = TempDir::new("corrupt");
+        let root = tmp.path();
+        let repo = populated(root);
+        save(&repo, root).unwrap();
         std::fs::write(root.join("meta.dsv"), "not a meta file\n").unwrap();
-        assert!(load(&root, false).is_err());
-        std::fs::remove_dir_all(&root).unwrap();
+        assert!(load(root, false).is_err());
     }
 
     #[test]
     fn load_detects_missing_objects() {
-        let root = tmpdir("missing");
-        let repo = populated(&root);
-        save(&repo, &root).unwrap();
+        let tmp = TempDir::new("missing");
+        let root = tmp.path();
+        let repo = populated(root);
+        save(&repo, root).unwrap();
         // Blow away the object files.
         std::fs::remove_dir_all(root.join("objects")).unwrap();
         std::fs::create_dir_all(root.join("objects")).unwrap();
         assert!(matches!(
-            load(&root, false),
+            load(root, false),
             Err(VcsError::Store(StoreError::NotFound(_)))
         ));
-        std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -3,6 +3,7 @@
 use crate::commit::{CommitId, CommitMeta};
 use crate::error::VcsError;
 use dsv_chunk::{ChunkStore, ChunkerParams};
+use dsv_core::StorageMode;
 use dsv_delta::bytes_delta;
 use dsv_storage::{Materializer, MemStore, Object, ObjectId, ObjectStore};
 use std::collections::BTreeMap;
@@ -30,8 +31,8 @@ pub enum Placement {
 pub struct Repository<S: ObjectStore> {
     pub(crate) store: S,
     pub(crate) commits: Vec<CommitMeta>,
-    /// Current storage plan: `None` = materialized.
-    pub(crate) plan: Vec<Option<u32>>,
+    /// Current storage plan: the per-version [`StorageMode`].
+    pub(crate) plan: Vec<StorageMode>,
     /// Object holding each version under the current plan.
     pub(crate) objects: Vec<ObjectId>,
     branches: BTreeMap<String, CommitId>,
@@ -68,8 +69,8 @@ impl<S: ObjectStore> Repository<S> {
     /// Creates an empty repository over `store` whose commits are stored
     /// as content-defined chunk manifests under `params`. Checkout
     /// reassembles manifests transparently; persistence
-    /// ([`crate::persist`]) round-trips manifests like any other object,
-    /// though a reloaded repository places *new* commits greedily.
+    /// ([`crate::persist`]) round-trips the placement policy too, so a
+    /// reloaded repository keeps chunking new commits.
     pub fn init_chunked(store: S, params: ChunkerParams) -> Self {
         Repository::with_placement(store, Placement::Chunked(params))
     }
@@ -201,7 +202,7 @@ impl<S: ObjectStore> Repository<S> {
             // any `max_recreation_bytes` budget is trivially respected.
             let put = ChunkStore::new(&self.store, params).and_then(|cs| cs.put_version(data))?;
             self.objects.push(put.id);
-            self.plan.push(None);
+            self.plan.push(StorageMode::Chunked);
             self.commits.push(CommitMeta {
                 id,
                 parents: parents.to_vec(),
@@ -215,7 +216,7 @@ impl<S: ObjectStore> Repository<S> {
         // beats materialization (the offline optimizer revisits this) and,
         // if a recreation budget is set, when the resulting chain stays
         // within it.
-        let (object, plan_parent) = match parents.first() {
+        let (object, plan_mode) = match parents.first() {
             Some(&p) => {
                 let base = self.checkout(p)?;
                 let ops = bytes_delta::diff(&base, data);
@@ -234,14 +235,14 @@ impl<S: ObjectStore> Repository<S> {
                             base: self.objects[p.index()],
                             delta: encoded,
                         },
-                        Some(p.0),
+                        StorageMode::Delta(p.0),
                     )
                 } else {
                     (
                         Object::Full {
                             data: data.to_vec(),
                         },
-                        None,
+                        StorageMode::Materialized,
                     )
                 }
             }
@@ -249,12 +250,12 @@ impl<S: ObjectStore> Repository<S> {
                 Object::Full {
                     data: data.to_vec(),
                 },
-                None,
+                StorageMode::Materialized,
             ),
         };
         let oid = self.store.put(&object)?;
         self.objects.push(oid);
-        self.plan.push(plan_parent);
+        self.plan.push(plan_mode);
         self.commits.push(CommitMeta {
             id,
             parents: parents.to_vec(),
@@ -289,8 +290,8 @@ impl<S: ObjectStore> Repository<S> {
         self.store.total_bytes()
     }
 
-    /// The current storage plan (parent assignment).
-    pub fn current_plan(&self) -> &[Option<u32>] {
+    /// The current storage plan (per-version storage modes).
+    pub fn current_plan(&self) -> &[StorageMode] {
         &self.plan
     }
 
@@ -300,13 +301,16 @@ impl<S: ObjectStore> Repository<S> {
     }
 
     /// Reassembles a repository from persisted parts (see
-    /// [`crate::persist`]). Validates branch heads and array lengths.
+    /// [`crate::persist`]). Validates branch heads and array lengths. The
+    /// placement policy persists too, so a reloaded chunked repository
+    /// keeps chunking new commits.
     pub fn from_parts(
         store: S,
         commits: Vec<CommitMeta>,
-        plan: Vec<Option<u32>>,
+        plan: Vec<StorageMode>,
         objects: Vec<ObjectId>,
         branches: Vec<(String, CommitId)>,
+        placement: Placement,
     ) -> Result<Self, VcsError> {
         if commits.len() != plan.len() || commits.len() != objects.len() {
             return Err(VcsError::Store(dsv_storage::StoreError::Corrupt(
@@ -327,7 +331,7 @@ impl<S: ObjectStore> Repository<S> {
             plan,
             objects,
             branches: map,
-            placement: Placement::GreedyDelta,
+            placement,
         })
     }
 }
@@ -362,7 +366,7 @@ mod tests {
         v1.extend_from_slice(b"500,extra\n");
         let id1 = repo.commit("main", &v1, "append").unwrap();
         // Second commit must be stored as a delta.
-        assert_eq!(repo.current_plan()[1], Some(0));
+        assert_eq!(repo.current_plan()[1], StorageMode::Delta(0));
         assert_eq!(repo.checkout(id1).unwrap(), v1);
         // Store footprint far below two full copies.
         assert!(repo.storage_bytes() < 2 * base.len() as u64);
@@ -377,7 +381,7 @@ mod tests {
             .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
             .collect();
         repo.commit("main", &noise, "binary blob").unwrap();
-        assert_eq!(repo.current_plan()[1], None);
+        assert_eq!(repo.current_plan()[1], StorageMode::Materialized);
     }
 
     #[test]
@@ -475,7 +479,7 @@ mod tests {
             unbounded
                 .current_plan()
                 .iter()
-                .filter(|p| p.is_none())
+                .filter(|p| p.is_root())
                 .count(),
             1
         );
@@ -485,7 +489,7 @@ mod tests {
         let materialized = bounded
             .current_plan()
             .iter()
-            .filter(|p| p.is_none())
+            .filter(|p| p.is_root())
             .count();
         assert!(materialized > 1, "budget must force rematerialization");
         for v in 0..bounded.version_count() as u32 {
@@ -525,7 +529,7 @@ mod tests {
             }
         }
         // Chunked placement materializes no delta chains...
-        assert!(chunked.current_plan().iter().all(|p| p.is_none()));
+        assert!(chunked.current_plan().iter().all(|p| p.is_chunked()));
         // ...but stays far below the all-materialized footprint by
         // deduplicating the shared base across branches.
         let materialized: u64 = (0..chunked.version_count() as u32)

@@ -79,6 +79,24 @@ impl Dataset {
         ProblemInstance::with_weights(self.matrix.clone(), w)
     }
 
+    /// The **hybrid** instance: the matrix extended with per-version
+    /// chunked cost estimates (incremental unique-chunk bytes under
+    /// `params`, via `dsv-chunk`'s gear-hash chunker), so solvers choose
+    /// Full / Delta / Chunked per version. Requires the dataset to have
+    /// been built with contents kept (`None` otherwise).
+    pub fn instance_with_chunked(
+        &self,
+        params: dsv_chunk::ChunkerParams,
+    ) -> Option<ProblemInstance> {
+        let contents = self.contents.as_ref()?;
+        let pairs = dsv_chunk::chunked_cost_pairs(contents, params).ok()?;
+        let mut matrix = self.matrix.clone();
+        for (i, pair) in pairs.into_iter().enumerate() {
+            matrix.set_chunked(i as u32, pair);
+        }
+        Some(ProblemInstance::new(matrix))
+    }
+
     /// Number of versions.
     pub fn version_count(&self) -> usize {
         self.matrix.version_count()
@@ -279,6 +297,31 @@ mod tests {
         let lmg = solve(&inst, Problem::MinSumRecreationGivenStorage { beta }).unwrap();
         assert!(lmg.storage_cost() <= beta);
         assert!(lmg.sum_recreation() <= mca.sum_recreation());
+    }
+
+    #[test]
+    fn hybrid_instance_reveals_chunked_costs() {
+        let ds = build("test", &small_params(), 17);
+        let inst = ds
+            .instance_with_chunked(dsv_chunk::ChunkerParams::default())
+            .expect("contents kept");
+        assert_eq!(inst.matrix().chunked_count(), ds.version_count());
+        // Increments never exceed materializing (dedup can only help), and
+        // hybrid min-storage never stores more than binary.
+        for i in 0..ds.version_count() as u32 {
+            let c = inst.matrix().chunked(i).unwrap();
+            assert!(c.storage <= inst.matrix().materialization(i).storage * 2);
+        }
+        let hybrid = solve(&inst, Problem::MinStorage).unwrap();
+        let binary = solve(&ds.instance(), Problem::MinStorage).unwrap();
+        assert!(hybrid.storage_cost() <= binary.storage_cost());
+        // Without contents there is nothing to chunk.
+        let mut p = small_params();
+        p.keep_contents = false;
+        let no_contents = build("test", &p, 17);
+        assert!(no_contents
+            .instance_with_chunked(dsv_chunk::ChunkerParams::default())
+            .is_none());
     }
 
     #[test]
