@@ -8,8 +8,8 @@
 //!   object payloads (`Φ = Δ` vs `Φ ≠ Δ` regimes).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsv_core::solvers::{gith, hop, mp, spt};
-use dsv_core::ProblemInstance;
+use dsv_core::solvers::gith::GitHParams;
+use dsv_core::{plan, PlanSpec, Problem, ProblemInstance, SolverChoice};
 use dsv_storage::{pack_versions, MemStore, PackOptions};
 use dsv_workloads::synthetic::{self, SyntheticParams};
 use dsv_workloads::GraphParams;
@@ -36,16 +36,13 @@ fn bench_gith_window(c: &mut Criterion) {
     let mut group = c.benchmark_group("gith_window");
     for window in [5usize, 10, 50, 200] {
         group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
-            b.iter(|| {
-                gith::solve(
-                    black_box(&inst),
-                    gith::GitHParams {
-                        window: w,
-                        max_depth: 50,
-                    },
-                )
-                .unwrap()
-            })
+            let spec = PlanSpec::new(Problem::MinStorage)
+                .solver(SolverChoice::named("gith"))
+                .gith_params(GitHParams {
+                    window: w,
+                    max_depth: 50,
+                });
+            b.iter(|| plan(black_box(&inst), &spec).unwrap())
         });
     }
     group.finish();
@@ -53,13 +50,19 @@ fn bench_gith_window(c: &mut Criterion) {
 
 fn bench_hop_vs_mp(c: &mut Criterion) {
     let inst = instance(400);
-    let theta = spt::solve(&inst).unwrap().max_recreation() * 2;
+    let spt_sol = plan(&inst, &PlanSpec::new(Problem::MinRecreation)).unwrap();
+    let theta = spt_sol.solution.max_recreation() * 2;
+    let problem = Problem::MinStorageGivenMaxRecreation { theta };
     let mut group = c.benchmark_group("hop_vs_mp");
+    let mp_spec = PlanSpec::new(problem).solver(SolverChoice::named("mp"));
     group.bench_function("mp_full_phi", |b| {
-        b.iter(|| mp::solve_storage_given_max(black_box(&inst), theta).unwrap())
+        b.iter(|| plan(black_box(&inst), &mp_spec).unwrap())
     });
+    let hop_spec = PlanSpec::new(problem)
+        .solver(SolverChoice::named("hop"))
+        .hop_bound(4);
     group.bench_function("hop_bounded_4", |b| {
-        b.iter(|| hop::solve_storage_given_hops(black_box(&inst), 4).unwrap())
+        b.iter(|| plan(black_box(&inst), &hop_spec).unwrap())
     });
     group.finish();
 }

@@ -2,8 +2,7 @@
 //! count (directed case, budget 3× the MCA weight).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsv_core::solvers::{lmg, mst};
-use dsv_core::ProblemInstance;
+use dsv_core::{plan, PlanSpec, Problem, ProblemInstance, SolverChoice};
 use dsv_workloads::synthetic::{self, SyntheticParams};
 use dsv_workloads::GraphParams;
 use std::hint::black_box;
@@ -33,9 +32,12 @@ fn bench_lmg_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for n in [500usize, 1000, 2000, 4000] {
         let inst = instance(n);
-        let budget = mst::solve(&inst).unwrap().storage_cost() * 3;
+        let mca = plan(&inst, &PlanSpec::new(Problem::MinStorage)).unwrap();
+        let beta = mca.solution.storage_cost() * 3;
+        let spec = PlanSpec::new(Problem::MinSumRecreationGivenStorage { beta })
+            .solver(SolverChoice::named("lmg"));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| lmg::solve_sum_given_storage(black_box(&inst), budget, false).unwrap())
+            b.iter(|| plan(black_box(&inst), &spec).unwrap())
         });
     }
     group.finish();

@@ -5,8 +5,7 @@
 //! regressions in any solver are caught individually.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use dsv_core::solvers::{gith, last, lmg, mp, mst, spt};
-use dsv_core::ProblemInstance;
+use dsv_core::{plan, PlanSpec, Problem, ProblemInstance, SolverChoice};
 use dsv_workloads::synthetic::{self, SyntheticParams};
 use dsv_workloads::GraphParams;
 use std::hint::black_box;
@@ -33,33 +32,44 @@ fn instance(n: usize) -> ProblemInstance {
 
 fn bench_solvers(c: &mut Criterion) {
     let inst = instance(400);
-    let mca = mst::solve(&inst).unwrap();
-    let spt_sol = spt::solve(&inst).unwrap();
-    let beta = mca.storage_cost() * 3 / 2;
-    let theta = spt_sol.max_recreation() * 3 / 2;
+    let mca = plan(&inst, &PlanSpec::new(Problem::MinStorage)).unwrap();
+    let spt_sol = plan(&inst, &PlanSpec::new(Problem::MinRecreation)).unwrap();
+    let beta = mca.solution.storage_cost() * 3 / 2;
+    let theta = spt_sol.solution.max_recreation() * 3 / 2;
+    let named = |problem, name: &str| PlanSpec::new(problem).solver(SolverChoice::named(name));
 
     let mut group = c.benchmark_group("solvers_n400");
     group.bench_function("mca_edmonds", |b| {
-        b.iter(|| mst::solve(black_box(&inst)).unwrap())
+        let spec = named(Problem::MinStorage, "mst");
+        b.iter(|| plan(black_box(&inst), &spec).unwrap())
     });
     group.bench_function("spt_dijkstra", |b| {
-        b.iter(|| spt::solve(black_box(&inst)).unwrap())
+        let spec = named(Problem::MinRecreation, "spt");
+        b.iter(|| plan(black_box(&inst), &spec).unwrap())
     });
     group.bench_function("lmg_p3", |b| {
-        b.iter(|| lmg::solve_sum_given_storage(black_box(&inst), beta, false).unwrap())
+        let spec = named(Problem::MinSumRecreationGivenStorage { beta }, "lmg");
+        b.iter(|| plan(black_box(&inst), &spec).unwrap())
     });
     group.bench_function("mp_p6", |b| {
-        b.iter(|| mp::solve_storage_given_max(black_box(&inst), theta).unwrap())
+        let spec = named(Problem::MinStorageGivenMaxRecreation { theta }, "mp");
+        b.iter(|| plan(black_box(&inst), &spec).unwrap())
     });
     group.bench_function("last_alpha2", |b| {
-        b.iter(|| last::solve(black_box(&inst), 2.0).unwrap())
+        let spec = named(Problem::MinStorage, "last").last_alpha(2.0);
+        b.iter(|| plan(black_box(&inst), &spec).unwrap())
     });
     group.bench_function("gith_w10_d50", |b| {
+        let spec = named(Problem::MinStorage, "gith");
         b.iter_batched(
             || (),
-            |_| gith::solve(black_box(&inst), gith::GitHParams::default()).unwrap(),
+            |_| plan(black_box(&inst), &spec).unwrap(),
             BatchSize::SmallInput,
         )
+    });
+    group.bench_function("portfolio_p1", |b| {
+        let spec = PlanSpec::new(Problem::MinStorage).solver(SolverChoice::Portfolio);
+        b.iter(|| plan(black_box(&inst), &spec).unwrap())
     });
     group.finish();
 }

@@ -24,5 +24,11 @@ fn main() {
     println!("[sec52 done in {:.1}s]\n", d.as_secs_f64());
     let (_, d) = dsv_bench::timed(|| experiments::substrates::run(scale));
     println!("[substrates done in {:.1}s]\n", d.as_secs_f64());
-    println!("CSV outputs: target/experiments/ (plus BENCH_substrates.json)");
+    let (_, d) = dsv_bench::timed(|| experiments::hybrid::run(scale));
+    println!("[hybrid done in {:.1}s]\n", d.as_secs_f64());
+    let (_, d) = dsv_bench::timed(|| experiments::solver_matrix::run(scale));
+    println!("[solver_matrix done in {:.1}s]\n", d.as_secs_f64());
+    println!(
+        "CSV outputs: target/experiments/ (plus BENCH_substrates.json, BENCH_hybrid.json, BENCH_solvers.json)"
+    );
 }

@@ -1,0 +1,10 @@
+//! The registry-wide cross-solver comparison: every registered solver ×
+//! Problems 1–6 × the LC/BF/DD workloads, plus portfolio runs with full
+//! provenance; writes `target/experiments/BENCH_solvers.json`. `--quick`
+//! shrinks the workloads and doubles as the CI smoke (it asserts every
+//! registered solver produces a validating plan).
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::solver_matrix::run(scale);
+}

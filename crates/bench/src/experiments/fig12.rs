@@ -8,7 +8,6 @@
 
 use crate::report::{human_bytes, Table};
 use crate::Scale;
-use dsv_core::solvers::{mst, spt};
 use dsv_workloads::Dataset;
 
 /// One dataset's Figure-12 row set.
@@ -41,8 +40,8 @@ pub struct DatasetSummary {
 /// Computes the summary for one dataset.
 pub fn summarize(dataset: &Dataset) -> DatasetSummary {
     let instance = dataset.instance();
-    let mca = mst::solve(&instance).expect("solvable");
-    let spt_sol = spt::solve(&instance).expect("solvable");
+    let mca = super::mca_reference(&instance);
+    let spt_sol = super::spt_reference(&instance);
     let mut normalized = dataset.normalized_delta_sizes();
     normalized.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let q = |p: f64| -> f64 {

@@ -8,7 +8,6 @@
 
 use crate::report::{human_bytes, Table};
 use crate::Scale;
-use dsv_core::solvers::{mst, spt};
 use dsv_workloads::Dataset;
 
 use super::{sweep_heuristics, SweepConfig, SweepPoint};
@@ -31,8 +30,8 @@ pub struct Panel {
 /// Sweeps one dataset.
 pub fn panel(dataset: &Dataset) -> Panel {
     let instance = dataset.instance();
-    let mca = mst::solve(&instance).expect("solvable");
-    let spt_sol = spt::solve(&instance).expect("solvable");
+    let mca = super::mca_reference(&instance);
+    let spt_sol = super::spt_reference(&instance);
     Panel {
         dataset: dataset.name.clone(),
         mca_storage: mca.storage_cost(),

@@ -7,7 +7,7 @@
 
 use crate::report::{human_bytes, Table};
 use crate::Scale;
-use dsv_core::solvers::{last, lmg, mp, mst, spt};
+use dsv_core::{plan, PlanSpec, Problem, SolverChoice};
 use dsv_workloads::Dataset;
 
 use super::SweepPoint;
@@ -27,12 +27,16 @@ pub struct Panel {
 /// binary search); LAST sweeps α.
 pub fn panel(dataset: &Dataset) -> Panel {
     let instance = dataset.instance();
-    let mca = mst::solve(&instance).expect("solvable");
-    let spt_sol = spt::solve(&instance).expect("solvable");
+    let mca = super::mca_reference(&instance);
+    let spt_sol = super::spt_reference(&instance);
     let mut points = Vec::new();
     for f in [1.02f64, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0] {
         let beta = (mca.storage_cost() as f64 * f) as u64;
-        if let Ok(sol) = lmg::solve_sum_given_storage(&instance, beta, false) {
+        if let Ok(sol) = super::named_solve(
+            &instance,
+            Problem::MinSumRecreationGivenStorage { beta },
+            "lmg",
+        ) {
             points.push(SweepPoint {
                 algo: "LMG",
                 param: format!("β={f:.2}×MCA"),
@@ -41,7 +45,11 @@ pub fn panel(dataset: &Dataset) -> Panel {
                 max_recreation: sol.max_recreation(),
             });
         }
-        if let Ok(sol) = mp::solve_max_given_storage(&instance, beta) {
+        if let Ok(sol) = super::named_solve(
+            &instance,
+            Problem::MinMaxRecreationGivenStorage { beta },
+            "mp",
+        ) {
             points.push(SweepPoint {
                 algo: "MP",
                 param: format!("β={f:.2}×MCA"),
@@ -52,7 +60,11 @@ pub fn panel(dataset: &Dataset) -> Panel {
         }
     }
     for alpha in [1.1f64, 1.5, 2.0, 3.0, 5.0, 8.0] {
-        if let Ok(sol) = last::solve(&instance, alpha) {
+        let spec = PlanSpec::new(Problem::MinStorage)
+            .solver(SolverChoice::named("last"))
+            .last_alpha(alpha);
+        if let Ok(p) = plan(&instance, &spec) {
+            let sol = p.solution;
             points.push(SweepPoint {
                 algo: "LAST",
                 param: format!("α={alpha}"),

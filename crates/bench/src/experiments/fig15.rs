@@ -7,7 +7,6 @@
 
 use crate::report::{human_bytes, Table};
 use crate::Scale;
-use dsv_core::solvers::{mst, spt};
 use dsv_workloads::Dataset;
 
 use super::{sweep_heuristics, SweepConfig, SweepPoint};
@@ -31,8 +30,8 @@ pub struct Panel {
 pub fn panel(dataset: &Dataset) -> Panel {
     assert!(dataset.matrix.is_symmetric(), "undirected experiment");
     let instance = dataset.instance();
-    let mst_sol = mst::solve(&instance).expect("solvable");
-    let spt_sol = spt::solve(&instance).expect("solvable");
+    let mst_sol = super::mca_reference(&instance);
+    let spt_sol = super::spt_reference(&instance);
     // GitH is omitted in the paper's Figure 15 (it compares LMG/MP/LAST).
     let config = SweepConfig {
         gith: vec![],

@@ -8,7 +8,7 @@
 
 use crate::report::{human_bytes, Table};
 use crate::Scale;
-use dsv_core::solvers::{lmg, mst};
+use dsv_core::{plan, PlanSpec, Problem, SolverChoice};
 use dsv_workloads::Dataset;
 
 /// One (dataset, budget) comparison point.
@@ -30,12 +30,18 @@ pub struct Point {
 pub fn compare(dataset: &Dataset, zipf_seed: u64) -> Vec<Point> {
     let instance = dataset.instance_with_zipf(2.0, zipf_seed);
     let weights: Vec<f64> = instance.weights().unwrap().to_vec();
-    let mca = mst::solve(&instance).expect("solvable");
+    let mca = super::mca_reference(&instance);
     let mut out = Vec::new();
     for f in [1.05f64, 1.1, 1.25, 1.5, 2.0, 3.0] {
         let beta = (mca.storage_cost() as f64 * f) as u64;
-        let plain = lmg::solve_sum_given_storage(&instance, beta, false);
-        let aware = lmg::solve_sum_given_storage(&instance, beta, true);
+        let problem = Problem::MinSumRecreationGivenStorage { beta };
+        let lmg_spec = |weighted| {
+            PlanSpec::new(problem)
+                .solver(SolverChoice::named("lmg"))
+                .lmg_weighted(Some(weighted))
+        };
+        let plain = plan(&instance, &lmg_spec(false)).map(|p| p.solution);
+        let aware = plan(&instance, &lmg_spec(true)).map(|p| p.solution);
         if let (Ok(plain), Ok(aware)) = (plain, aware) {
             out.push(Point {
                 dataset: dataset.name.clone(),

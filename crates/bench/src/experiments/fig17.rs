@@ -9,7 +9,7 @@
 
 use crate::report::Table;
 use crate::{timed, Scale};
-use dsv_core::solvers::{lmg, mst, spt};
+use dsv_core::Problem;
 use dsv_workloads::synthetic::{self, SyntheticParams};
 use dsv_workloads::{Dataset, GraphParams};
 
@@ -68,13 +68,19 @@ pub fn measure(shape: &'static str, directed: bool, sizes: &[usize]) -> Vec<Timi
     for (k, &n) in sizes.iter().enumerate() {
         let instance = super::subsample(&master, n, 31 + k as u64);
         let (inputs, prep) = timed(|| {
-            let mca = mst::solve(&instance).expect("solvable");
-            let spt_sol = spt::solve(&instance).expect("solvable");
+            let mca = super::mca_reference(&instance);
+            let spt_sol = super::spt_reference(&instance);
             (mca, spt_sol)
         });
         let budget = inputs.0.storage_cost() * 3;
-        let (sol, lmg_time) =
-            timed(|| lmg::solve_sum_given_storage(&instance, budget, false).expect("feasible"));
+        let (sol, lmg_time) = timed(|| {
+            super::named_solve(
+                &instance,
+                Problem::MinSumRecreationGivenStorage { beta: budget },
+                "lmg",
+            )
+            .expect("feasible")
+        });
         assert!(sol.storage_cost() <= budget);
         out.push(Timing {
             shape,

@@ -18,8 +18,7 @@
 use crate::report::{human_bytes, Table};
 use crate::Scale;
 use dsv_chunk::{pack_versions_hybrid, ChunkerParams};
-use dsv_core::solvers::{lmg, mst};
-use dsv_core::{ProblemInstance, StorageMode, StorageSolution};
+use dsv_core::{Problem, ProblemInstance, StorageMode, StorageSolution};
 use dsv_storage::{Materializer, MemStore, ObjectStore};
 use dsv_workloads::presets;
 use std::fmt::Write as _;
@@ -100,18 +99,29 @@ fn run_workload(
     params: ChunkerParams,
 ) -> Vec<HybridRow> {
     let n = binary.version_count();
-    let mca = mst::solve(binary).expect("solvable");
+    let mca = super::mca_reference(binary);
 
     let full = StorageSolution::from_parents(binary, vec![None; n]).expect("full plan");
     let delta_beta = mca.storage_cost() + mca.storage_cost() / 2;
-    let delta = lmg::solve_sum_given_storage(binary, delta_beta, false).expect("delta plan");
+    let delta = super::named_solve(
+        binary,
+        Problem::MinSumRecreationGivenStorage { beta: delta_beta },
+        "lmg",
+    )
+    .expect("delta plan");
     let chunked = StorageSolution::from_modes(hybrid, vec![StorageMode::Chunked; n])
         .expect("chunked costs revealed for every version");
 
     let pure = [&full, &delta, &chunked];
     let best_pure_storage = pure.iter().map(|s| s.storage_cost()).min().expect("pure");
-    let hybrid_sol =
-        lmg::solve_sum_given_storage(hybrid, best_pure_storage, false).expect("hybrid plan");
+    let hybrid_sol = super::named_solve(
+        hybrid,
+        Problem::MinSumRecreationGivenStorage {
+            beta: best_pure_storage,
+        },
+        "lmg",
+    )
+    .expect("hybrid plan");
 
     vec![
         execute(name, "full", &full, contents, params),

@@ -1,4 +1,9 @@
-//! One module per element of the paper's evaluation (§5).
+//! One module per element of the paper's evaluation (§5), plus the
+//! registry-wide `solver_matrix` cross-comparison.
+//!
+//! All experiments reach the solver suite through the planner
+//! ([`dsv_core::plan`] with a [`PlanSpec`]) — the registry is the single
+//! solver entry point outside `dsv-core`.
 
 pub mod fig12;
 pub mod fig13;
@@ -8,13 +13,47 @@ pub mod fig16;
 pub mod fig17;
 pub mod hybrid;
 pub mod sec52;
+pub mod solver_matrix;
 pub mod substrates;
 pub mod table2;
 
 use crate::Scale;
-use dsv_core::{CostMatrix, ProblemInstance};
+use dsv_core::{
+    plan, CostMatrix, PlanSpec, Problem, ProblemInstance, SolveError, SolverChoice, StorageSolution,
+};
 use dsv_workloads::{presets, Dataset};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Runs one named registry solver on `problem` through the planner.
+pub fn named_solve(
+    instance: &ProblemInstance,
+    problem: Problem,
+    solver: &str,
+) -> Result<StorageSolution, SolveError> {
+    plan(
+        instance,
+        &PlanSpec::new(problem).solver(SolverChoice::named(solver)),
+    )
+    .map(|p| p.solution)
+}
+
+/// Runs the Table-1 prescribed solver on `problem` through the planner.
+pub fn auto_solve(
+    instance: &ProblemInstance,
+    problem: Problem,
+) -> Result<StorageSolution, SolveError> {
+    plan(instance, &PlanSpec::new(problem)).map(|p| p.solution)
+}
+
+/// The minimum-storage (MST/MCA) reference solution.
+pub fn mca_reference(instance: &ProblemInstance) -> StorageSolution {
+    named_solve(instance, Problem::MinStorage, "mst").expect("instance solvable")
+}
+
+/// The minimum-recreation (SPT) reference solution.
+pub fn spt_reference(instance: &ProblemInstance) -> StorageSolution {
+    named_solve(instance, Problem::MinRecreation, "spt").expect("instance solvable")
+}
 
 /// Dataset construction dominates harness runtime (tens of thousands of
 /// real diffs), and several figures share the same four datasets, so
@@ -159,58 +198,52 @@ impl Default for SweepConfig {
     }
 }
 
-/// Runs all four heuristic sweeps. Infeasible/parameter-error points are
-/// skipped (e.g. a θ below feasibility).
+/// Runs all four heuristic sweeps through the planner (each point is a
+/// `PlanSpec` naming one registry solver). Infeasible/parameter-error
+/// points are skipped (e.g. a θ below feasibility).
 pub fn sweep_heuristics(instance: &ProblemInstance, config: &SweepConfig) -> Vec<SweepPoint> {
-    use dsv_core::solvers::{gith, last, lmg, mp, mst, spt};
+    use dsv_core::solvers::gith::GitHParams;
     let mut out = Vec::new();
-    let mca = mst::solve(instance).expect("instance solvable");
-    let spt_sol = spt::solve(instance).expect("instance solvable");
+    let mca = mca_reference(instance);
+    let spt_sol = spt_reference(instance);
+    let mut push = |algo: &'static str, param: String, sol: &StorageSolution| {
+        out.push(SweepPoint {
+            algo,
+            param,
+            storage: sol.storage_cost(),
+            sum_recreation: sol.sum_recreation(),
+            max_recreation: sol.max_recreation(),
+        });
+    };
 
     for &f in &config.beta_factors {
         let beta = (mca.storage_cost() as f64 * f) as u64;
-        if let Ok(sol) = lmg::solve_sum_given_storage(instance, beta, false) {
-            out.push(SweepPoint {
-                algo: "LMG",
-                param: format!("β={f:.2}×MCA"),
-                storage: sol.storage_cost(),
-                sum_recreation: sol.sum_recreation(),
-                max_recreation: sol.max_recreation(),
-            });
+        let problem = Problem::MinSumRecreationGivenStorage { beta };
+        if let Ok(sol) = named_solve(instance, problem, "lmg") {
+            push("LMG", format!("β={f:.2}×MCA"), &sol);
         }
     }
     for &f in &config.theta_factors {
         let theta = (spt_sol.max_recreation() as f64 * f) as u64;
-        if let Ok(sol) = mp::solve_storage_given_max(instance, theta) {
-            out.push(SweepPoint {
-                algo: "MP",
-                param: format!("θ={f:.2}×SPTmax"),
-                storage: sol.storage_cost(),
-                sum_recreation: sol.sum_recreation(),
-                max_recreation: sol.max_recreation(),
-            });
+        let problem = Problem::MinStorageGivenMaxRecreation { theta };
+        if let Ok(sol) = named_solve(instance, problem, "mp") {
+            push("MP", format!("θ={f:.2}×SPTmax"), &sol);
         }
     }
     for &alpha in &config.alphas {
-        if let Ok(sol) = last::solve(instance, alpha) {
-            out.push(SweepPoint {
-                algo: "LAST",
-                param: format!("α={alpha}"),
-                storage: sol.storage_cost(),
-                sum_recreation: sol.sum_recreation(),
-                max_recreation: sol.max_recreation(),
-            });
+        let spec = PlanSpec::new(Problem::MinStorage)
+            .solver(SolverChoice::named("last"))
+            .last_alpha(alpha);
+        if let Ok(p) = plan(instance, &spec) {
+            push("LAST", format!("α={alpha}"), &p.solution);
         }
     }
     for &(window, max_depth) in &config.gith {
-        if let Ok(sol) = gith::solve(instance, gith::GitHParams { window, max_depth }) {
-            out.push(SweepPoint {
-                algo: "GitH",
-                param: format!("w={window},d={max_depth}"),
-                storage: sol.storage_cost(),
-                sum_recreation: sol.sum_recreation(),
-                max_recreation: sol.max_recreation(),
-            });
+        let spec = PlanSpec::new(Problem::MinStorage)
+            .solver(SolverChoice::named("gith"))
+            .gith_params(GitHParams { window, max_depth });
+        if let Ok(p) = plan(instance, &spec) {
+            push("GitH", format!("w={window},d={max_depth}"), &p.solution);
         }
     }
     out
@@ -226,7 +259,7 @@ mod tests {
         let ds = presets::densely_connected().scaled(80).build(1);
         let inst = subsample(&ds, 30, 7);
         assert_eq!(inst.version_count(), 30);
-        let sol = dsv_core::solvers::mst::solve(&inst).unwrap();
+        let sol = mca_reference(&inst);
         assert!(sol.validate(&inst).is_ok());
     }
 

@@ -11,7 +11,8 @@
 
 use crate::report::{human_bytes, Table};
 use crate::Scale;
-use dsv_core::solvers::{gith, mst, skip_delta};
+use dsv_core::solvers::{gith::GitHParams, skip_delta};
+use dsv_core::{plan, PlanSpec, Problem, SolverChoice};
 use dsv_core::{CostMatrix, CostPair, ProblemInstance};
 use dsv_delta::bytes_delta;
 use dsv_storage::{pack_versions, Materializer, MemStore, ObjectStore, PackOptions};
@@ -89,17 +90,18 @@ pub fn run(scale: Scale) -> Vec<SchemeResult> {
     let naive_plan: Vec<Option<u32>> = vec![None; n];
     // SVN linear order = fork index order (how the paper imported LF).
     let svn_plan = skip_delta::skip_delta_parents(n);
-    let gith_plan = gith::solve(
-        &instance,
-        gith::GitHParams {
+    let gith_spec = PlanSpec::new(Problem::MinStorage)
+        .solver(SolverChoice::named("gith"))
+        .gith_params(GitHParams {
             window: 50,
             max_depth: 50,
-        },
-    )
-    .expect("gith")
-    .parents()
-    .to_vec();
-    let mca_plan = mst::solve(&instance).expect("mca").parents().to_vec();
+        });
+    let gith_plan = plan(&instance, &gith_spec)
+        .expect("gith")
+        .solution
+        .parents()
+        .to_vec();
+    let mca_plan = super::mca_reference(&instance).parents().to_vec();
 
     let results = vec![
         measure_plan(&contents, &naive_plan, "naive (compress each)"),

@@ -13,7 +13,7 @@
 use crate::report::{human_bytes, Table};
 use crate::Scale;
 use dsv_chunk::{pack_versions_chunked, ChunkerParams};
-use dsv_core::{solve, Problem};
+use dsv_core::Problem;
 use dsv_storage::{
     pack_versions, Materializer, MemStore, ObjectStore, PackOptions, PackedVersions,
 };
@@ -105,7 +105,7 @@ pub fn run(scale: Scale) -> Vec<SubstrateRow> {
 
     // Delta per the optimizer's minimum-storage plan (MCA).
     {
-        let sol = solve(&ds.instance(), Problem::MinStorage).expect("solvable");
+        let sol = super::auto_solve(&ds.instance(), Problem::MinStorage).expect("solvable");
         let packed = pack_versions(&store, contents, sol.parents(), PackOptions::default())
             .expect("mca plan");
         rows.push(measure("delta-mca", &store, &packed, contents));

@@ -10,8 +10,7 @@
 
 use crate::report::{human_bytes, Table};
 use crate::Scale;
-use dsv_core::solvers::{ilp, mp, spt};
-use dsv_core::ProblemInstance;
+use dsv_core::{plan, PlanSpec, Problem, ProblemInstance, SolverChoice};
 use dsv_workloads::dataset::{self, DatasetParams};
 use dsv_workloads::table_gen::EditParams;
 use dsv_workloads::GraphParams;
@@ -59,19 +58,26 @@ pub fn all_pairs_instance(n: usize, seed: u64) -> ProblemInstance {
 /// Runs the comparison for one instance size.
 pub fn compare(n: usize, seed: u64, budget: Duration) -> Vec<Row> {
     let instance = all_pairs_instance(n, seed);
-    let spt_sol = spt::solve(&instance).expect("solvable");
+    let spt_sol = super::spt_reference(&instance);
     let base_theta = spt_sol.max_recreation();
     let mut rows = Vec::new();
     for f in [1.0f64, 1.1, 1.25, 1.5, 2.0] {
         let theta = (base_theta as f64 * f) as u64;
-        let exact = ilp::solve_storage_given_max_exact(&instance, theta, budget);
-        let heuristic = mp::solve_storage_given_max(&instance, theta);
+        let problem = Problem::MinStorageGivenMaxRecreation { theta };
+        let exact_spec = PlanSpec::new(problem)
+            .solver(SolverChoice::named("ilp"))
+            .exact_budget(budget);
+        let exact = plan(&instance, &exact_spec);
+        let heuristic = super::named_solve(&instance, problem, "mp");
         if let (Ok(exact), Ok(heuristic)) = (exact, heuristic) {
+            // The planner's provenance carries the branch-and-bound's
+            // proof status.
+            let proven = exact.provenance.proven_optimal().unwrap_or(false);
             rows.push(Row {
                 instance: format!("v{n}"),
                 theta,
                 exact_storage: exact.solution.storage_cost(),
-                proven_optimal: exact.proven_optimal,
+                proven_optimal: proven,
                 mp_storage: heuristic.storage_cost(),
             });
         }

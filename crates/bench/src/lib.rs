@@ -7,7 +7,11 @@
 //! reports, printed as aligned tables and written as CSV under
 //! `target/experiments/`. Binaries (`src/bin/fig12.rs` …) are thin
 //! wrappers; `repro_all` runs everything in sequence. Criterion benches
-//! (in `benches/`) cover the runtime-flavoured results.
+//! (in `benches/`) cover the runtime-flavoured results. Every experiment
+//! reaches the solver suite through the planner (`dsv_core::plan` with a
+//! `PlanSpec` naming a registry solver); `experiments::solver_matrix`
+//! runs the whole registry × Problems 1–6 × workloads and writes
+//! `BENCH_solvers.json` with portfolio provenance.
 //!
 //! Absolute numbers differ from the paper (scaled workloads, different
 //! hardware, our own substrates); the *shape* of each result — orderings,

@@ -61,6 +61,28 @@ impl Default for ChunkerParams {
     }
 }
 
+impl From<ChunkerParams> for dsv_core::ChunkingSpec {
+    /// The planner-side mirror of these parameters (dsv-core cannot
+    /// depend on this crate, so `PlanSpec` carries a plain
+    /// [`dsv_core::ChunkingSpec`] instead).
+    fn from(p: ChunkerParams) -> Self {
+        dsv_core::ChunkingSpec {
+            min_size: p.min_size,
+            avg_size: p.avg_size,
+            max_size: p.max_size,
+        }
+    }
+}
+
+impl TryFrom<dsv_core::ChunkingSpec> for ChunkerParams {
+    type Error = ChunkError;
+
+    /// Validates and adopts a planner-side chunking spec.
+    fn try_from(spec: dsv_core::ChunkingSpec) -> Result<Self, ChunkError> {
+        ChunkerParams::new(spec.min_size, spec.avg_size, spec.max_size)
+    }
+}
+
 impl ChunkerParams {
     /// Validated constructor.
     pub fn new(min_size: usize, avg_size: usize, max_size: usize) -> Result<Self, ChunkError> {
@@ -188,6 +210,20 @@ pub fn chunk_spans(data: &[u8], params: ChunkerParams) -> Vec<Range<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chunking_spec_mirrors_default_params() {
+        // The planner-side ChunkingSpec documents that its defaults match
+        // ours; pin the invariant through the conversion pair.
+        assert_eq!(
+            dsv_core::ChunkingSpec::default(),
+            dsv_core::ChunkingSpec::from(ChunkerParams::default())
+        );
+        assert_eq!(
+            ChunkerParams::try_from(dsv_core::ChunkingSpec::default()).unwrap(),
+            ChunkerParams::default()
+        );
+    }
 
     /// Deterministic pseudo-text: repetitive structure with enough
     /// variation for boundaries to land everywhere.

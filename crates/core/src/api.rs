@@ -1,10 +1,14 @@
-//! High-level entry point: dispatch a [`Problem`] to its solver.
+//! Legacy entry point: dispatch a [`Problem`] to its Table-1 solver.
+//!
+//! Superseded by the planner ([`crate::plan`] + [`crate::PlanSpec`]),
+//! which adds solver selection by name, portfolio solves, and provenance;
+//! [`solve`] remains as a thin delegating wrapper.
 
 use crate::error::SolveError;
 use crate::instance::ProblemInstance;
+use crate::plan::{plan, PlanSpec};
 use crate::problem::Problem;
 use crate::solution::StorageSolution;
-use crate::solvers::{lmg, mp, mst, spt};
 
 /// Solves `problem` on `instance` with the solver the paper prescribes for
 /// it (Table 1):
@@ -17,27 +21,16 @@ use crate::solvers::{lmg, mp, mst, spt};
 /// If the instance carries access frequencies, Problems 3 and 5 optimize
 /// the *weighted* sum of recreation costs (the workload-aware LMG of
 /// §4.1); otherwise the plain sum.
+#[deprecated(
+    since = "0.4.0",
+    note = "use dsv_core::plan with a PlanSpec (SolverChoice::Auto reproduces this dispatch)"
+)]
 pub fn solve(instance: &ProblemInstance, problem: Problem) -> Result<StorageSolution, SolveError> {
-    let weighted = instance.weights().is_some();
-    match problem {
-        Problem::MinStorage => mst::solve(instance),
-        Problem::MinRecreation => spt::solve(instance),
-        Problem::MinSumRecreationGivenStorage { beta } => {
-            lmg::solve_sum_given_storage(instance, beta, weighted)
-        }
-        Problem::MinMaxRecreationGivenStorage { beta } => {
-            mp::solve_max_given_storage(instance, beta)
-        }
-        Problem::MinStorageGivenSumRecreation { theta } => {
-            lmg::solve_storage_given_sum(instance, theta, weighted)
-        }
-        Problem::MinStorageGivenMaxRecreation { theta } => {
-            mp::solve_storage_given_max(instance, theta)
-        }
-    }
+    plan(instance, &PlanSpec::new(problem)).map(|p| p.solution)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::instance::fixtures::paper_example;

@@ -25,6 +25,17 @@ pub enum SolveError {
     },
     /// A parameter was out of its valid domain (e.g. LAST's `α ≤ 1`).
     InvalidParameter(&'static str),
+    /// A [`PlanSpec`](crate::PlanSpec) named a solver that is not in the
+    /// registry.
+    UnknownSolver(String),
+    /// A solver was asked to solve a problem outside its advertised
+    /// support (see `solvers::registry`).
+    UnsupportedProblem {
+        /// Registry name of the solver.
+        solver: &'static str,
+        /// The problem's Table-1 number.
+        problem: u8,
+    },
     /// An internal invariant failed; carries a description. Returned rather
     /// than panicking so callers can surface solver bugs gracefully.
     Internal(&'static str),
@@ -46,6 +57,12 @@ impl std::fmt::Display for SolveError {
                 "recreation threshold {theta} below minimum achievable {minimum}"
             ),
             SolveError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            SolveError::UnknownSolver(name) => {
+                write!(f, "no solver named '{name}' in the registry")
+            }
+            SolveError::UnsupportedProblem { solver, problem } => {
+                write!(f, "solver '{solver}' does not support problem {problem}")
+            }
             SolveError::Internal(what) => write!(f, "internal solver error: {what}"),
         }
     }

@@ -96,6 +96,18 @@ impl ProblemInstance {
             .then(|| NodeId(self.version_count() as u32 + 1))
     }
 
+    /// A copy of this instance with every chunked cost withdrawn: the
+    /// paper's binary model view, used by the planner's
+    /// `ModePolicy::Binary`. Weights are preserved.
+    pub fn without_chunked(&self) -> ProblemInstance {
+        let mut matrix = self.matrix.clone();
+        matrix.clear_chunked();
+        ProblemInstance {
+            matrix,
+            weights: self.weights.clone(),
+        }
+    }
+
     /// Largest materialization recreation cost `max_i Φ_ii` — a convenient
     /// scale for choosing thresholds.
     pub fn max_materialization_cost(&self) -> u64 {

@@ -29,22 +29,35 @@
 //! branch-and-bound used in place of the paper's Gurobi ILP) and
 //! [`solvers::hop`] (the bounded-hop variant, `Φ ≡ 1`).
 //!
-//! Entry point: [`solve`] dispatches a [`Problem`] on a
-//! [`ProblemInstance`]; all solvers return a validated
-//! [`StorageSolution`].
+//! **Entry point:** build a [`PlanSpec`] and call [`plan`]. The spec names
+//! the [`Problem`], picks a [`SolverChoice`] — `Auto` (Table-1 dispatch),
+//! `Named` (any registry solver by name), or `Portfolio` (run every
+//! capable solver, keep the cheapest feasible plan) — and a [`ModePolicy`]
+//! (binary vs three-mode hybrid). The returned [`Plan`] carries a
+//! validated [`StorageSolution`] plus [`Provenance`]: winning solver,
+//! feasibility, and every portfolio candidate's outcome. The solver suite
+//! itself is discoverable via [`solvers::registry`] and
+//! [`solvers::by_name`]; the older [`solve`] free function delegates to
+//! `plan` and is deprecated.
 
 pub mod api;
 pub mod error;
 pub mod instance;
 pub mod matrix;
 pub mod online;
+pub mod plan;
 pub mod problem;
 pub mod solution;
 pub mod solvers;
 
+#[allow(deprecated)]
 pub use api::solve;
 pub use error::SolveError;
 pub use instance::ProblemInstance;
 pub use matrix::{CostMatrix, CostPair, TriangleViolation};
+pub use plan::{
+    plan, CandidateOutcome, CandidateSummary, ChunkingSpec, ModePolicy, Plan, PlanSpec, Provenance,
+    SolverChoice, SolverTuning,
+};
 pub use problem::{Problem, Scenario};
 pub use solution::{SolutionError, StorageMode, StorageSolution};

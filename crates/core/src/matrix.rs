@@ -147,6 +147,12 @@ impl CostMatrix {
         self.chunked.iter().filter(|c| c.is_some()).count()
     }
 
+    /// Withdraws every chunked cost, returning the matrix to the paper's
+    /// binary model (used by the planner's `ModePolicy::Binary`).
+    pub fn clear_chunked(&mut self) {
+        self.chunked.iter_mut().for_each(|c| *c = None);
+    }
+
     #[inline]
     fn key(&self, i: u32, j: u32) -> (u32, u32) {
         if self.symmetric && i > j {

@@ -1,5 +1,7 @@
 //! The six problem formulations of §2.1 (Table 1) and the scenario axes.
 
+use crate::solution::StorageSolution;
+
 /// Which of the paper's six optimization problems to solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Problem {
@@ -48,6 +50,61 @@ impl Problem {
             Problem::MinStorageGivenSumRecreation { .. } => 5,
             Problem::MinStorageGivenMaxRecreation { .. } => 6,
         }
+    }
+
+    /// The quantity this problem minimizes, evaluated on `solution`
+    /// (Problem 2 minimizes every `Ri` simultaneously; `Σ Ri` stands in as
+    /// its scalar objective). Unweighted view; see
+    /// [`objective_value_on`](Self::objective_value_on) for workload-aware
+    /// comparisons.
+    pub fn objective_value(&self, solution: &StorageSolution) -> u64 {
+        self.objective_value_on(solution, None)
+    }
+
+    /// Like [`objective_value`](Self::objective_value), but when access
+    /// `weights` are given, recreation-sum objectives compare the
+    /// *weighted* sum `Σ wi·Ri` (rounded up) — matching what the
+    /// workload-aware LMG of §4.1 optimizes.
+    pub fn objective_value_on(&self, solution: &StorageSolution, weights: Option<&[f64]>) -> u64 {
+        match self {
+            Problem::MinStorage
+            | Problem::MinStorageGivenSumRecreation { .. }
+            | Problem::MinStorageGivenMaxRecreation { .. } => solution.storage_cost(),
+            Problem::MinRecreation | Problem::MinSumRecreationGivenStorage { .. } => {
+                effective_sum(solution, weights)
+            }
+            Problem::MinMaxRecreationGivenStorage { .. } => solution.max_recreation(),
+        }
+    }
+
+    /// Whether `solution` satisfies this problem's constraint (always
+    /// `true` for the unconstrained Problems 1–2). Unweighted view; see
+    /// [`is_feasible_on`](Self::is_feasible_on).
+    pub fn is_feasible(&self, solution: &StorageSolution) -> bool {
+        self.is_feasible_on(solution, None)
+    }
+
+    /// Like [`is_feasible`](Self::is_feasible), but Problem 5's `Σ Ri ≤ θ`
+    /// constraint is checked against the *weighted* sum when `weights` are
+    /// given — the measure the workload-aware LMG enforces internally.
+    pub fn is_feasible_on(&self, solution: &StorageSolution, weights: Option<&[f64]>) -> bool {
+        match self {
+            Problem::MinStorage | Problem::MinRecreation => true,
+            Problem::MinSumRecreationGivenStorage { beta }
+            | Problem::MinMaxRecreationGivenStorage { beta } => solution.storage_cost() <= *beta,
+            Problem::MinStorageGivenSumRecreation { theta } => {
+                effective_sum(solution, weights) <= *theta
+            }
+            Problem::MinStorageGivenMaxRecreation { theta } => solution.max_recreation() <= *theta,
+        }
+    }
+}
+
+/// `Σ Ri` under the optional access weights (rounded up when weighted).
+fn effective_sum(solution: &StorageSolution, weights: Option<&[f64]>) -> u64 {
+    match weights {
+        Some(w) => solution.weighted_sum_recreation(w).ceil() as u64,
+        None => solution.sum_recreation(),
     }
 }
 

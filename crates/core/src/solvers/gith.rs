@@ -24,7 +24,7 @@ use crate::solution::{StorageMode, StorageSolution};
 use std::collections::VecDeque;
 
 /// GitH tuning parameters (git defaults are `window = 10`, `depth = 50`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GitHParams {
     /// Sliding-window size `w`.
     pub window: usize,

@@ -15,10 +15,16 @@
 //! - per-assignment pruning with `Φ(p,v) + SP_Φ(p) > θ` (shortest-path
 //!   lower bounds) and cycle detection on the partial parent function;
 //! - incumbent seeded with the MP heuristic's solution.
+//!
+//! On instances with revealed chunked costs the in-edge candidates
+//! include, per version, the chunk-store root edge `Vc → Vi`, so the
+//! search covers the **three-mode** model exactly: the result is an
+//! optimal mixed Full/Delta/Chunked plan (within the time budget),
+//! giving exact hybrid baselines on small instances.
 
 use crate::error::SolveError;
 use crate::instance::ProblemInstance;
-use crate::solution::StorageSolution;
+use crate::solution::{StorageMode, StorageSolution};
 use crate::solvers::{mp, spt};
 use std::time::{Duration, Instant};
 
@@ -37,12 +43,14 @@ pub struct ExactResult {
 /// lower-bound check, so only `Δ` matters during search).
 #[derive(Debug, Clone, Copy)]
 struct InEdge {
-    /// `u32::MAX` encodes the materialization edge from `V0`.
+    /// `u32::MAX` encodes the materialization edge from `V0`;
+    /// `u32::MAX - 1` the chunk-store root edge from `Vc`.
     from: u32,
     delta: u64,
 }
 
 const ROOT: u32 = u32::MAX;
+const CHUNK: u32 = u32::MAX - 1;
 
 /// Exactly minimizes storage subject to `max Ri ≤ theta`, within
 /// `time_budget`.
@@ -77,6 +85,16 @@ pub fn solve_storage_given_max_exact(
                     delta: mat.storage,
                 });
             }
+            // The chunk-store root edge: chunked versions head their own
+            // delta subtrees, so `Vc → Vi` is a second root-mode in-edge.
+            if let Some(chunk) = matrix.chunked(v) {
+                if chunk.recreation <= theta {
+                    c.push(InEdge {
+                        from: CHUNK,
+                        delta: chunk.storage,
+                    });
+                }
+            }
             c
         })
         .collect();
@@ -110,10 +128,11 @@ pub fn solve_storage_given_max_exact(
         suffix_lb[k] = suffix_lb[k + 1] + candidates[order[k] as usize][0].delta;
     }
 
-    // Incumbent: the MP heuristic.
-    let mut best: Option<(u64, Vec<Option<u32>>)> = mp::solve_storage_given_max(instance, theta)
+    // Incumbent: the MP heuristic (mode-aware, so hybrid incumbents seed
+    // hybrid searches).
+    let mut best: Option<(u64, Vec<StorageMode>)> = mp::solve_storage_given_max(instance, theta)
         .ok()
-        .map(|s| (s.storage_cost(), s.parents().to_vec()));
+        .map(|s| (s.storage_cost(), s.modes().to_vec()));
 
     // Iterative DFS over decision levels.
     let start = Instant::now();
@@ -131,7 +150,7 @@ pub fn solve_storage_given_max_exact(
     /// Walks assigned parents from `p`; returns true if `v` is reached
     /// (adding v <- p would close a cycle).
     fn creates_cycle(parent: &[u32], assigned: &[bool], v: u32, mut p: u32) -> bool {
-        while p != ROOT {
+        while p != ROOT && p != CHUNK {
             if p == v {
                 return true;
             }
@@ -184,7 +203,9 @@ pub fn solve_storage_given_max_exact(
                     break;
                 }
             }
-            let ok_cycle = cand.from == ROOT || !creates_cycle(&parent, &assigned, v, cand.from);
+            let ok_cycle = cand.from == ROOT
+                || cand.from == CHUNK
+                || !creates_cycle(&parent, &assigned, v, cand.from);
             if ok_cycle {
                 parent[v as usize] = cand.from;
                 assigned[v as usize] = true;
@@ -206,11 +227,11 @@ pub fn solve_storage_given_max_exact(
         }
     }
 
-    let (_, parents) = best.ok_or(SolveError::RecreationThresholdInfeasible {
+    let (_, modes) = best.ok_or(SolveError::RecreationThresholdInfeasible {
         theta,
         minimum: sp.iter().copied().max().unwrap_or(0),
     })?;
-    let solution = StorageSolution::from_validated_parts(instance, parents)?;
+    let solution = StorageSolution::from_validated_modes(instance, modes)?;
     Ok(ExactResult {
         solution,
         proven_optimal: !timed_out,
@@ -218,16 +239,23 @@ pub fn solve_storage_given_max_exact(
     })
 }
 
-/// Checks a complete parent assignment: acyclic + all recreation ≤ θ.
-/// Returns (storage, parents-as-options) if valid.
+/// Checks a complete in-edge assignment: acyclic + all recreation ≤ θ.
+/// Returns (storage, modes) if valid.
 fn evaluate(
     instance: &ProblemInstance,
     parent: &[u32],
     theta: u64,
-) -> Option<(u64, Vec<Option<u32>>)> {
-    let parents: Vec<Option<u32>> = parent.iter().map(|&p| (p != ROOT).then_some(p)).collect();
-    let sol = StorageSolution::from_parents(instance, parents.clone()).ok()?;
-    (sol.max_recreation() <= theta).then(|| (sol.storage_cost(), parents))
+) -> Option<(u64, Vec<StorageMode>)> {
+    let modes: Vec<StorageMode> = parent
+        .iter()
+        .map(|&p| match p {
+            ROOT => StorageMode::Materialized,
+            CHUNK => StorageMode::Chunked,
+            v => StorageMode::Delta(v),
+        })
+        .collect();
+    let sol = StorageSolution::from_modes(instance, modes.clone()).ok()?;
+    (sol.max_recreation() <= theta).then(|| (sol.storage_cost(), modes))
 }
 
 #[cfg(test)]
@@ -283,6 +311,101 @@ mod tests {
             solve_storage_given_max_exact(&inst, 100, BUDGET).unwrap_err(),
             SolveError::RecreationThresholdInfeasible { .. }
         ));
+    }
+
+    #[test]
+    fn hybrid_exact_uses_chunk_root_and_beats_binary() {
+        use crate::instance::fixtures::paper_example_chunked;
+        let hybrid = paper_example_chunked();
+        let binary = paper_example();
+        // θ admitting chunked roots (Φ_c = Φ_ii + 64) but tight enough
+        // that the binary model must materialize heavily.
+        let theta = hybrid.max_materialization_cost() + 200;
+        let h = solve_storage_given_max_exact(&hybrid, theta, BUDGET).unwrap();
+        let b = solve_storage_given_max_exact(&binary, theta, BUDGET).unwrap();
+        assert!(h.proven_optimal && b.proven_optimal);
+        assert!(h.solution.max_recreation() <= theta);
+        assert!(h.solution.chunked().count() >= 1, "chunk edges unused");
+        assert!(
+            h.solution.storage_cost() < b.solution.storage_cost(),
+            "hybrid exact {} vs binary exact {}",
+            h.solution.storage_cost(),
+            b.solution.storage_cost()
+        );
+        // Exactness within the hybrid model: never beaten by hybrid MP.
+        let heuristic = mp::solve_storage_given_max(&hybrid, theta).unwrap();
+        assert!(h.solution.storage_cost() <= heuristic.storage_cost());
+    }
+
+    #[test]
+    fn hybrid_brute_force_agreement_on_tiny_instances() {
+        // Exhaustive enumeration over three-mode assignments cross-checks
+        // the chunk-root candidates.
+        let mut state = 0x0dd_ba11_5eed_cafeu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in 2..=4usize {
+            for _case in 0..8 {
+                let mut m = CostMatrix::directed(
+                    (0..n)
+                        .map(|_| CostPair::proportional(500 + next() % 500))
+                        .collect(),
+                );
+                for i in 0..n as u32 {
+                    for j in 0..n as u32 {
+                        if i != j {
+                            m.reveal(i, j, CostPair::proportional(20 + next() % 300));
+                        }
+                    }
+                }
+                for i in 0..n as u32 {
+                    // Chunked: cheap increments, slightly costlier fetch.
+                    m.set_chunked(i, CostPair::new(50 + next() % 300, 600 + next() % 700));
+                }
+                let inst = ProblemInstance::new(m);
+                let theta = 700 + next() % 800;
+
+                let mut best: Option<u64> = None;
+                let mut stack = vec![Vec::<crate::StorageMode>::new()];
+                while let Some(partial) = stack.pop() {
+                    if partial.len() == n {
+                        if let Ok(sol) = StorageSolution::from_modes(&inst, partial) {
+                            if sol.max_recreation() <= theta
+                                && best.is_none_or(|b| sol.storage_cost() < b)
+                            {
+                                best = Some(sol.storage_cost());
+                            }
+                        }
+                        continue;
+                    }
+                    let v = partial.len();
+                    let mut push = |mode| {
+                        let mut nxt = partial.clone();
+                        nxt.push(mode);
+                        stack.push(nxt);
+                    };
+                    push(crate::StorageMode::Materialized);
+                    push(crate::StorageMode::Chunked);
+                    for p in (0..n as u32).filter(|&p| p as usize != v) {
+                        push(crate::StorageMode::Delta(p));
+                    }
+                }
+
+                let exact = solve_storage_given_max_exact(&inst, theta, BUDGET);
+                match (exact, best) {
+                    (Ok(r), Some(b)) => {
+                        assert!(r.proven_optimal);
+                        assert_eq!(r.solution.storage_cost(), b, "n={n}");
+                    }
+                    (Err(_), None) => {}
+                    (r, b) => panic!("hybrid feasibility mismatch n={n}: {r:?} vs {b:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,22 +1,35 @@
-//! The solver suite (§4 of the paper, plus baselines and an exact solver).
+//! The solver suite (§4 of the paper, plus baselines and an exact solver),
+//! registered behind the uniform [`Solver`] adapter.
 //!
-//! | Module | Algorithm | Problems |
-//! |---|---|---|
-//! | [`mst`] | minimum spanning tree / min-cost arborescence | 1 (exact) |
-//! | [`spt`] | shortest-path tree (Dijkstra over `Φ`) | 2 (exact) |
-//! | [`lmg`] | Local Move Greedy (§4.1) | 3, 5 |
-//! | [`mp`] | Modified Prim's (§4.2) | 6, 4 |
-//! | [`last`] | Khuller et al. LAST adaptation (§4.3) | balanced trees |
-//! | [`gith`] | Git repack heuristic (§4.4, Appendix A) | "good enough" |
-//! | [`skip_delta`] | SVN FSFS skip-delta baseline (§5.2) | baseline |
-//! | [`ilp`] | exact branch-and-bound (stands in for the §2.3 ILP) | 6 (exact) |
-//! | [`hop`] | bounded-hop variant (`Φ ≡ 1`, §3) | 6-hop |
+//! Every solver is discoverable via [`registry()`] and [`by_name`] under
+//! its registry name; [`crate::plan`] reaches them all through one entry
+//! point. Advertised capabilities (exact `✓`, heuristic `~`):
 //!
-//! On instances with per-version chunked costs, MST/SPT (via the
-//! augmented graph's chunk root), LMG, MP, LAST, GitH and [`hop`] choose
-//! the three-way `StorageMode` per version; [`ilp`] and [`skip_delta`]
-//! remain binary (the former deliberately — exact hybrid search is a
-//! ROADMAP item; the latter because SVN has no chunked mode to mirror).
+//! | Registry name | Module | P1 | P2 | P3 | P4 | P5 | P6 | Hybrid |
+//! |---|---|---|---|---|---|---|---|---|
+//! | `mst` | [`mst`] | ✓ | — | ~ | ~ | ~ | ~ | yes |
+//! | `spt` | [`spt`] | — | ✓ | ~ | ~ | ~ | ~ | yes |
+//! | `lmg` | [`lmg`] (§4.1) | — | — | ~ | — | ~ | — | yes |
+//! | `mp` | [`mp`] (§4.2) | — | — | — | ~ | — | ~ | yes |
+//! | `ilp` | [`ilp`] (§2.3 stand-in) | — | — | — | — | — | ✓ | yes |
+//! | `last` | [`last`] (§4.3) | ~ | ~ | ~ | ~ | ~ | ~ | yes |
+//! | `gith` | [`gith`] (§4.4, App. A) | ~ | ~ | ~ | ~ | ~ | ~ | yes |
+//! | `hop` | [`hop`] (§3, `Φ ≡ 1`) | — | — | — | — | — | ~ | yes |
+//! | `skip-delta` | [`skip_delta`] (§5.2) | ~ | — | — | — | — | — | no |
+//!
+//! `mst`/`spt` double as the frontier endpoints for the constrained
+//! problems; `last`/`gith` are unconstrained baselines whose feasibility
+//! the planner checks post-hoc; `hop` bounds chain *length* rather than
+//! `Φ`. Hybrid-capable solvers choose the three-way `StorageMode` per
+//! version on instances with revealed chunked costs — including [`ilp`],
+//! whose in-edge candidates cover the chunk-store root, giving exact
+//! hybrid baselines on small instances. `skip-delta` stays binary because
+//! SVN has no chunked mode to mirror.
+//!
+//! **Adding a solver** is one module plus one adapter registered in
+//! [`registry::registry_tuned`]; the planner, the VCS layer, the CLI's
+//! `--solver`/`--portfolio` flags, and the `solver_matrix` bench pick it
+//! up from there.
 
 pub mod gith;
 pub mod hop;
@@ -25,8 +38,13 @@ pub mod last;
 pub mod lmg;
 pub mod mp;
 pub mod mst;
+pub mod registry;
 pub mod skip_delta;
 pub mod spt;
+
+pub use registry::{
+    by_name, by_name_tuned, prescribed, registry, registry_tuned, Solver, SolverOutcome, Support,
+};
 
 use crate::error::SolveError;
 use crate::instance::ProblemInstance;

@@ -5,10 +5,15 @@
 use dsv_core::online::{insert_version, OnlinePolicy};
 use dsv_core::solvers::{hop, lmg, mp, mst, spt};
 use dsv_core::{
-    solve, CostMatrix, CostPair, Problem, ProblemInstance, SolutionError, StorageMode,
-    StorageSolution,
+    plan, CostMatrix, CostPair, PlanSpec, Problem, ProblemInstance, SolutionError, SolverChoice,
+    StorageMode, StorageSolution,
 };
 use proptest::prelude::*;
+
+/// Shorthand: the Table-1 prescribed solve through the planner.
+fn auto_solve(inst: &ProblemInstance, problem: Problem) -> StorageSolution {
+    plan(inst, &PlanSpec::new(problem)).unwrap().solution
+}
 
 /// Instances with potentially zero-cost deltas and ties everywhere.
 fn arb_degenerate_instance() -> impl Strategy<Value = ProblemInstance> {
@@ -111,7 +116,7 @@ proptest! {
     ) {
         let mut matrix = CostMatrix::directed(vec![CostPair::proportional(sizes[0])]);
         let mut instance = ProblemInstance::new(matrix.clone());
-        let mut sol: StorageSolution = solve(&instance, Problem::MinStorage).unwrap();
+        let mut sol: StorageSolution = auto_solve(&instance, Problem::MinStorage);
         for (k, &size) in sizes.iter().enumerate().skip(1) {
             let v = matrix.push_version(CostPair::proportional(size));
             let d = deltas[(k - 1) % deltas.len()];
@@ -119,7 +124,7 @@ proptest! {
             instance = ProblemInstance::new(matrix.clone());
             sol = insert_version(&instance, &sol, OnlinePolicy::MinStorage).unwrap();
             prop_assert!(sol.validate(&instance).is_ok());
-            let offline = solve(&instance, Problem::MinStorage).unwrap();
+            let offline = auto_solve(&instance, Problem::MinStorage);
             prop_assert!(sol.storage_cost() >= offline.storage_cost());
         }
     }
@@ -130,7 +135,7 @@ proptest! {
     fn problem5_feasible_and_bounded(inst in arb_degenerate_instance()) {
         let spt_sol = spt::solve(&inst).unwrap();
         let theta = spt_sol.sum_recreation().saturating_add(5);
-        let sol = solve(&inst, Problem::MinStorageGivenSumRecreation { theta }).unwrap();
+        let sol = auto_solve(&inst, Problem::MinStorageGivenSumRecreation { theta });
         prop_assert!(sol.sum_recreation() <= theta);
         prop_assert!(sol.storage_cost() <= spt_sol.storage_cost());
     }
@@ -210,6 +215,61 @@ proptest! {
         let m = mp::solve_storage_given_max(&inst, spt_sol.max_recreation() + 50).unwrap();
         prop_assert!(m.validate(&inst).is_ok());
         prop_assert!(m.max_recreation() <= spt_sol.max_recreation() + 50);
+    }
+
+    /// A `Portfolio` plan is never worse than the Table-1 prescribed
+    /// solver, on binary and hybrid random instances alike: the
+    /// prescribed solver is one of the portfolio's candidates, so
+    /// whenever it succeeds the portfolio must return a feasible plan
+    /// with an equal-or-better objective.
+    #[test]
+    fn portfolio_never_worse_than_prescribed((inst, _modes) in arb_hybrid_case()) {
+        for hybrid in [false, true] {
+            let inst = if hybrid { inst.clone() } else { inst.without_chunked() };
+            let mca = mst::solve(&inst).unwrap();
+            let spt_sol = spt::solve(&inst).unwrap();
+            let problems = [
+                Problem::MinStorage,
+                Problem::MinRecreation,
+                Problem::MinSumRecreationGivenStorage {
+                    beta: mca.storage_cost() + mca.storage_cost() / 2,
+                },
+                Problem::MinMaxRecreationGivenStorage {
+                    beta: mca.storage_cost() + mca.storage_cost() / 2,
+                },
+                Problem::MinStorageGivenSumRecreation {
+                    theta: spt_sol.sum_recreation() + spt_sol.sum_recreation() / 2,
+                },
+                Problem::MinStorageGivenMaxRecreation {
+                    theta: spt_sol.max_recreation() + spt_sol.max_recreation() / 2,
+                },
+            ];
+            for problem in problems {
+                let Ok(auto) = plan(&inst, &PlanSpec::new(problem)) else {
+                    continue; // prescribed solver infeasible: nothing to bound
+                };
+                let port = plan(
+                    &inst,
+                    &PlanSpec::new(problem).solver(SolverChoice::Portfolio),
+                )
+                .unwrap_or_else(|e| {
+                    panic!("portfolio failed where prescribed succeeded ({problem}): {e}")
+                });
+                prop_assert!(port.provenance.feasible);
+                prop_assert!(port.provenance.portfolio);
+                prop_assert!(port.solution.validate(&inst).is_ok());
+                prop_assert!(
+                    problem.objective_value(&port.solution)
+                        <= problem.objective_value(&auto.solution),
+                    "{} (hybrid={}): portfolio {} vs prescribed {} (winner {})",
+                    problem,
+                    hybrid,
+                    problem.objective_value(&port.solution),
+                    problem.objective_value(&auto.solution),
+                    port.provenance.solver,
+                );
+            }
+        }
     }
 
     /// Extreme asymmetry: forward deltas free, reverse deltas enormous.

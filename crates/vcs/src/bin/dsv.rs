@@ -11,15 +11,28 @@
 //! dsv branch <repo-dir> <name> <version>
 //! dsv branches <repo-dir>
 //! dsv status <repo-dir>
+//! dsv solvers
 //! dsv optimize <repo-dir> <p1|p2|p3|p4|p5|p6> [bound]
+//!              [--solver <name>] [--portfolio] [--hybrid] [--binary]
+//!              [--hops <n>] [--hop-bound <n>]
 //! ```
 //!
 //! `optimize` bounds: p3/p4 take a storage budget in bytes; p5/p6 take a
-//! recreation threshold in bytes.
+//! recreation threshold in bytes. The solve goes through the planner:
+//! `--solver` picks one registered solver by name (see `dsv solvers`),
+//! `--portfolio` runs every capable solver and keeps the cheapest
+//! feasible plan, and the default is the paper's Table-1 dispatch.
+//! `--hybrid` forces the three-mode Full/Delta/Chunked model, `--binary`
+//! forces the paper's binary model; with neither flag, a repository whose
+//! placement policy is chunked is optimized hybrid automatically.
+//! `--hops` widens/narrows how far around the commit DAG deltas are
+//! revealed; `--hop-bound` is different — it caps the `hop` solver's
+//! delta-chain length.
 
-use dsv_core::Problem;
+use dsv_core::solvers::{registry, Support};
+use dsv_core::{ChunkingSpec, ModePolicy, PlanSpec, Problem, SolverChoice};
 use dsv_storage::FileStore;
-use dsv_vcs::{persist, CommitId, Repository};
+use dsv_vcs::{persist, CommitId, Placement, Repository};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -128,24 +141,95 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "solvers" => {
+            let (name_h, hybrid_h, problems_h) = ("name", "hybrid", "problems");
+            println!("{name_h:<12} {hybrid_h:<8} {problems_h:<22} description");
+            for solver in registry() {
+                let mut problems = String::new();
+                for (problem, label) in [
+                    (Problem::MinStorage, "1"),
+                    (Problem::MinRecreation, "2"),
+                    (Problem::MinSumRecreationGivenStorage { beta: 0 }, "3"),
+                    (Problem::MinMaxRecreationGivenStorage { beta: 0 }, "4"),
+                    (Problem::MinStorageGivenSumRecreation { theta: 0 }, "5"),
+                    (Problem::MinStorageGivenMaxRecreation { theta: 0 }, "6"),
+                ] {
+                    match solver.support(problem) {
+                        Some(Support::Exact) => {
+                            problems.push_str(label);
+                            problems.push_str("(exact) ");
+                        }
+                        Some(Support::Heuristic) => {
+                            problems.push_str(label);
+                            problems.push(' ');
+                        }
+                        None => {}
+                    }
+                }
+                println!(
+                    "{:<12} {:<8} {:<22} {}",
+                    solver.name(),
+                    if solver.hybrid_capable() { "yes" } else { "no" },
+                    problems.trim_end(),
+                    solver.description()
+                );
+            }
+            Ok(())
+        }
         "optimize" => {
             let root = repo_dir(args, 1)?;
             let problem = parse_problem(args)?;
             let mut repo = persist::load(&root, true).map_err(stringify)?;
-            let report = repo.optimize(problem, 5).map_err(stringify)?;
+            let spec = parse_plan_spec(args, problem, repo.placement())?;
+            let report = repo.optimize_with(&spec).map_err(stringify)?;
             persist::save(&repo, &root).map_err(stringify)?;
             println!(
-                "{}: {} -> {} bytes on disk ({} materialized, planned maxR {})",
+                "{}: {} -> {} bytes on disk ({} materialized, {} chunked, planned maxR {})",
                 report.problem,
                 report.storage_before,
                 report.storage_after,
                 report.materialized,
+                report.chunked,
                 report.planned_max_recreation
             );
+            let p = &report.provenance;
+            if p.portfolio {
+                println!(
+                    "portfolio: {} candidates, winner {}",
+                    p.candidates.len(),
+                    p.solver
+                );
+                for c in &p.candidates {
+                    match &c.result {
+                        Ok(s) => println!(
+                            "  {:<12} objective {} (C {}, ΣR {}, maxR {}){}",
+                            c.solver,
+                            s.objective,
+                            s.storage,
+                            s.sum_recreation,
+                            s.max_recreation,
+                            if s.feasible { "" } else { "  [infeasible]" }
+                        ),
+                        Err(e) => println!("  {:<12} error: {e}", c.solver),
+                    }
+                }
+            } else {
+                println!(
+                    "solver: {}{}",
+                    p.solver,
+                    if p.feasible { "" } else { "  [infeasible]" }
+                );
+            }
             Ok(())
         }
         "help" | "--help" | "-h" => {
-            println!("usage: dsv <init|commit|checkout|log|branch|branches|status|optimize> ...");
+            println!(
+                "usage: dsv <init|commit|checkout|log|branch|branches|status|solvers|optimize> ..."
+            );
+            println!("       dsv optimize <repo> <p1..p6> [bound] [--solver <name>] [--portfolio]");
+            println!(
+                "                    [--hybrid] [--binary] [--hops <reveal-n>] [--hop-bound <n>]"
+            );
             Ok(())
         }
         other => Err(format!("unknown command '{other}' (try: dsv help)")),
@@ -172,6 +256,92 @@ fn parse_version(arg: Option<&String>) -> Result<CommitId, String> {
         .parse::<u32>()
         .map(CommitId)
         .map_err(|_| format!("invalid version '{s}'"))
+}
+
+fn parse_plan_spec(
+    args: &[String],
+    problem: Problem,
+    placement: Placement,
+) -> Result<PlanSpec, String> {
+    // Reject misspelled/valueless flags outright: a typo silently falling
+    // back to the default solve would misreport what was optimized.
+    const VALUE_FLAGS: [&str; 3] = ["--solver", "--hops", "--hop-bound"];
+    const BARE_FLAGS: [&str; 3] = ["--portfolio", "--hybrid", "--binary"];
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_value = true;
+        } else if arg.starts_with("--") && !BARE_FLAGS.contains(&arg.as_str()) {
+            return Err(format!("unknown optimize flag '{arg}' (see: dsv help)"));
+        }
+    }
+    for flag in VALUE_FLAGS {
+        match args.iter().filter(|a| *a == flag).count() {
+            0 => {}
+            1 => match flag_value(args, flag) {
+                None => return Err(format!("{flag} needs a value")),
+                Some(v) if v.starts_with("--") => {
+                    return Err(format!("{flag} needs a value, got flag '{v}'"))
+                }
+                Some(_) => {}
+            },
+            _ => return Err(format!("{flag} given more than once")),
+        }
+    }
+    let mut spec = PlanSpec::new(problem);
+    match flag_value(args, "--hops") {
+        Some(h) => {
+            let hops = h
+                .parse::<usize>()
+                .map_err(|_| format!("invalid --hops '{h}'"))?;
+            spec = spec.reveal_hops(hops);
+        }
+        None => spec = spec.reveal_hops(5),
+    }
+    if let Some(h) = flag_value(args, "--hop-bound") {
+        let bound = h
+            .parse::<u32>()
+            .map_err(|_| format!("invalid --hop-bound '{h}'"))?;
+        spec = spec.hop_bound(bound);
+    }
+    let portfolio = args.iter().any(|a| a == "--portfolio");
+    let solver = flag_value(args, "--solver");
+    if portfolio && solver.is_some() {
+        return Err("--portfolio and --solver are mutually exclusive".into());
+    }
+    if portfolio {
+        spec = spec.solver(SolverChoice::Portfolio);
+    } else if let Some(name) = solver {
+        // Catch typos before the repository is loaded and re-diffed.
+        if dsv_core::solvers::by_name(name).is_none() {
+            return Err(format!(
+                "no solver named '{name}' in the registry (see: dsv solvers)"
+            ));
+        }
+        spec = spec.solver(SolverChoice::named(name));
+    }
+    let hybrid = args.iter().any(|a| a == "--hybrid");
+    let binary = args.iter().any(|a| a == "--binary");
+    if hybrid && binary {
+        return Err("--hybrid and --binary are mutually exclusive".into());
+    }
+    if hybrid {
+        // A chunked-placement repository keeps its own chunker
+        // parameters; forcing hybrid must not re-chunk it at a different
+        // granularity.
+        let chunking = match placement {
+            Placement::Chunked(params) => params.into(),
+            Placement::GreedyDelta => ChunkingSpec::default(),
+        };
+        spec = spec.modes(ModePolicy::Hybrid(chunking));
+    } else if binary {
+        spec = spec.modes(ModePolicy::Binary);
+    }
+    Ok(spec)
 }
 
 fn parse_problem(args: &[String]) -> Result<Problem, String> {

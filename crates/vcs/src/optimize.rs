@@ -1,24 +1,35 @@
 //! Repository re-packing under the paper's optimization problems.
 //!
-//! `optimize` is the paper's contribution made operational: materialize
-//! the history, reveal deltas around the commit DAG, solve the chosen
-//! [`Problem`], re-pack the object store along the resulting storage
-//! graph, and garbage-collect the objects the old plan used.
+//! [`Repository::optimize_with`] is the paper's contribution made
+//! operational: materialize the history, reveal deltas around the commit
+//! DAG, solve the [`PlanSpec`]'s problem through the planner
+//! ([`dsv_core::plan`] — Table-1 dispatch, a named registry solver, or a
+//! portfolio), re-pack the object store along the resulting storage graph,
+//! and garbage-collect the objects the old plan used. The spec's
+//! [`ModePolicy`] picks the storage model; under [`ModePolicy::Auto`] a
+//! repository whose placement policy is chunked is optimized in the
+//! three-mode hybrid model (its chunk store is already paid for), others
+//! in the paper's binary model.
 
 use crate::commit::CommitId;
 use crate::error::VcsError;
-use crate::repo::Repository;
+use crate::repo::{Placement, Repository};
 use dsv_chunk::{chunked_cost_pairs, pack_versions_hybrid, ChunkerParams};
-use dsv_core::{solve, CostMatrix, CostPair, Problem, ProblemInstance};
+use dsv_core::{
+    plan, CostMatrix, CostPair, ModePolicy, PlanSpec, Problem, ProblemInstance, Provenance,
+};
 use dsv_delta::bytes_delta;
 use dsv_storage::{pack_versions, Materializer, ObjectStore, PackOptions};
 use std::collections::{HashSet, VecDeque};
 
-/// What an [`Repository::optimize`] call achieved.
+/// What an [`Repository::optimize_with`] call achieved.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OptimizeReport {
     /// Problem that was solved.
     pub problem: Problem,
+    /// How the winning plan was chosen: solver name, feasibility, and —
+    /// for portfolio runs — every candidate's outcome.
+    pub provenance: Provenance,
     /// Physical store bytes before re-packing.
     pub storage_before: u64,
     /// Physical store bytes after re-packing and GC.
@@ -38,44 +49,64 @@ pub struct OptimizeReport {
 
 impl<S: ObjectStore> Repository<S> {
     /// Rebuilds the repository's storage layout by solving `problem` over
-    /// deltas revealed within `reveal_hops` of the commit DAG. The solver
-    /// chooses between materializing and delta chains (the paper's binary
-    /// model); see [`optimize_hybrid`](Self::optimize_hybrid) for the
-    /// three-mode variant.
+    /// deltas revealed within `reveal_hops` of the commit DAG.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Repository::optimize_with with a PlanSpec"
+    )]
     pub fn optimize(
         &mut self,
         problem: Problem,
         reveal_hops: usize,
     ) -> Result<OptimizeReport, VcsError> {
-        self.optimize_inner(problem, reveal_hops, None)
+        self.optimize_with(&PlanSpec::new(problem).reveal_hops(reveal_hops))
     }
 
     /// Rebuilds the repository's storage layout under the **hybrid**
-    /// three-mode model: alongside the byte-delta reveals, every version
-    /// gets a chunked cost estimate (its incremental unique-chunk bytes
-    /// under `params`, via the gear-hash chunker), and the solver chooses
-    /// Full / Delta / Chunked *per version*. The chosen plan is executed
-    /// end-to-end: chunked versions become deduplicated manifests, delta
-    /// versions chain off whatever mode their parent landed in.
+    /// three-mode model with chunked estimates from `params`.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Repository::optimize_with with a PlanSpec whose ModePolicy is Hybrid"
+    )]
     pub fn optimize_hybrid(
         &mut self,
         problem: Problem,
         reveal_hops: usize,
         params: ChunkerParams,
     ) -> Result<OptimizeReport, VcsError> {
-        self.optimize_inner(problem, reveal_hops, Some(params))
+        self.optimize_with(
+            &PlanSpec::new(problem)
+                .reveal_hops(reveal_hops)
+                .modes(ModePolicy::Hybrid(params.into())),
+        )
     }
 
-    fn optimize_inner(
-        &mut self,
-        problem: Problem,
-        reveal_hops: usize,
-        chunking: Option<ChunkerParams>,
-    ) -> Result<OptimizeReport, VcsError> {
+    /// Rebuilds the repository's storage layout per `spec`: reveal deltas
+    /// within `spec.reveal_hop_count()` hops of the commit DAG (plus
+    /// per-version chunked estimates when the effective mode policy is
+    /// hybrid), solve the spec's problem with its chosen solver(s), then
+    /// execute the winning plan end-to-end — chunked versions become
+    /// deduplicated manifests, delta versions chain off whatever mode
+    /// their parent landed in — and garbage-collect the old layout. The
+    /// returned report carries the planner's [`Provenance`].
+    pub fn optimize_with(&mut self, spec: &PlanSpec) -> Result<OptimizeReport, VcsError> {
         let n = self.version_count();
         if n == 0 {
             return Err(VcsError::EmptyRepository);
         }
+        // Resolve the storage-mode policy against the repository: under
+        // `Auto`, a chunked-placement repository optimizes in the hybrid
+        // model with its own chunker parameters (previously `optimize`
+        // silently fell back to the binary model and un-chunked the repo).
+        let chunking: Option<ChunkerParams> = match spec.mode_policy() {
+            ModePolicy::Binary => None,
+            ModePolicy::Hybrid(cs) => Some(ChunkerParams::try_from(cs)?),
+            ModePolicy::Auto => match self.placement() {
+                Placement::Chunked(params) => Some(params),
+                Placement::GreedyDelta => None,
+            },
+        };
+        let reveal_hops = spec.reveal_hop_count();
         let storage_before = self.store.total_bytes();
 
         // Materialize every version once (cached chain walks).
@@ -116,7 +147,8 @@ impl<S: ObjectStore> Repository<S> {
             }
         }
         let instance = ProblemInstance::new(matrix);
-        let solution = solve(&instance, problem)?;
+        let chosen = plan(&instance, spec)?;
+        let solution = chosen.solution;
 
         // Collect the old plan's reference closure *before* repacking:
         // the version objects themselves plus, for chunk manifests, the
@@ -159,7 +191,8 @@ impl<S: ObjectStore> Repository<S> {
         self.plan = solution.modes().to_vec();
 
         Ok(OptimizeReport {
-            problem,
+            problem: spec.problem(),
+            provenance: chosen.provenance,
             storage_before,
             storage_after: self.store.total_bytes(),
             materialized: solution.materialized().count(),
@@ -226,7 +259,12 @@ impl<S: ObjectStore> Repository<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsv_core::SolverChoice;
     use dsv_storage::MemStore;
+
+    fn spec(problem: Problem, hops: usize) -> PlanSpec {
+        PlanSpec::new(problem).reveal_hops(hops)
+    }
 
     /// A repo with a mainline and one long side chain, sized so the
     /// tradeoff is visible.
@@ -261,7 +299,7 @@ mod tests {
         let naive: u64 = (0..repo.version_count() as u32)
             .map(|v| repo.meta(CommitId(v)).unwrap().size)
             .sum();
-        let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+        let report = repo.optimize_with(&spec(Problem::MinStorage, 4)).unwrap();
         assert!(report.storage_after < naive / 2);
         assert_eq!(report.materialized, 1);
         // Contents still intact.
@@ -273,7 +311,9 @@ mod tests {
     #[test]
     fn optimize_min_recreation_materializes_everything() {
         let mut repo = populated();
-        let report = repo.optimize(Problem::MinRecreation, 4).unwrap();
+        let report = repo
+            .optimize_with(&spec(Problem::MinRecreation, 4))
+            .unwrap();
         // With Φ = Δ and real diffs, materializing is optimal per version
         // unless a chain is cheaper — for grown/shrunk CSVs most versions
         // should materialize.
@@ -289,7 +329,7 @@ mod tests {
             .unwrap();
         let theta = max_size * 3 / 2;
         let report = repo
-            .optimize(Problem::MinStorageGivenMaxRecreation { theta }, 4)
+            .optimize_with(&spec(Problem::MinStorageGivenMaxRecreation { theta }, 4))
             .unwrap();
         assert!(report.planned_max_recreation <= theta);
         // For an uncompressed store with Φ = Δ, the *measured* bytes read
@@ -310,9 +350,10 @@ mod tests {
     #[test]
     fn optimize_gc_reclaims_old_objects() {
         let mut repo = populated();
-        repo.optimize(Problem::MinRecreation, 4).unwrap();
+        repo.optimize_with(&spec(Problem::MinRecreation, 4))
+            .unwrap();
         let after_spt = repo.storage_bytes();
-        let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+        let report = repo.optimize_with(&spec(Problem::MinStorage, 4)).unwrap();
         assert_eq!(report.storage_before, after_spt);
         assert!(report.storage_after < after_spt);
     }
@@ -328,7 +369,7 @@ mod tests {
             Problem::MinRecreation,
             Problem::MinStorage,
         ] {
-            repo.optimize(problem, 3).unwrap();
+            repo.optimize_with(&spec(problem, 3)).unwrap();
             for (v, expected) in snapshots.iter().enumerate() {
                 assert_eq!(
                     &repo.checkout(CommitId(v as u32)).unwrap(),
@@ -339,10 +380,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn optimize_reclaims_chunks_of_a_chunked_repo() {
-        // A chunked repo re-packed into a delta plan must GC its
-        // manifests AND their chunk objects.
+    fn chunked_repo() -> Repository<MemStore> {
         let mut repo = Repository::with_placement(
             MemStore::new(false),
             crate::repo::Placement::Chunked(dsv_chunk::ChunkerParams::default()),
@@ -357,8 +395,19 @@ mod tests {
             data.extend_from_slice(row(600 + k).as_bytes());
             repo.commit("main", &data, "grow").unwrap();
         }
+        repo
+    }
+
+    #[test]
+    fn optimize_reclaims_chunks_of_a_chunked_repo() {
+        // A chunked repo re-packed into a *binary* delta plan (explicitly
+        // requested — Auto would keep it hybrid) must GC its manifests AND
+        // their chunk objects.
+        let mut repo = chunked_repo();
         let objects_before = repo.store.len();
-        let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+        let report = repo
+            .optimize_with(&spec(Problem::MinStorage, 4).modes(ModePolicy::Binary))
+            .unwrap();
         // After repacking, only the plan's objects remain: one Full root
         // plus a delta per remaining version. No orphaned chunks.
         assert_eq!(repo.store.len(), repo.version_count());
@@ -367,6 +416,85 @@ mod tests {
         for v in 0..repo.version_count() as u32 {
             assert!(!repo.checkout(CommitId(v)).unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn auto_policy_routes_chunked_placement_through_hybrid() {
+        // The bug this fixes: `dsv optimize` (no mode flag) on a
+        // Placement::Chunked repository silently fell back to the binary
+        // model. Under ModePolicy::Auto the persisted placement routes the
+        // solve through the hybrid path with the placement's own chunker
+        // parameters.
+        let mut repo = chunked_repo();
+        let snapshots: Vec<Vec<u8>> = (0..repo.version_count() as u32)
+            .map(|v| repo.checkout(CommitId(v)).unwrap())
+            .collect();
+        let report = repo.optimize_with(&spec(Problem::MinStorage, 4)).unwrap();
+        // The solve genuinely considered chunked modes: on a grow-only
+        // history the dedup increments beat full materialization, so the
+        // min-storage plan keeps at least its root in the chunk store.
+        assert!(
+            report.chunked >= 1,
+            "chunked-placement repo was optimized in the binary model"
+        );
+        assert_eq!(
+            repo.current_plan()
+                .iter()
+                .filter(|m| m.is_chunked())
+                .count(),
+            report.chunked
+        );
+        // An explicit Binary request on a fresh copy stores no less.
+        let mut binary = chunked_repo();
+        let binary_report = binary
+            .optimize_with(&spec(Problem::MinStorage, 4).modes(ModePolicy::Binary))
+            .unwrap();
+        assert!(report.planned_storage_cost <= binary_report.planned_storage_cost);
+        for (v, expected) in snapshots.iter().enumerate() {
+            assert_eq!(
+                &repo.checkout(CommitId(v as u32)).unwrap(),
+                expected,
+                "v{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_optimize_carries_full_provenance() {
+        let mut repo = populated();
+        let report = repo
+            .optimize_with(&spec(Problem::MinStorage, 4).solver(SolverChoice::Portfolio))
+            .unwrap();
+        assert!(report.provenance.portfolio);
+        assert!(report.provenance.feasible);
+        assert!(report.provenance.candidates.len() >= 3);
+        // P1 is exact for MST: the winner matches its storage (ties may
+        // crown another solver with a better secondary metric).
+        let mst_c = report
+            .provenance
+            .candidates
+            .iter()
+            .find(|c| c.solver == "mst")
+            .and_then(|c| c.result.as_ref().ok())
+            .expect("mst candidate recorded");
+        assert_eq!(report.planned_storage_cost, mst_c.storage);
+        for v in 0..repo.version_count() as u32 {
+            assert!(!repo.checkout(CommitId(v)).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_planner() {
+        let mut a = populated();
+        let mut b = populated();
+        let via_wrapper = a.optimize(Problem::MinStorage, 4).unwrap();
+        let via_spec = b.optimize_with(&spec(Problem::MinStorage, 4)).unwrap();
+        assert_eq!(
+            via_wrapper.planned_storage_cost,
+            via_spec.planned_storage_cost
+        );
+        assert_eq!(via_wrapper.provenance.solver, via_spec.provenance.solver);
     }
 
     #[test]
@@ -382,7 +510,9 @@ mod tests {
         let theta = max_size * 13 / 10;
         let problem = Problem::MinStorageGivenMaxRecreation { theta };
         let hybrid = repo
-            .optimize_hybrid(problem, 4, dsv_chunk::ChunkerParams::default())
+            .optimize_with(&spec(problem, 4).modes(ModePolicy::Hybrid(
+                dsv_chunk::ChunkerParams::default().into(),
+            )))
             .unwrap();
         assert!(hybrid.planned_max_recreation <= theta);
         // The solver-chosen plan survives in the repo and contents are
@@ -404,7 +534,7 @@ mod tests {
         // Against the binary solve of the same problem on a fresh copy of
         // the same history, the hybrid plan stores no more.
         let mut binary_repo = populated();
-        let binary = binary_repo.optimize(problem, 4).unwrap();
+        let binary = binary_repo.optimize_with(&spec(problem, 4)).unwrap();
         assert!(
             hybrid.planned_storage_cost <= binary.planned_storage_cost,
             "hybrid {} vs binary {}",
@@ -412,7 +542,7 @@ mod tests {
             binary.planned_storage_cost
         );
         // Re-optimizing back to a pure delta plan reclaims the chunks.
-        let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+        let report = repo.optimize_with(&spec(Problem::MinStorage, 4)).unwrap();
         assert_eq!(report.chunked, 0);
         assert_eq!(repo.store.len(), repo.version_count());
     }
@@ -421,7 +551,7 @@ mod tests {
     fn empty_repo_rejected() {
         let mut repo = Repository::in_memory();
         assert!(matches!(
-            repo.optimize(Problem::MinStorage, 2),
+            repo.optimize_with(&spec(Problem::MinStorage, 2)),
             Err(VcsError::EmptyRepository)
         ));
     }

@@ -278,7 +278,8 @@ mod tests {
         let tmp = TempDir::new("optimize");
         let root = tmp.path();
         let mut repo = populated(root);
-        repo.optimize(Problem::MinStorage, 3).unwrap();
+        repo.optimize_with(&dsv_core::PlanSpec::new(Problem::MinStorage).reveal_hops(3))
+            .unwrap();
         save(&repo, root).unwrap();
         let loaded = load(root, false).unwrap();
         for v in 0..repo.version_count() as u32 {

@@ -26,7 +26,7 @@ pub enum Placement {
 /// Commits store one dataset (a byte string) per version. New commits are
 /// placed per the repository's [`Placement`] — greedily as a delta from
 /// their first parent when that beats materialization, or as deduplicated
-/// chunk manifests — and [`Repository::optimize`](crate::Repository)
+/// chunk manifests — and [`Repository::optimize_with`](crate::Repository)
 /// re-packs the whole history under one of the paper's problems.
 pub struct Repository<S: ObjectStore> {
     pub(crate) store: S,

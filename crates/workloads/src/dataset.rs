@@ -204,7 +204,14 @@ pub(crate) fn to_pair(ann: dsv_delta::cost::CostAnnotation) -> CostPair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsv_core::{solve, Problem};
+    use dsv_core::{plan, PlanSpec, Problem};
+
+    fn solve(
+        inst: &dsv_core::ProblemInstance,
+        problem: Problem,
+    ) -> Result<dsv_core::StorageSolution, dsv_core::SolveError> {
+        plan(inst, &PlanSpec::new(problem)).map(|p| p.solution)
+    }
 
     fn small_params() -> DatasetParams {
         DatasetParams {

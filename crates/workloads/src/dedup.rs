@@ -228,8 +228,18 @@ mod tests {
     fn instance_is_solvable() {
         let ds = build("DD", &small(), 9);
         let inst = ds.instance();
-        let mca = dsv_core::solve(&inst, dsv_core::Problem::MinStorage).unwrap();
-        let spt = dsv_core::solve(&inst, dsv_core::Problem::MinRecreation).unwrap();
+        let mca = dsv_core::plan(
+            &inst,
+            &dsv_core::PlanSpec::new(dsv_core::Problem::MinStorage),
+        )
+        .unwrap()
+        .solution;
+        let spt = dsv_core::plan(
+            &inst,
+            &dsv_core::PlanSpec::new(dsv_core::Problem::MinRecreation),
+        )
+        .unwrap()
+        .solution;
         assert!(mca.storage_cost() < spt.storage_cost() / 3);
     }
 

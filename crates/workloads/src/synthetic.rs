@@ -112,7 +112,14 @@ pub fn build(name: &str, params: &SyntheticParams, seed: u64) -> Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsv_core::{solve, Problem};
+    use dsv_core::{plan, PlanSpec, Problem};
+
+    fn solve(
+        inst: &dsv_core::ProblemInstance,
+        problem: Problem,
+    ) -> Result<dsv_core::StorageSolution, dsv_core::SolveError> {
+        plan(inst, &PlanSpec::new(problem)).map(|p| p.solution)
+    }
 
     #[test]
     fn scales_to_thousands_quickly() {

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example data_science_team`
 
-use dataset_versioning::core::Problem;
+use dataset_versioning::core::{PlanSpec, Problem};
 use dataset_versioning::vcs::Repository;
 
 /// A synthetic "biology group" dataset: a CSV of samples.
@@ -78,7 +78,9 @@ fn main() {
     );
 
     // Repack for minimum storage...
-    let report = repo.optimize(Problem::MinStorage, 4).unwrap();
+    let report = repo
+        .optimize_with(&PlanSpec::new(Problem::MinStorage).reveal_hops(4))
+        .unwrap();
     println!(
         "optimize(P1 min storage):   {} KB ({} materialized)",
         report.storage_after / 1024,
@@ -88,7 +90,9 @@ fn main() {
     // ...then bound the worst-case retrieval latency instead.
     let theta = base.len() as u64 * 2;
     let report = repo
-        .optimize(Problem::MinStorageGivenMaxRecreation { theta }, 4)
+        .optimize_with(
+            &PlanSpec::new(Problem::MinStorageGivenMaxRecreation { theta }).reveal_hops(4),
+        )
         .unwrap();
     println!(
         "optimize(P6, θ=2×base):     {} KB ({} materialized, planned maxR {})",

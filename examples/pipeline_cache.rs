@@ -6,7 +6,9 @@
 //!
 //! Run with: `cargo run --release --example pipeline_cache`
 
-use dataset_versioning::core::{solve, CostMatrix, CostPair, Problem, ProblemInstance};
+use dataset_versioning::core::{
+    plan as plan_solve, CostMatrix, CostPair, PlanSpec, Problem, ProblemInstance,
+};
 use dataset_versioning::delta::bytes_delta;
 use dataset_versioning::delta::similarity::{similar_pairs, ResemblanceSketch};
 use dataset_versioning::storage::{
@@ -67,7 +69,12 @@ fn main() {
 
     // Bound every fetch at 1.5x a full read, minimize storage (Problem 6).
     let theta = instance.max_materialization_cost() * 3 / 2;
-    let plan = solve(&instance, Problem::MinStorageGivenMaxRecreation { theta }).unwrap();
+    let plan = plan_solve(
+        &instance,
+        &PlanSpec::new(Problem::MinStorageGivenMaxRecreation { theta }),
+    )
+    .unwrap()
+    .solution;
     println!(
         "plan: {} materialized, planned storage {} KB (θ respected: {})",
         plan.materialized().count(),

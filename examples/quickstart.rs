@@ -3,7 +3,14 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dataset_versioning::core::{solve, Problem};
+use dataset_versioning::core::{plan, PlanSpec, Problem, ProblemInstance, StorageSolution};
+
+/// Table-1 dispatch through the unified planner.
+fn solve(instance: &ProblemInstance, problem: Problem) -> Result<StorageSolution, String> {
+    plan(instance, &PlanSpec::new(problem))
+        .map(|p| p.solution)
+        .map_err(|e| e.to_string())
+}
 use dataset_versioning::workloads::presets;
 
 fn main() {

@@ -4,15 +4,29 @@
 //!
 //! Run with: `cargo run --release --example storage_planner`
 
-use dataset_versioning::core::solvers::{lmg, mst, spt};
-use dataset_versioning::core::{solve, Problem};
+use dataset_versioning::core::{
+    plan, PlanSpec, Problem, ProblemInstance, SolverChoice, StorageSolution,
+};
 use dataset_versioning::workloads::presets;
+
+/// Table-1 dispatch through the unified planner.
+fn solve(instance: &ProblemInstance, problem: Problem) -> StorageSolution {
+    plan(instance, &PlanSpec::new(problem)).unwrap().solution
+}
+
+/// LMG at a budget, optionally forcing the workload-aware variant.
+fn lmg_at(instance: &ProblemInstance, beta: u64, weighted: bool) -> StorageSolution {
+    let spec = PlanSpec::new(Problem::MinSumRecreationGivenStorage { beta })
+        .solver(SolverChoice::named("lmg"))
+        .lmg_weighted(Some(weighted));
+    plan(instance, &spec).unwrap().solution
+}
 
 fn main() {
     let dataset = presets::linear_chain().scaled(250).build(7);
     let instance = dataset.instance();
-    let mca = solve(&instance, Problem::MinStorage).unwrap();
-    let spt_sol = solve(&instance, Problem::MinRecreation).unwrap();
+    let mca = solve(&instance, Problem::MinStorage);
+    let spt_sol = solve(&instance, Problem::MinRecreation);
 
     println!(
         "frontier for {} ({} versions):",
@@ -25,7 +39,7 @@ fn main() {
     );
     for factor in [100u64, 105, 110, 125, 150, 200, 300, 500] {
         let beta = mca.storage_cost() * factor / 100;
-        let sol = lmg::solve_sum_given_storage(&instance, beta, false).unwrap();
+        let sol = lmg_at(&instance, beta, false);
         println!(
             "{:>9}% {:>14} {:>14} {:>12}",
             factor,
@@ -47,8 +61,8 @@ fn main() {
     let weighted = dataset.instance_with_zipf(2.0, 99);
     let weights: Vec<f64> = weighted.weights().unwrap().to_vec();
     let beta = mca.storage_cost() * 125 / 100;
-    let plain = lmg::solve_sum_given_storage(&weighted, beta, false).unwrap();
-    let aware = lmg::solve_sum_given_storage(&weighted, beta, true).unwrap();
+    let plain = lmg_at(&weighted, beta, false);
+    let aware = lmg_at(&weighted, beta, true);
     println!("\nworkload-aware replanning at 125% budget:");
     println!(
         "  plain LMG: weighted ΣR = {:.3e}",
@@ -61,9 +75,16 @@ fn main() {
             / plain.weighted_sum_recreation(&weights)
     );
 
-    // Sanity: the solver baselines still hold.
-    let mst_check = mst::solve(&instance).unwrap();
-    let spt_check = spt::solve(&instance).unwrap();
-    assert_eq!(mst_check.storage_cost(), mca.storage_cost());
-    assert_eq!(spt_check.sum_recreation(), spt_sol.sum_recreation());
+    // Sanity: a portfolio solve can only match the exact baselines.
+    let portfolio = plan(
+        &instance,
+        &PlanSpec::new(Problem::MinStorage).solver(SolverChoice::Portfolio),
+    )
+    .unwrap();
+    assert_eq!(portfolio.solution.storage_cost(), mca.storage_cost());
+    println!(
+        "\nportfolio(P1): winner {} over {} candidates",
+        portfolio.provenance.solver,
+        portfolio.provenance.candidates.len()
+    );
 }

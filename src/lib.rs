@@ -45,18 +45,29 @@
 //!
 //! ## Quickstart
 //!
+//! Planning goes through the unified planner API: a `PlanSpec` names the
+//! problem, the solver choice (Table-1 `Auto`, any registry solver by
+//! name, or a `Portfolio` of every capable solver), and the storage-mode
+//! policy; `plan` returns the winning solution with provenance.
+//!
 //! ```
-//! use dataset_versioning::core::{Problem, solve};
+//! use dataset_versioning::core::{plan, PlanSpec, Problem, SolverChoice};
 //! use dataset_versioning::workloads::presets;
 //!
 //! // Generate a small branching workload and pick a storage plan that
-//! // keeps every version's recreation cost within 3x its own size.
+//! // keeps every version's recreation cost within 3x its own size —
+//! // running every capable solver and keeping the cheapest feasible plan.
 //! let dataset = presets::densely_connected().scaled(50).build(42);
 //! let instance = dataset.instance();
 //! let theta = instance.max_materialization_cost() * 3;
-//! let solution = solve(&instance, Problem::MinStorageGivenMaxRecreation { theta }).unwrap();
-//! assert!(solution.max_recreation() <= theta);
-//! assert!(solution.validate(&instance).is_ok());
+//! let spec = PlanSpec::new(Problem::MinStorageGivenMaxRecreation { theta })
+//!     .solver(SolverChoice::Portfolio);
+//! let result = plan(&instance, &spec).unwrap();
+//! assert!(result.solution.max_recreation() <= theta);
+//! assert!(result.solution.validate(&instance).is_ok());
+//! // Provenance records the winner and every candidate's outcome.
+//! assert!(result.provenance.feasible);
+//! assert!(result.provenance.candidates.len() >= 3);
 //! ```
 
 pub use dsv_chunk as chunk;

@@ -2,10 +2,47 @@
 //! instances: every heuristic must return valid solutions that respect
 //! their constraints, ordered consistently with the exact baselines.
 
-use dataset_versioning::core::solvers::{gith, ilp, last, lmg, mp, mst, spt};
-use dataset_versioning::core::{CostMatrix, CostPair, ProblemInstance};
+use dataset_versioning::core::{
+    plan, CostMatrix, CostPair, PlanSpec, Problem, ProblemInstance, SolverChoice, StorageSolution,
+};
 use proptest::prelude::*;
 use std::time::Duration;
+
+/// One named registry solver through the unified planner.
+fn named(instance: &ProblemInstance, problem: Problem, solver: &str) -> StorageSolution {
+    plan(
+        instance,
+        &PlanSpec::new(problem).solver(SolverChoice::named(solver)),
+    )
+    .unwrap_or_else(|e| panic!("{solver} on {problem}: {e}"))
+    .solution
+}
+
+fn mca_of(instance: &ProblemInstance) -> StorageSolution {
+    named(instance, Problem::MinStorage, "mst")
+}
+
+fn spt_of(instance: &ProblemInstance) -> StorageSolution {
+    named(instance, Problem::MinRecreation, "spt")
+}
+
+/// LAST with an explicit α.
+fn last_at(instance: &ProblemInstance, alpha: f64) -> StorageSolution {
+    let spec = PlanSpec::new(Problem::MinStorage)
+        .solver(SolverChoice::named("last"))
+        .last_alpha(alpha);
+    plan(instance, &spec).unwrap().solution
+}
+
+/// The exact branch-and-bound; returns (solution, proven_optimal).
+fn exact_p6(instance: &ProblemInstance, theta: u64, budget: Duration) -> (StorageSolution, bool) {
+    let spec = PlanSpec::new(Problem::MinStorageGivenMaxRecreation { theta })
+        .solver(SolverChoice::named("ilp"))
+        .exact_budget(budget);
+    let p = plan(instance, &spec).unwrap();
+    let proven = p.provenance.proven_optimal().unwrap_or(false);
+    (p.solution, proven)
+}
 
 /// Strategy: a random directed instance with a spanning-tree skeleton
 /// (guaranteeing feasibility) plus extra revealed deltas.
@@ -40,15 +77,27 @@ proptest! {
     /// every other solver lands between them on its respective axis.
     #[test]
     fn extremes_bound_every_heuristic(inst in arb_instance()) {
-        let mca = mst::solve(&inst).unwrap();
-        let spt_sol = spt::solve(&inst).unwrap();
+        let mca = mca_of(&inst);
+        let spt_sol = spt_of(&inst);
         prop_assert!(mca.storage_cost() <= spt_sol.storage_cost());
 
         let candidates = vec![
-            lmg::solve_sum_given_storage(&inst, mca.storage_cost() * 2, false).unwrap(),
-            mp::solve_storage_given_max(&inst, spt_sol.max_recreation() * 2).unwrap(),
-            last::solve(&inst, 2.0).unwrap(),
-            gith::solve(&inst, gith::GitHParams::default()).unwrap(),
+            named(
+                &inst,
+                Problem::MinSumRecreationGivenStorage {
+                    beta: mca.storage_cost() * 2,
+                },
+                "lmg",
+            ),
+            named(
+                &inst,
+                Problem::MinStorageGivenMaxRecreation {
+                    theta: spt_sol.max_recreation() * 2,
+                },
+                "mp",
+            ),
+            last_at(&inst, 2.0),
+            named(&inst, Problem::MinStorage, "gith"),
         ];
         for sol in candidates {
             prop_assert!(sol.validate(&inst).is_ok());
@@ -67,13 +116,13 @@ proptest! {
     /// misleads it; the paper makes no monotonicity claim either.)
     #[test]
     fn mp_thresholds_and_bounds(inst in arb_instance()) {
-        let spt_sol = spt::solve(&inst).unwrap();
+        let spt_sol = spt_of(&inst);
         let base = spt_sol.max_recreation();
         let full = inst.matrix().total_materialization_storage();
-        let mca = mst::solve(&inst).unwrap();
+        let mca = mca_of(&inst);
         for factor in [10u64, 12, 15, 20, 40] {
             let theta = base * factor / 10;
-            let sol = mp::solve_storage_given_max(&inst, theta).unwrap();
+            let sol = named(&inst, Problem::MinStorageGivenMaxRecreation { theta }, "mp");
             prop_assert!(sol.max_recreation() <= theta);
             prop_assert!(sol.storage_cost() <= full);
             prop_assert!(sol.storage_cost() >= mca.storage_cost());
@@ -84,11 +133,11 @@ proptest! {
     /// starting point (every local move strictly improves the sum).
     #[test]
     fn lmg_budgets_and_bounds(inst in arb_instance()) {
-        let mca = mst::solve(&inst).unwrap();
+        let mca = mca_of(&inst);
         let base = mca.storage_cost();
         for factor in [10u64, 12, 15, 20, 40] {
             let beta = base * factor / 10;
-            let sol = lmg::solve_sum_given_storage(&inst, beta, false).unwrap();
+            let sol = named(&inst, Problem::MinSumRecreationGivenStorage { beta }, "lmg");
             prop_assert!(sol.storage_cost() <= beta);
             prop_assert!(sol.sum_recreation() <= mca.sum_recreation());
         }
@@ -97,19 +146,18 @@ proptest! {
     /// The exact solver is never beaten by MP, and both respect θ.
     #[test]
     fn exact_lower_bounds_mp(inst in arb_instance()) {
-        let spt_sol = spt::solve(&inst).unwrap();
+        let spt_sol = spt_of(&inst);
         let theta = spt_sol.max_recreation() * 3 / 2;
-        let exact = ilp::solve_storage_given_max_exact(&inst, theta, Duration::from_secs(5))
-            .unwrap();
-        let heur = mp::solve_storage_given_max(&inst, theta).unwrap();
-        prop_assert!(exact.solution.max_recreation() <= theta);
-        if exact.proven_optimal {
-            prop_assert!(exact.solution.storage_cost() <= heur.storage_cost());
+        let (exact, proven) = exact_p6(&inst, theta, Duration::from_secs(5));
+        let heur = named(&inst, Problem::MinStorageGivenMaxRecreation { theta }, "mp");
+        prop_assert!(exact.max_recreation() <= theta);
+        if proven {
+            prop_assert!(exact.storage_cost() <= heur.storage_cost());
             // The MCA is only feasible if its max recreation fits θ; when
             // it does, the exact optimum must match or beat it too.
-            let mca = mst::solve(&inst).unwrap();
+            let mca = mca_of(&inst);
             if mca.max_recreation() <= theta {
-                prop_assert_eq!(exact.solution.storage_cost(), mca.storage_cost());
+                prop_assert_eq!(exact.storage_cost(), mca.storage_cost());
             }
         }
     }
@@ -148,9 +196,9 @@ proptest! {
         alpha_pct in 110u32..500,
     ) {
         let alpha = f64::from(alpha_pct) / 100.0;
-        let mst_sol = mst::solve(&inst).unwrap();
-        let mins = spt::min_recreation_costs(&inst).unwrap();
-        let sol = last::solve(&inst, alpha).unwrap();
+        let mst_sol = mca_of(&inst);
+        let mins = spt_of(&inst).recreation_costs().to_vec();
+        let sol = last_at(&inst, alpha);
         prop_assert!(sol.validate(&inst).is_ok());
         // Guarantee 1: every recreation within α× its minimum.
         for v in 0..inst.version_count() as u32 {

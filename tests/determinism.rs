@@ -1,7 +1,15 @@
 //! Determinism: the whole pipeline — generation, optimization, packing —
 //! must be byte-reproducible from a seed (experiments depend on it).
 
-use dataset_versioning::core::{solve, Problem};
+use dataset_versioning::core::{plan, PlanSpec, Problem, ProblemInstance, StorageSolution};
+
+/// Table-1 dispatch through the unified planner.
+fn solve(
+    instance: &ProblemInstance,
+    problem: Problem,
+) -> Result<StorageSolution, dataset_versioning::core::SolveError> {
+    plan(instance, &PlanSpec::new(problem)).map(|p| p.solution)
+}
 use dataset_versioning::storage::{pack_versions, MemStore, ObjectStore, PackOptions};
 use dataset_versioning::workloads::presets;
 

@@ -1,11 +1,19 @@
 //! End-to-end integration: workload generation → optimization → real
 //! object store → verified checkout, across all six problems.
 
-use dataset_versioning::core::{solve, Problem, StorageSolution};
+use dataset_versioning::core::{plan, PlanSpec, Problem, ProblemInstance, StorageSolution};
 use dataset_versioning::storage::{pack_versions, Materializer, MemStore, PackOptions};
 use dataset_versioning::workloads::presets;
 
-fn problems_for(instance: &dataset_versioning::core::ProblemInstance) -> Vec<Problem> {
+/// Table-1 dispatch through the unified planner.
+fn solve(
+    instance: &ProblemInstance,
+    problem: Problem,
+) -> Result<StorageSolution, dataset_versioning::core::SolveError> {
+    plan(instance, &PlanSpec::new(problem)).map(|p| p.solution)
+}
+
+fn problems_for(instance: &ProblemInstance) -> Vec<Problem> {
     let mca = solve(instance, Problem::MinStorage).unwrap();
     let spt = solve(instance, Problem::MinRecreation).unwrap();
     vec![

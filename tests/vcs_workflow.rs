@@ -1,7 +1,7 @@
 //! Integration: a realistic multi-team VCS workflow over generated
 //! datasets, with repeated re-optimization.
 
-use dataset_versioning::core::Problem;
+use dataset_versioning::core::{PlanSpec, Problem};
 use dataset_versioning::delta::tabular::Table;
 use dataset_versioning::vcs::{CommitId, Repository, VcsError};
 use dataset_versioning::workloads::table_gen::{base_table, random_commit, EditParams};
@@ -78,17 +78,23 @@ fn full_workflow_with_reoptimization() {
 
     // Cycle through problems; contents must survive every repack.
     let baseline = repo.storage_bytes();
-    let r1 = repo.optimize(Problem::MinStorage, 3).unwrap();
+    let r1 = repo
+        .optimize_with(&PlanSpec::new(Problem::MinStorage).reveal_hops(3))
+        .unwrap();
     verify(&repo);
     assert!(r1.storage_after <= baseline * 11 / 10);
 
-    let r2 = repo.optimize(Problem::MinRecreation, 3).unwrap();
+    let r2 = repo
+        .optimize_with(&PlanSpec::new(Problem::MinRecreation).reveal_hops(3))
+        .unwrap();
     verify(&repo);
     assert!(r2.storage_after >= r1.storage_after);
 
     let theta = snapshots.iter().map(Vec::len).max().unwrap() as u64 * 2;
     let r3 = repo
-        .optimize(Problem::MinStorageGivenMaxRecreation { theta }, 3)
+        .optimize_with(
+            &PlanSpec::new(Problem::MinStorageGivenMaxRecreation { theta }).reveal_hops(3),
+        )
         .unwrap();
     verify(&repo);
     assert!(r3.planned_max_recreation <= theta);
@@ -104,7 +110,8 @@ fn log_and_branches_survive_optimization() {
         .iter()
         .map(|m| m.message.clone())
         .collect();
-    repo.optimize(Problem::MinStorage, 3).unwrap();
+    repo.optimize_with(&PlanSpec::new(Problem::MinStorage).reveal_hops(3))
+        .unwrap();
     let log_after: Vec<String> = repo
         .log("main")
         .unwrap()
