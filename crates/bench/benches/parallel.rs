@@ -1,0 +1,88 @@
+//! Criterion benches for the dsv-par runtime: the three CPU-bound hot
+//! paths (dataset build with its pairwise reveal loop, chunked cost
+//! estimation, portfolio solves) at 1 thread vs the machine's available
+//! parallelism. The absolute numbers feed the perf trajectory
+//! (`BENCH_perf.json` has the experiment-sized sweep); these benches are
+//! the quick regression check that the parallel path does not cost more
+//! than it returns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsv_chunk::{chunked_cost_pairs, ChunkerParams};
+use dsv_core::{plan, PlanSpec, Problem, SolverChoice};
+use dsv_workloads::presets;
+use std::hint::black_box;
+
+fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn thread_points() -> Vec<usize> {
+    let mut points = vec![1, hw_threads()];
+    points.dedup();
+    points
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_build");
+    for threads in thread_points() {
+        group.bench_with_input(
+            BenchmarkId::new("lc_60", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    dsv_par::with_thread_count(threads, || {
+                        black_box(presets::linear_chain().scaled(60).build(7))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let ds = presets::dedup_chain().scaled(60).keep_contents().build(7);
+    let contents = ds.contents.as_ref().expect("contents kept");
+    let params = ChunkerParams::default();
+    let mut group = c.benchmark_group("parallel_estimate");
+    for threads in thread_points() {
+        group.bench_with_input(
+            BenchmarkId::new("dd_60", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    dsv_par::with_thread_count(threads, || {
+                        black_box(chunked_cost_pairs(contents, params).unwrap())
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_portfolio(c: &mut Criterion) {
+    let ds = presets::densely_connected().scaled(80).build(7);
+    let instance = ds.instance();
+    let spec = PlanSpec::new(Problem::MinStorage).solver(SolverChoice::Portfolio);
+    let mut group = c.benchmark_group("parallel_portfolio");
+    for threads in thread_points() {
+        group.bench_with_input(
+            BenchmarkId::new("dc_80_p1", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    dsv_par::with_thread_count(threads, || {
+                        black_box(plan(&instance, &spec).unwrap())
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_estimate, bench_portfolio);
+criterion_main!(benches);

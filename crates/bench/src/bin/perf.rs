@@ -1,0 +1,9 @@
+//! Parallel-runtime perf sweep (build / estimate / solve / pack at 1–N
+//! dsv-par workers on LC/BF/DD); asserts parallel results match the
+//! sequential baseline and writes `target/experiments/BENCH_perf.json`.
+//! `--quick` shrinks the workloads.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::perf::run(scale);
+}

@@ -12,6 +12,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod hybrid;
+pub mod perf;
 pub mod sec52;
 pub mod solver_matrix;
 pub mod substrates;

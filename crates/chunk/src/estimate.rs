@@ -46,18 +46,25 @@ pub fn chunked_cost_pairs(
     params: ChunkerParams,
 ) -> Result<Vec<CostPair>, ChunkError> {
     params.validate()?;
+    // Chunking + hashing each version is independent work — run it on the
+    // dsv-par work-stealing runtime. The dedup pass below stays
+    // sequential over the precomputed chunk ids, so the order-dependent
+    // increments are identical at every thread count.
+    let per_version: Vec<Vec<(ObjectId, u64)>> = dsv_par::par_map(contents, |data| {
+        Chunker::new(data, params)
+            .map(|chunk| (Object::full_id(chunk), chunk.len() as u64))
+            .collect()
+    });
     let mut seen: HashSet<ObjectId> = HashSet::new();
     let mut out = Vec::with_capacity(contents.len());
-    for data in contents {
+    for (data, chunk_ids) in contents.iter().zip(&per_version) {
         let mut new_bytes = 0u64;
-        let mut chunks = 0u64;
-        for chunk in Chunker::new(data, params) {
-            chunks += 1;
-            if seen.insert(Object::full_id(chunk)) {
-                new_bytes += chunk.len() as u64;
+        for &(id, len) in chunk_ids {
+            if seen.insert(id) {
+                new_bytes += len;
             }
         }
-        let manifest = MANIFEST_BASE_BYTES + chunks * MANIFEST_ENTRY_BYTES;
+        let manifest = MANIFEST_BASE_BYTES + chunk_ids.len() as u64 * MANIFEST_ENTRY_BYTES;
         out.push(CostPair::new(
             new_bytes + manifest,
             data.len() as u64 + manifest,

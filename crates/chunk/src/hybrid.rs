@@ -9,11 +9,24 @@
 //! chunked (or materialized) parents; the [`dsv_storage::Materializer`]
 //! resolves either transparently at checkout.
 
-use crate::store::{ChunkStore, DedupStats};
+use crate::store::{prechunk, ChunkStore, DedupStats};
 use crate::{ChunkError, ChunkerParams};
 use dsv_core::StorageMode;
 use dsv_delta::bytes_delta;
 use dsv_storage::{dependency_order, Object, ObjectId, ObjectStore, PackedVersions};
+use std::ops::Range;
+
+/// Per-version payload computed in the parallel phase of
+/// [`pack_versions_hybrid`]: everything that depends only on the raw
+/// contents, leaving the sequential phase pure store writes.
+enum Prepared {
+    /// Materialized versions need no precomputation.
+    Full,
+    /// Chunk spans + content ids ([`prechunk`]) for a chunked version.
+    Chunks(Vec<(Range<usize>, ObjectId)>),
+    /// The encoded byte delta against the parent's contents.
+    Delta(Vec<u8>),
+}
 
 /// Packs `contents` into `store` following the per-version `modes`.
 ///
@@ -38,30 +51,45 @@ pub fn pack_versions_hybrid<S: ObjectStore + ?Sized>(
     let delta_parents: Vec<Option<u32>> = modes.iter().map(|m| m.delta_parent()).collect();
     let order = dependency_order(&delta_parents)?;
 
+    // Parallel phase: everything derivable from raw contents alone —
+    // chunk boundaries + content hashes for chunked versions, encoded
+    // byte deltas for delta versions — on the dsv-par runtime. The store
+    // writes below stay sequential in the same orders as ever, so the
+    // stored bytes are identical at every thread count.
+    let versions: Vec<u32> = (0..n as u32).collect();
+    let mut prepared = dsv_par::par_map(&versions, |&v| match modes[v as usize] {
+        StorageMode::Materialized => Prepared::Full,
+        StorageMode::Chunked => Prepared::Chunks(prechunk(&contents[v as usize], params)),
+        StorageMode::Delta(p) => {
+            let ops = bytes_delta::diff(&contents[p as usize], &contents[v as usize]);
+            Prepared::Delta(bytes_delta::encode(&ops))
+        }
+    });
+
     // Chunked versions first, in index order, so dedup increments match
     // the estimator's accounting; then everything else in dependency
     // order (a chunked parent's manifest already exists by then).
     let mut stats = DedupStats::default();
     let mut ids: Vec<Option<ObjectId>> = vec![None; n];
-    for v in 0..n as u32 {
-        if modes[v as usize].is_chunked() {
-            let put = chunk_store.put_version(&contents[v as usize])?;
+    for v in 0..n {
+        if let Prepared::Chunks(chunks) = &prepared[v] {
+            let put = chunk_store.put_version_prechunked(&contents[v], chunks)?;
             stats.record(&put);
-            ids[v as usize] = Some(put.id);
+            ids[v] = Some(put.id);
         }
     }
     for v in order {
-        let obj = match modes[v as usize] {
-            StorageMode::Chunked => continue, // stored above
-            StorageMode::Materialized => Object::Full {
+        let obj = match std::mem::replace(&mut prepared[v as usize], Prepared::Full) {
+            Prepared::Chunks(_) => continue, // stored above
+            Prepared::Full => Object::Full {
                 data: contents[v as usize].clone(),
             },
-            StorageMode::Delta(p) => {
-                let base_id = ids[p as usize].expect("parents packed first");
-                let ops = bytes_delta::diff(&contents[p as usize], &contents[v as usize]);
+            Prepared::Delta(delta) => {
+                let base_id = ids[modes[v as usize].delta_parent().expect("delta mode") as usize]
+                    .expect("parents packed first");
                 Object::Delta {
                     base: base_id,
-                    delta: bytes_delta::encode(&ops),
+                    delta,
                 }
             }
         };

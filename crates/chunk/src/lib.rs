@@ -56,7 +56,7 @@ pub mod store;
 pub use cdc::{chunk_spans, Chunker, ChunkerParams};
 pub use estimate::chunked_cost_pairs;
 pub use hybrid::pack_versions_hybrid;
-pub use store::{pack_versions_chunked, ChunkStore, DedupStats, PutVersion};
+pub use store::{pack_versions_chunked, prechunk, ChunkStore, DedupStats, PutVersion};
 
 use dsv_storage::{ObjectId, StoreError};
 

@@ -105,21 +105,34 @@ impl<'a, S: ObjectStore + ?Sized> ChunkStore<'a, S> {
     /// what was deduplicated. Idempotent: re-putting a version stores
     /// nothing new and returns the same id.
     pub fn put_version(&self, data: &[u8]) -> Result<PutVersion, ChunkError> {
-        let mut chunk_ids = Vec::new();
+        self.put_version_prechunked(data, &prechunk(data, self.params))
+    }
+
+    /// Like [`ChunkStore::put_version`], but over chunk boundaries and
+    /// content ids already computed by [`prechunk`] — the split the
+    /// hybrid packer uses to chunk and hash versions in parallel while
+    /// keeping the store writes (and dedup accounting) sequential in
+    /// version order. `chunks` must be `prechunk(data, self.params())`;
+    /// anything else corrupts the manifest.
+    pub fn put_version_prechunked(
+        &self,
+        data: &[u8],
+        chunks: &[(std::ops::Range<usize>, ObjectId)],
+    ) -> Result<PutVersion, ChunkError> {
+        let mut chunk_ids = Vec::with_capacity(chunks.len());
         let mut new_chunks = 0usize;
         let mut new_chunk_bytes = 0u64;
-        for chunk in Chunker::new(data, self.params) {
+        for (span, id) in chunks {
             // Probe by id before copying: on dedup-heavy histories most
             // chunks already exist, and duplicates cost only the hash.
-            let id = Object::full_id(chunk);
-            if !self.store.contains(id) {
+            if !self.store.contains(*id) {
                 new_chunks += 1;
-                new_chunk_bytes += chunk.len() as u64;
+                new_chunk_bytes += span.len() as u64;
                 self.store.put(&Object::Full {
-                    data: chunk.to_vec(),
+                    data: data[span.clone()].to_vec(),
                 })?;
             }
-            chunk_ids.push(id);
+            chunk_ids.push(*id);
         }
         let chunks = chunk_ids.len();
         let id = self.store.put(&Object::Chunked { chunks: chunk_ids })?;
@@ -149,6 +162,21 @@ impl<'a, S: ObjectStore + ?Sized> ChunkStore<'a, S> {
             _ => Err(ChunkError::NotAManifest(id)),
         }
     }
+}
+
+/// The content-defined chunk spans of `data`, each paired with its
+/// content id — the pure (store-free) half of
+/// [`ChunkStore::put_version`], split out so callers can chunk and hash
+/// many versions in parallel and feed
+/// [`ChunkStore::put_version_prechunked`] sequentially.
+pub fn prechunk(data: &[u8], params: ChunkerParams) -> Vec<(std::ops::Range<usize>, ObjectId)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for chunk in Chunker::new(data, params) {
+        out.push((start..start + chunk.len(), Object::full_id(chunk)));
+        start += chunk.len();
+    }
+    out
 }
 
 /// Packs `contents` into `store` as deduplicated chunk manifests — the

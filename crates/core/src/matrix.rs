@@ -64,6 +64,11 @@ pub struct CostMatrix {
     /// the work to reassemble it from its manifest. `None` = no chunked
     /// estimate revealed for this version (the binary model of the paper).
     chunked: Vec<Option<CostPair>>,
+    /// Number of `Some` entries in `chunked`, maintained by
+    /// `set_chunked`/`clear_chunked`/`push_version` — `has_chunked` and
+    /// `chunked_count` are consulted on every solve, so they must not
+    /// rescan the vector.
+    chunked_set: usize,
     symmetric: bool,
 }
 
@@ -76,6 +81,7 @@ impl CostMatrix {
             diag,
             off: FxHashMap::default(),
             chunked,
+            chunked_set: 0,
             symmetric: false,
         }
     }
@@ -88,6 +94,7 @@ impl CostMatrix {
             diag,
             off: FxHashMap::default(),
             chunked,
+            chunked_set: 0,
             symmetric: true,
         }
     }
@@ -128,7 +135,9 @@ impl CostMatrix {
     /// depends on the chunks earlier versions contributed), so callers
     /// reveal them for all versions at once, in version order.
     pub fn set_chunked(&mut self, i: u32, pair: CostPair) {
-        self.chunked[i as usize] = Some(pair);
+        if self.chunked[i as usize].replace(pair).is_none() {
+            self.chunked_set += 1;
+        }
     }
 
     /// The revealed chunked cost of version `i`, if any.
@@ -137,20 +146,23 @@ impl CostMatrix {
     }
 
     /// Whether any version has a chunked cost revealed (i.e. the instance
-    /// models the three-way Full/Delta/Chunked choice).
+    /// models the three-way Full/Delta/Chunked choice). O(1): reads the
+    /// maintained count.
     pub fn has_chunked(&self) -> bool {
-        self.chunked.iter().any(|c| c.is_some())
+        self.chunked_set > 0
     }
 
-    /// Number of versions with a revealed chunked cost.
+    /// Number of versions with a revealed chunked cost. O(1): reads the
+    /// maintained count.
     pub fn chunked_count(&self) -> usize {
-        self.chunked.iter().filter(|c| c.is_some()).count()
+        self.chunked_set
     }
 
     /// Withdraws every chunked cost, returning the matrix to the paper's
     /// binary model (used by the planner's `ModePolicy::Binary`).
     pub fn clear_chunked(&mut self) {
         self.chunked.iter_mut().for_each(|c| *c = None);
+        self.chunked_set = 0;
     }
 
     #[inline]

@@ -116,6 +116,12 @@ pub struct SolverTuning {
     pub hop_bound: u32,
     /// Wall-clock budget for the exact branch-and-bound.
     pub exact_budget: Duration,
+    /// Optional branch-and-bound **node** budget. Unlike the wall-clock
+    /// budget, a node cut is deterministic: budget-limited exact results
+    /// reproduce across machines, load, and thread counts — set this when
+    /// portfolio results must be byte-identical (the determinism suite
+    /// does).
+    pub exact_node_budget: Option<u64>,
     /// Force LMG's workload-aware variant on (`Some(true)`) or off
     /// (`Some(false)`); `None` uses weights whenever the instance has them.
     pub lmg_weighted: Option<bool>,
@@ -128,6 +134,7 @@ impl Default for SolverTuning {
             gith: GitHParams::default(),
             hop_bound: 4,
             exact_budget: Duration::from_secs(5),
+            exact_node_budget: None,
             lmg_weighted: None,
         }
     }
@@ -209,6 +216,14 @@ impl PlanSpec {
     /// Overrides the exact solver's wall-clock budget.
     pub fn exact_budget(mut self, budget: Duration) -> Self {
         self.tuning.exact_budget = budget;
+        self
+    }
+
+    /// Caps the exact solver's branch-and-bound at `nodes` explored — a
+    /// deterministic cut, unlike the wall-clock budget (see
+    /// [`SolverTuning::exact_node_budget`]).
+    pub fn exact_node_budget(mut self, nodes: Option<u64>) -> Self {
+        self.tuning.exact_node_budget = nodes;
         self
     }
 
@@ -411,11 +426,17 @@ pub fn plan(instance: &ProblemInstance, spec: &PlanSpec) -> Result<Plan, SolveEr
             let mut best: Option<(RankKey, StorageSolution, &'static str)> = None;
             let mut prescribed_err = None;
             let mut first_err = None;
-            for solver in registry_tuned(spec.tuning()) {
-                if solver.support(problem).is_none() {
-                    continue;
-                }
-                match solver.solve_detailed(inst, &problem) {
+            // Every capable solver runs on its own dsv-par worker; the
+            // fold below stays sequential in registry order, so the
+            // tie-breaking (and thus the winner) is identical to a
+            // single-threaded run.
+            let solvers: Vec<Box<dyn Solver>> = registry_tuned(spec.tuning())
+                .into_iter()
+                .filter(|s| s.support(problem).is_some())
+                .collect();
+            let outcomes = dsv_par::par_map(&solvers, |s| s.solve_detailed(inst, &problem));
+            for (solver, outcome) in solvers.iter().zip(outcomes) {
+                match outcome {
                     Ok(outcome) => {
                         let summary = summarize(problem, &outcome, inst.weights());
                         if summary.feasible {

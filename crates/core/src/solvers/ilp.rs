@@ -59,6 +59,21 @@ pub fn solve_storage_given_max_exact(
     theta: u64,
     time_budget: Duration,
 ) -> Result<ExactResult, SolveError> {
+    solve_storage_given_max_exact_bounded(instance, theta, time_budget, None)
+}
+
+/// Like [`solve_storage_given_max_exact`], with an optional **node**
+/// budget on top of the wall-clock one. A node budget cuts the search at
+/// a deterministic point, so budget-limited results are reproducible
+/// across machines, load, and thread counts — what portfolio solves need
+/// to stay byte-identical when solvers share cores on the dsv-par
+/// runtime (a wall-clock cut moves with machine load).
+pub fn solve_storage_given_max_exact_bounded(
+    instance: &ProblemInstance,
+    theta: u64,
+    time_budget: Duration,
+    node_budget: Option<u64>,
+) -> Result<ExactResult, SolveError> {
     let n = instance.version_count();
     if n == 0 {
         return Err(SolveError::EmptyInstance);
@@ -164,7 +179,9 @@ pub fn solve_storage_given_max_exact(
 
     'search: loop {
         nodes += 1;
-        if nodes.is_multiple_of(1024) && start.elapsed() > time_budget {
+        if node_budget.is_some_and(|limit| nodes > limit)
+            || (nodes.is_multiple_of(1024) && start.elapsed() > time_budget)
+        {
             timed_out = true;
             break 'search;
         }

@@ -365,9 +365,11 @@ impl Solver for SkipDeltaSolver {
     }
 }
 
-/// The exact branch-and-bound, under a wall-clock budget.
+/// The exact branch-and-bound, under a wall-clock budget and an optional
+/// deterministic node budget.
 struct IlpSolver {
     budget: std::time::Duration,
+    node_budget: Option<u64>,
 }
 
 impl Solver for IlpSolver {
@@ -399,7 +401,12 @@ impl Solver for IlpSolver {
     ) -> Result<SolverOutcome, SolveError> {
         match problem {
             Problem::MinStorageGivenMaxRecreation { theta } => {
-                let r = ilp::solve_storage_given_max_exact(instance, *theta, self.budget)?;
+                let r = ilp::solve_storage_given_max_exact_bounded(
+                    instance,
+                    *theta,
+                    self.budget,
+                    self.node_budget,
+                )?;
                 Ok(SolverOutcome {
                     solution: r.solution,
                     proven_optimal: Some(r.proven_optimal),
@@ -455,6 +462,7 @@ pub fn registry_tuned(tuning: &SolverTuning) -> Vec<Box<dyn Solver>> {
         Box::new(SptSolver),
         Box::new(IlpSolver {
             budget: tuning.exact_budget,
+            node_budget: tuning.exact_node_budget,
         }),
         Box::new(LmgSolver {
             weighted: tuning.lmg_weighted,

@@ -59,8 +59,72 @@ pub fn diff_slices<T: PartialEq>(a: &[T], b: &[T]) -> Vec<DiffOp> {
 
 /// Computes an edit script between `a` and `b`, searching at most `max_d`
 /// edit steps; if the optimal distance exceeds `max_d`, returns the trivial
-/// delete-all/insert-all script.
+/// delete-all/insert-all script (over whatever the common prefix and
+/// suffix leave behind).
 pub fn diff_slices_bounded<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Vec<DiffOp> {
+    let n = a.len();
+    let m = b.len();
+    // Strip the common prefix and suffix before the O(ND) search (classic
+    // diff preprocessing). The versions this workload diffs are
+    // near-identical, so the quadratic trace runs over a tiny middle
+    // window instead of the whole inputs. Matching a shared first/last
+    // token is always edit-distance-optimal for insert/delete scripts, so
+    // the result stays a shortest script.
+    let mut pre = 0;
+    while pre < n && pre < m && a[pre] == b[pre] {
+        pre += 1;
+    }
+    let mut suf = 0;
+    while suf < n - pre && suf < m - pre && a[n - 1 - suf] == b[m - 1 - suf] {
+        suf += 1;
+    }
+    let middle = diff_middle(&a[pre..n - suf], &b[pre..m - suf], max_d);
+    if pre == 0 && suf == 0 {
+        return middle;
+    }
+    // Re-anchor the middle ops to full-input positions. The middle's
+    // first and last tokens differ by construction (or a side is empty,
+    // yielding a pure Insert/Delete), so it never starts or ends with an
+    // Equal run and plain concatenation needs no merging; an empty middle
+    // means `a == b` (the prefix consumed everything).
+    let mut ops = Vec::with_capacity(middle.len() + 2);
+    if pre > 0 {
+        ops.push(DiffOp::Equal {
+            a_pos: 0,
+            b_pos: 0,
+            len: pre,
+        });
+    }
+    for op in middle {
+        ops.push(match op {
+            DiffOp::Equal { a_pos, b_pos, len } => DiffOp::Equal {
+                a_pos: a_pos + pre,
+                b_pos: b_pos + pre,
+                len,
+            },
+            DiffOp::Delete { a_pos, len } => DiffOp::Delete {
+                a_pos: a_pos + pre,
+                len,
+            },
+            DiffOp::Insert { a_pos, b_pos, len } => DiffOp::Insert {
+                a_pos: a_pos + pre,
+                b_pos: b_pos + pre,
+                len,
+            },
+        });
+    }
+    if suf > 0 {
+        ops.push(DiffOp::Equal {
+            a_pos: n - suf,
+            b_pos: m - suf,
+            len: suf,
+        });
+    }
+    ops
+}
+
+/// The unstripped Myers search over a (possibly pre-stripped) window.
+fn diff_middle<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Vec<DiffOp> {
     let n = a.len();
     let m = b.len();
     if n == 0 && m == 0 {
@@ -80,6 +144,7 @@ pub fn diff_slices_bounded<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Vec<
     match shortest_edit_trace(a, b, max_d) {
         Some((d_final, trace)) => {
             let moves = backtrack(a, b, d_final, &trace);
+            recycle_trace(trace);
             coalesce(&moves)
         }
         None => vec![
@@ -91,6 +156,49 @@ pub fn diff_slices_bounded<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Vec<
             },
         ],
     }
+}
+
+// The trace's row buffers are recycled through a thread-local pool:
+// freeing megabytes of short-lived Vecs after every diff makes glibc's
+// non-main-arena heaps shrink (madvise) and refault on the next diff,
+// which dominates wall-clock when thousands of diffs run back-to-back on
+// dsv-par workers. The pool lives and dies with the thread — scoped
+// workers release it when their `par_map` call ends.
+thread_local! {
+    static TRACE_POOL: std::cell::RefCell<Vec<Vec<isize>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Total `isize`s a thread's pool may pin (4 MiB): covers the trace of a
+/// D ≈ 700 diff outright, while one pathological far-pair diff cannot
+/// park its whole O(D²) trace in a long-lived thread forever.
+const TRACE_POOL_BUDGET: usize = 512 * 1024;
+
+fn pooled_row(window: &[isize]) -> Vec<isize> {
+    let mut row = TRACE_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    row.clear();
+    row.extend_from_slice(window);
+    row
+}
+
+fn recycle_trace(trace: Vec<Vec<isize>>) {
+    TRACE_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let mut pinned: usize = pool.iter().map(Vec::capacity).sum();
+        // Recycle large rows first — they are the expensive reallocations
+        // — until the byte budget is reached.
+        let mut rows: Vec<Vec<isize>> = trace;
+        rows.sort_by_key(|r| std::cmp::Reverse(r.capacity()));
+        for row in rows {
+            if pinned + row.capacity() > TRACE_POOL_BUDGET {
+                break;
+            }
+            pinned += row.capacity();
+            pool.push(row);
+        }
+    });
 }
 
 /// The number of edit operations (inserts + deletes) in a script.
@@ -105,6 +213,12 @@ pub fn edit_distance(ops: &[DiffOp]) -> usize {
 
 /// Forward phase: returns (d, per-round V snapshots) or None if `max_d`
 /// was exceeded.
+///
+/// Round `d` only ever reads/writes diagonals `k ∈ [-d, d]`, so each
+/// snapshot keeps just that window (backtracking indexes it as `k + d`).
+/// This drops the trace from O(D·(N+M)) to O(D²) words — the difference
+/// between ~100 MB and a few MB per distant pair, which matters once
+/// many diffs run concurrently on the dsv-par runtime.
 fn shortest_edit_trace<T: PartialEq>(
     a: &[T],
     b: &[T],
@@ -119,7 +233,9 @@ fn shortest_edit_trace<T: PartialEq>(
     let mut trace: Vec<Vec<isize>> = Vec::new();
 
     for d in 0..=(limit as isize) {
-        trace.push(v.clone());
+        trace.push(pooled_row(
+            &v[(offset - d) as usize..=(offset + d) as usize],
+        ));
         let mut k = -d;
         while k <= d {
             let idx = (k + offset) as usize;
@@ -140,14 +256,15 @@ fn shortest_edit_trace<T: PartialEq>(
             k += 2;
         }
     }
+    recycle_trace(trace);
     None
 }
 
-/// Backward phase: reconstruct the move sequence from the trace.
+/// Backward phase: reconstruct the move sequence from the trace. Each
+/// `trace[d]` is the `k ∈ [-d, d]` window, indexed as `k + d`.
 fn backtrack<T: PartialEq>(a: &[T], b: &[T], d_final: usize, trace: &[Vec<isize>]) -> Vec<Move> {
     let n = a.len() as isize;
     let m = b.len() as isize;
-    let offset = n + m;
     let mut moves_rev: Vec<Move> = Vec::new();
     let mut x = n;
     let mut y = m;
@@ -155,13 +272,12 @@ fn backtrack<T: PartialEq>(a: &[T], b: &[T], d_final: usize, trace: &[Vec<isize>
     for d in (1..=d_final as isize).rev() {
         let v = &trace[d as usize];
         let k = x - y;
-        let prev_k =
-            if k == -d || (k != d && v[(k - 1 + offset) as usize] < v[(k + 1 + offset) as usize]) {
-                k + 1
-            } else {
-                k - 1
-            };
-        let prev_x = v[(prev_k + offset) as usize];
+        let prev_k = if k == -d || (k != d && v[(k - 1 + d) as usize] < v[(k + 1 + d) as usize]) {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_x = v[(prev_k + d) as usize];
         let prev_y = prev_x - prev_k;
         // Diagonal snake back to the point just after the edit.
         while x > prev_x && y > prev_y {
@@ -351,6 +467,66 @@ mod tests {
         let ops = diff_slices(&a, &b);
         assert_eq!(apply_diff(&a, &b, &ops), b);
         assert_eq!(edit_distance(&ops), 3); // -b +x +e
+    }
+
+    #[test]
+    fn affix_stripping_yields_minimal_anchored_scripts() {
+        // A one-token edit inside a large shared prefix/suffix: the
+        // script must still be minimal and anchored to full-input
+        // positions (the search itself only ever sees the tiny middle).
+        let mut a: Vec<u32> = (0..10_000).collect();
+        let mut b = a.clone();
+        b[5_000] = 999_999;
+        let ops = diff_slices(&a, &b);
+        assert_eq!(edit_distance(&ops), 2); // one delete + one insert
+        assert_eq!(apply_diff(&a, &b, &ops), b);
+        assert!(matches!(
+            ops[0],
+            DiffOp::Equal {
+                a_pos: 0,
+                b_pos: 0,
+                len: 5_000
+            }
+        ));
+        assert!(matches!(ops.last(), Some(DiffOp::Equal { len: 4_999, .. })));
+        // Prefix-only and suffix-only overlaps.
+        a.truncate(6_000);
+        let prefix_ops = diff_slices(&a, &{
+            let mut c = a.clone();
+            c.extend(0..5u32);
+            c
+        });
+        assert_eq!(edit_distance(&prefix_ops), 5);
+        let suffix_ops = diff_slices(&a[3..], &a);
+        assert_eq!(edit_distance(&suffix_ops), 3);
+    }
+
+    #[test]
+    fn bounded_fallback_keeps_common_affixes() {
+        // Shared prefix and suffix around a reversed (undiffable under
+        // the bound) middle: the fallback replaces only the middle.
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        a.splice(25..25, 1000..1200);
+        b.splice(25..25, (1000..1200).rev());
+        let ops = diff_slices_bounded(&a, &b, 3);
+        assert_eq!(apply_diff(&a, &b, &ops), b);
+        assert!(matches!(
+            ops.first(),
+            Some(DiffOp::Equal {
+                a_pos: 0,
+                b_pos: 0,
+                len: 25
+            })
+        ));
+        assert!(matches!(ops.last(), Some(DiffOp::Equal { len: 25, .. })));
+        assert!(matches!(
+            ops[1],
+            DiffOp::Delete {
+                a_pos: 25,
+                len: 200
+            }
+        ));
     }
 
     #[test]

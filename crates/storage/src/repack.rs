@@ -93,6 +93,22 @@ pub fn pack_versions<S: ObjectStore + ?Sized>(
     let n = contents.len();
     let order = dependency_order(plan)?;
 
+    // Delta payloads depend only on the raw contents (not on stored
+    // objects), so encode them all in parallel on the dsv-par runtime;
+    // the loop below then writes objects sequentially in dependency
+    // order, producing byte-identical stores at every thread count.
+    let delta_versions: Vec<u32> = (0..n as u32)
+        .filter(|&v| plan[v as usize].is_some())
+        .collect();
+    let encoded = dsv_par::par_map(&delta_versions, |&v| {
+        let p = plan[v as usize].expect("filtered to delta versions") as usize;
+        bytes_delta::encode(&bytes_delta::diff(&contents[p], &contents[v as usize]))
+    });
+    let mut deltas: Vec<Option<Vec<u8>>> = vec![None; n];
+    for (&v, enc) in delta_versions.iter().zip(encoded) {
+        deltas[v as usize] = Some(enc);
+    }
+
     let mut ids: Vec<Option<ObjectId>> = vec![None; n];
     for v in order {
         let obj = match plan[v as usize] {
@@ -101,10 +117,9 @@ pub fn pack_versions<S: ObjectStore + ?Sized>(
             },
             Some(p) => {
                 let base_id = ids[p as usize].expect("parents packed first");
-                let ops = bytes_delta::diff(&contents[p as usize], &contents[v as usize]);
                 Object::Delta {
                     base: base_id,
-                    delta: bytes_delta::encode(&ops),
+                    delta: deltas[v as usize].take().expect("encoded above"),
                 }
             }
         };

@@ -15,6 +15,7 @@
 //! dsv optimize <repo-dir> <p1|p2|p3|p4|p5|p6> [bound]
 //!              [--solver <name>] [--portfolio] [--hybrid] [--binary]
 //!              [--hops <n>] [--hop-bound <n>]
+//! dsv --threads <n> <any command ...>
 //! ```
 //!
 //! `optimize` bounds: p3/p4 take a storage budget in bytes; p5/p6 take a
@@ -28,6 +29,13 @@
 //! `--hops` widens/narrows how far around the commit DAG deltas are
 //! revealed; `--hop-bound` is different — it caps the `hop` solver's
 //! delta-chain length.
+//!
+//! `--threads <n>` (accepted anywhere on the command line) pins the
+//! dsv-par work-stealing runtime to `n` workers for every parallel phase
+//! — reveal diffs, chunk estimation, portfolio solves, and packing.
+//! Results are identical at any thread count; the default is the
+//! `DSV_THREADS` environment variable, falling back to the machine's
+//! available parallelism.
 
 use dsv_core::solvers::{registry, Support};
 use dsv_core::{ChunkingSpec, ModePolicy, PlanSpec, Problem, SolverChoice};
@@ -48,6 +56,10 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    // `--threads` is global (any command may hit a parallel phase), so it
+    // is extracted before dispatch and pins the dsv-par runtime.
+    let args = extract_threads(args)?;
+    let args = &args[..];
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "init" => {
@@ -230,10 +242,36 @@ fn run(args: &[String]) -> Result<(), String> {
             println!(
                 "                    [--hybrid] [--binary] [--hops <reveal-n>] [--hop-bound <n>]"
             );
+            println!(
+                "       dsv --threads <n> ...  pin the parallel runtime's worker count \
+                 (default: DSV_THREADS, then available cores)"
+            );
             Ok(())
         }
         other => Err(format!("unknown command '{other}' (try: dsv help)")),
     }
+}
+
+/// Strips a global `--threads <n>` flag from `args`, pinning the dsv-par
+/// runtime's worker count when present (equivalent to `DSV_THREADS=<n>`).
+fn extract_threads(args: &[String]) -> Result<Vec<String>, String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            let value = iter.next().ok_or("--threads needs a value")?;
+            let threads: usize = value
+                .parse()
+                .map_err(|_| format!("invalid --threads '{value}'"))?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            dsv_par::set_thread_count(Some(threads));
+        } else {
+            out.push(arg.clone());
+        }
+    }
+    Ok(out)
 }
 
 fn repo_dir(args: &[String], idx: usize) -> Result<PathBuf, String> {

@@ -126,17 +126,25 @@ impl<S: ObjectStore> Repository<S> {
             .map(|c| CostPair::proportional(c.len() as u64))
             .collect();
         let mut matrix = CostMatrix::directed(diag);
-        for (a, b) in self.pairs_within_hops(reveal_hops) {
+        // The all-pairs reveal is the optimize hot path (§5.1's "real
+        // deltas between every pair"): diff the pairs on the dsv-par
+        // runtime, reveal sequentially (reveal order does not affect the
+        // matrix).
+        let pairs = self.pairs_within_hops(reveal_hops);
+        let costs = dsv_par::par_map(&pairs, |&(a, b)| {
             let fwd = bytes_delta::encode(&bytes_delta::diff(
                 &contents[a as usize],
                 &contents[b as usize],
             ));
-            matrix.reveal(a, b, CostPair::proportional(fwd.len() as u64));
             let rev = bytes_delta::encode(&bytes_delta::diff(
                 &contents[b as usize],
                 &contents[a as usize],
             ));
-            matrix.reveal(b, a, CostPair::proportional(rev.len() as u64));
+            (fwd.len() as u64, rev.len() as u64)
+        });
+        for (&(a, b), (fwd, rev)) in pairs.iter().zip(costs) {
+            matrix.reveal(a, b, CostPair::proportional(fwd));
+            matrix.reveal(b, a, CostPair::proportional(rev));
         }
         if let Some(params) = chunking {
             for (i, pair) in chunked_cost_pairs(&contents, params)?

@@ -159,11 +159,12 @@ pub fn build(name: &str, params: &DatasetParams, seed: u64) -> Dataset {
     } else {
         CostMatrix::undirected(diag)
     };
-    // Deltas are independent per pair: compute them in parallel, reveal
-    // sequentially (reveal order does not affect the matrix).
+    // Deltas are independent per pair: compute them on the dsv-par
+    // work-stealing runtime (thread count from `DSV_THREADS` / overrides),
+    // reveal sequentially (reveal order does not affect the matrix).
     let pairs = graph.pairs_within_hops(params.reveal_hops);
     let model = params.cost_model;
-    let annotated = crate::par::parallel_map(&pairs, 8, |&(a, b)| {
+    let annotated = dsv_par::par_map(&pairs, |&(a, b)| {
         let (ca, cb) = (&contents[a as usize], &contents[b as usize]);
         if params.directed {
             let fwd = line_diff(ca, cb).encode();

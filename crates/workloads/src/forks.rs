@@ -125,7 +125,7 @@ pub fn build(name: &str, params: &ForkParams, seed: u64) -> Dataset {
         }
     }
     let model = params.cost_model;
-    let annotated = crate::par::parallel_map(&pairs, 8, |&(a, b)| {
+    let annotated = dsv_par::par_map(&pairs, |&(a, b)| {
         let (ca, cb) = (&contents[a as usize], &contents[b as usize]);
         let fwd = line_diff(ca, cb).encode();
         let rev = line_diff(cb, ca).encode();

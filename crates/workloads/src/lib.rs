@@ -33,7 +33,6 @@
 pub mod dataset;
 pub mod dedup;
 pub mod forks;
-pub mod par;
 pub mod presets;
 pub mod synthetic;
 pub mod table_gen;

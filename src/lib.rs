@@ -22,6 +22,11 @@
 //! - [`workloads`] — synthetic version-graph/dataset generators (DC, LC,
 //!   BF, LF analogues), a dedup-chain workload (DD), and Zipfian access
 //!   workloads.
+//! - [`par`] — the std-only work-stealing runtime (rayon-subset shim)
+//!   behind every CPU-bound hot path: pairwise delta reveal, chunk
+//!   estimation, portfolio solves, and packing. Thread count comes from
+//!   `DSV_THREADS` (or `dsv --threads`); results are identical at every
+//!   thread count.
 //!
 //! ## The three storage substrates
 //!
@@ -75,6 +80,7 @@ pub use dsv_compress as compress;
 pub use dsv_core as core;
 pub use dsv_delta as delta;
 pub use dsv_graph as graph;
+pub use dsv_par as par;
 pub use dsv_storage as storage;
 pub use dsv_vcs as vcs;
 pub use dsv_workloads as workloads;

@@ -1,7 +1,13 @@
 //! Determinism: the whole pipeline — generation, optimization, packing —
-//! must be byte-reproducible from a seed (experiments depend on it).
+//! must be byte-reproducible from a seed (experiments depend on it), and
+//! — since the hot paths run on the dsv-par work-stealing runtime —
+//! byte-identical at every thread count (`DSV_THREADS` ∈ {1, 2, 8} here,
+//! pinned race-free via `par::with_thread_count`).
 
-use dataset_versioning::core::{plan, PlanSpec, Problem, ProblemInstance, StorageSolution};
+use dataset_versioning::core::{
+    plan, PlanSpec, Problem, ProblemInstance, SolverChoice, StorageSolution,
+};
+use dataset_versioning::par;
 
 /// Table-1 dispatch through the unified planner.
 fn solve(
@@ -69,4 +75,146 @@ fn different_seeds_differ() {
     let a = presets::densely_connected().scaled(50).build(1);
     let b = presets::densely_connected().scaled(50).build(2);
     assert_ne!(a.sizes, b.sizes);
+}
+
+/// The thread counts the parallel≡sequential properties sweep.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Property: dataset build (the parallel pairwise reveal loop) produces
+/// the same contents and the same matrix — every revealed entry — at
+/// every thread count, across seeds and presets.
+#[test]
+fn parallel_dataset_build_matches_sequential() {
+    for seed in [3, 77, 2015] {
+        for preset in [presets::densely_connected(), presets::bootstrap_forks()] {
+            let base = par::with_thread_count(1, || preset.scaled(36).keep_contents().build(seed));
+            for threads in THREAD_COUNTS {
+                let ds = par::with_thread_count(threads, || {
+                    preset.scaled(36).keep_contents().build(seed)
+                });
+                assert_eq!(ds.sizes, base.sizes, "{} seed {seed} t{threads}", ds.name);
+                assert_eq!(ds.contents, base.contents);
+                assert_eq!(ds.matrix.revealed_count(), base.matrix.revealed_count());
+                for (i, j, pair) in base.matrix.revealed_entries() {
+                    assert_eq!(
+                        ds.matrix.get(i, j),
+                        Some(pair),
+                        "{} seed {seed} t{threads}: entry ({i},{j})",
+                        ds.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Property: the chunk estimator (parallel chunk+hash, sequential dedup)
+/// returns identical order-dependent increments at every thread count.
+#[test]
+fn parallel_chunk_estimates_match_sequential() {
+    use dataset_versioning::chunk::{chunked_cost_pairs, ChunkerParams};
+    for seed in [5, 111] {
+        let ds = presets::dedup_chain()
+            .scaled(30)
+            .keep_contents()
+            .build(seed);
+        let contents = ds.contents.as_ref().unwrap();
+        let params = ChunkerParams::default();
+        let base = par::with_thread_count(1, || chunked_cost_pairs(contents, params).unwrap());
+        for threads in THREAD_COUNTS {
+            let pairs =
+                par::with_thread_count(threads, || chunked_cost_pairs(contents, params).unwrap());
+            assert_eq!(pairs, base, "seed {seed} t{threads}");
+        }
+    }
+}
+
+/// Property: a portfolio solve (every capable solver on its own worker)
+/// crowns the same winner with the same solution and feasibility at
+/// every thread count. The exact branch-and-bound candidate is capped by
+/// a *node* budget rather than its wall-clock default: a time cut moves
+/// with machine load (concurrent solvers sharing cores would explore
+/// fewer nodes), a node cut is deterministic.
+#[test]
+fn parallel_portfolio_matches_sequential() {
+    let ds = presets::densely_connected()
+        .scaled(40)
+        .keep_contents()
+        .build(9);
+    let binary = ds.instance();
+    let hybrid = ds
+        .instance_with_chunked(dataset_versioning::chunk::ChunkerParams::default())
+        .unwrap();
+    for (label, inst) in [("binary", &binary), ("hybrid", &hybrid)] {
+        for problem in [
+            Problem::MinStorage,
+            Problem::MinRecreation,
+            Problem::MinStorageGivenMaxRecreation {
+                theta: inst.max_materialization_cost() * 3,
+            },
+        ] {
+            let spec = PlanSpec::new(problem)
+                .solver(SolverChoice::Portfolio)
+                .exact_node_budget(Some(50_000));
+            let base = par::with_thread_count(1, || plan(inst, &spec).unwrap());
+            for threads in THREAD_COUNTS {
+                let p = par::with_thread_count(threads, || plan(inst, &spec).unwrap());
+                assert_eq!(
+                    p.provenance.solver, base.provenance.solver,
+                    "{label} {problem} t{threads}: winner"
+                );
+                assert_eq!(p.provenance.feasible, base.provenance.feasible);
+                assert_eq!(p.solution, base.solution, "{label} {problem} t{threads}");
+                let names = |pl: &dataset_versioning::core::Plan| -> Vec<(&'static str, bool)> {
+                    pl.provenance
+                        .candidates
+                        .iter()
+                        .map(|c| (c.solver, c.result.is_ok()))
+                        .collect()
+                };
+                assert_eq!(names(&p), names(&base), "{label} {problem} t{threads}");
+            }
+        }
+    }
+}
+
+/// Property: both packers (binary and hybrid) write byte-identical
+/// stores — same object ids, same physical bytes — at every thread
+/// count.
+#[test]
+fn parallel_packing_matches_sequential() {
+    use dataset_versioning::chunk::{pack_versions_hybrid, ChunkerParams};
+    use dataset_versioning::core::StorageMode;
+
+    let ds = presets::dedup_chain().scaled(24).keep_contents().build(11);
+    let contents = ds.contents.as_ref().unwrap();
+    let inst = ds.instance_with_chunked(ChunkerParams::default()).unwrap();
+    let sol = solve(&inst, Problem::MinStorage).unwrap();
+    // Force a genuinely mixed plan: whatever the solver chose, make the
+    // last quarter chunked and keep the rest.
+    let mut modes: Vec<StorageMode> = sol.modes().to_vec();
+    let n = modes.len();
+    for m in modes.iter_mut().skip(3 * n / 4) {
+        *m = StorageMode::Chunked;
+    }
+
+    let run_binary = || {
+        let store = MemStore::new(true);
+        let packed =
+            pack_versions(&store, contents, sol.parents(), PackOptions::default()).unwrap();
+        (store.total_bytes(), packed.ids)
+    };
+    let run_hybrid = || {
+        let store = MemStore::new(true);
+        let (packed, stats) =
+            pack_versions_hybrid(&store, contents, &modes, ChunkerParams::default()).unwrap();
+        (store.total_bytes(), packed.ids, stats)
+    };
+
+    let base_binary = par::with_thread_count(1, run_binary);
+    let base_hybrid = par::with_thread_count(1, run_hybrid);
+    for threads in THREAD_COUNTS {
+        assert_eq!(par::with_thread_count(threads, run_binary), base_binary);
+        assert_eq!(par::with_thread_count(threads, run_hybrid), base_hybrid);
+    }
 }
