@@ -1,0 +1,79 @@
+//! Criterion benches for the batch-first storage engine: the same object
+//! corpus written and read through single ops, one batch, and a sharded
+//! batch. The experiment-sized comparison (with the identical-store
+//! assertion and JSON record) lives in the `store` bin; these benches are
+//! the quick regression check that the batch surface never costs more
+//! than the single-op loop it replaced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsv_storage::{MemStore, Object, ObjectStore, ShardedStore};
+use std::hint::black_box;
+
+/// The DD pack's object corpus (manifests + chunk objects): many small
+/// objects, the shape batch writes target. Shared with the `store`
+/// experiment so both measure the same corpus.
+fn corpus() -> Vec<Object> {
+    dsv_bench::experiments::store::corpus("DD", 40, true)
+}
+
+fn bench_put(c: &mut Criterion) {
+    let objs = corpus();
+    let mut group = c.benchmark_group("store_put");
+    group.bench_with_input(BenchmarkId::new("dd_40", "single"), &objs, |b, objs| {
+        b.iter(|| {
+            let store = MemStore::new(false);
+            for o in objs {
+                store.put(o).unwrap();
+            }
+            black_box(store.total_bytes())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("dd_40", "batch"), &objs, |b, objs| {
+        b.iter(|| {
+            let store = MemStore::new(false);
+            store.put_batch(objs).unwrap();
+            black_box(store.total_bytes())
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("dd_40", "sharded-batch"),
+        &objs,
+        |b, objs| {
+            b.iter(|| {
+                let store = ShardedStore::build(8, |_| MemStore::new(false));
+                store.put_batch(objs).unwrap();
+                black_box(store.total_bytes())
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let objs = corpus();
+    let plain = MemStore::new(false);
+    let ids = plain.put_batch(&objs).unwrap();
+    let sharded = ShardedStore::build(8, |_| MemStore::new(false));
+    sharded.put_batch(&objs).unwrap();
+
+    let mut group = c.benchmark_group("store_get");
+    group.bench_with_input(BenchmarkId::new("dd_40", "single"), &ids, |b, ids| {
+        b.iter(|| {
+            for &id in ids {
+                black_box(plain.get(id).unwrap());
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("dd_40", "batch"), &ids, |b, ids| {
+        b.iter(|| black_box(plain.get_batch(ids).unwrap()))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("dd_40", "sharded-batch"),
+        &ids,
+        |b, ids| b.iter(|| black_box(sharded.get_batch(ids).unwrap())),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get);
+criterion_main!(benches);

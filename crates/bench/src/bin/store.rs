@@ -1,0 +1,10 @@
+//! Storage-engine throughput comparison (single vs batch vs
+//! sharded-batch put/get on the LC/BF/DD pack corpora); asserts all
+//! configurations hold byte-identical stores and writes
+//! `target/experiments/BENCH_store.json`. `--quick` shrinks the
+//! workloads.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::store::run(scale);
+}

@@ -15,6 +15,7 @@ pub mod hybrid;
 pub mod perf;
 pub mod sec52;
 pub mod solver_matrix;
+pub mod store;
 pub mod substrates;
 pub mod table2;
 

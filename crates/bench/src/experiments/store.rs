@@ -1,0 +1,285 @@
+//! Storage-engine throughput: sequential vs batch vs sharded-batch IO.
+//!
+//! PR 4 parallelized the CPU-bound half of packing; this experiment
+//! measures the IO-bound half the batch-first `ObjectStore` redesign
+//! targets. For each workload (LC/BF/DD) it extracts the exact object
+//! corpus its MinStorage pack produces — Full/Delta objects for the
+//! binary workloads, chunk objects + manifests for DD — then writes and
+//! reads that corpus through three store configurations:
+//!
+//! - **single**: one `put`/`get` per object on a `MemStore` (the pre-PR-5
+//!   write loop);
+//! - **batch**: one `put_batch`/`get_batch` on a `MemStore` (one lock
+//!   acquisition for the whole plan);
+//! - **sharded-batch**: one batch on a `ShardedStore<MemStore>` with
+//!   [`SHARD_COUNT`] shards (the batch partitioned by id prefix, every
+//!   shard written concurrently on `dsv_par`).
+//!
+//! The run asserts all three configurations hold byte-identical stores
+//! (ids, `total_bytes`, object count) before any timing is recorded, and
+//! writes `target/experiments/BENCH_store.json` — the batch-vs-sequential
+//! write-throughput record CI smokes.
+
+use crate::report::Table;
+use crate::{timed, Scale};
+use dsv_chunk::{pack_versions_chunked, ChunkerParams};
+use dsv_core::{plan, PlanSpec, Problem};
+use dsv_storage::{
+    pack_versions, MemStore, Object, ObjectId, ObjectStore, PackOptions, ShardedStore,
+};
+use dsv_workloads::presets;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Shards used by the sharded-batch configuration.
+pub const SHARD_COUNT: usize = 8;
+
+/// One timing: one workload's corpus through one store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreRow {
+    /// Workload name ("LC", "BF", "DD").
+    pub workload: &'static str,
+    /// "put" or "get".
+    pub op: &'static str,
+    /// Store configuration ("single", "batch", "sharded-batch").
+    pub config: &'static str,
+    /// Objects moved.
+    pub objects: usize,
+    /// Encoded bytes moved.
+    pub bytes: u64,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+    /// Throughput in MB/s of encoded bytes.
+    pub mb_per_s: f64,
+    /// The single-op configuration's wall-clock divided by this one's
+    /// (1.0 for "single" itself).
+    pub speedup_vs_single: f64,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// The object corpus a workload's MinStorage pack writes: version
+/// objects, plus — for manifests — the chunk objects they reference.
+/// First-seen order, deduplicated. Shared with `benches/store.rs` so the
+/// criterion bench measures the same corpus shape.
+pub fn corpus(name: &str, versions: usize, chunked: bool) -> Vec<Object> {
+    let seed = 2015;
+    let preset = match name {
+        "LC" => presets::linear_chain(),
+        "BF" => presets::bootstrap_forks(),
+        "DD" => presets::dedup_chain(),
+        other => panic!("unknown workload {other}"),
+    };
+    let ds = preset.scaled(versions).keep_contents().build(seed);
+    let contents = ds.contents.as_ref().expect("contents kept");
+    let capture = MemStore::new(false);
+    let version_ids: Vec<ObjectId> = if chunked {
+        pack_versions_chunked(&capture, contents, ChunkerParams::default())
+            .expect("chunked pack")
+            .0
+            .ids
+    } else {
+        let instance = ds.instance();
+        let chosen = plan(&instance, &PlanSpec::new(Problem::MinStorage)).expect("solvable");
+        pack_versions(
+            &capture,
+            contents,
+            chosen.solution.parents(),
+            PackOptions::default(),
+        )
+        .expect("plan packs")
+        .ids
+    };
+    let mut ids: Vec<ObjectId> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for &id in &version_ids {
+        if seen.insert(id) {
+            ids.push(id);
+        }
+        if let Object::Chunked { chunks } = capture.get(id).expect("just packed") {
+            for c in chunks {
+                if seen.insert(c) {
+                    ids.push(c);
+                }
+            }
+        }
+    }
+    capture.get_batch(&ids).expect("corpus complete")
+}
+
+struct Timing {
+    put_ms: f64,
+    get_ms: f64,
+}
+
+/// Writes then reads `objs` through `store`, one op per object.
+fn drive_single<S: ObjectStore>(store: &S, objs: &[Object]) -> (Vec<ObjectId>, Timing) {
+    let (ids, t_put) = timed(|| {
+        objs.iter()
+            .map(|o| store.put(o).expect("put"))
+            .collect::<Vec<_>>()
+    });
+    let (fetched, t_get) = timed(|| {
+        ids.iter()
+            .map(|&id| store.get(id).expect("get"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(fetched, objs, "single-op roundtrip");
+    (
+        ids,
+        Timing {
+            put_ms: ms(t_put),
+            get_ms: ms(t_get),
+        },
+    )
+}
+
+/// Writes then reads `objs` through `store`, one batch per direction.
+fn drive_batch<S: ObjectStore>(store: &S, objs: &[Object]) -> (Vec<ObjectId>, Timing) {
+    let (ids, t_put) = timed(|| store.put_batch(objs).expect("put_batch"));
+    let (fetched, t_get) = timed(|| store.get_batch(&ids).expect("get_batch"));
+    assert_eq!(fetched, objs, "batch roundtrip");
+    (
+        ids,
+        Timing {
+            put_ms: ms(t_put),
+            get_ms: ms(t_get),
+        },
+    )
+}
+
+/// Runs the comparison. Panics if any configuration's resulting store
+/// diverges from the single-op baseline — batch and sharded writes must
+/// be pure throughput changes.
+pub fn run(scale: Scale) -> Vec<StoreRow> {
+    let configs: [(&'static str, usize, bool); 3] = [
+        ("LC", scale.pick(60, 400), false),
+        ("BF", scale.pick(24, 120), false),
+        ("DD", scale.pick(40, 150), true),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, versions, chunked) in configs {
+        let objs = corpus(name, versions, chunked);
+
+        let single = MemStore::new(false);
+        let batch = MemStore::new(false);
+        let sharded = ShardedStore::build(SHARD_COUNT, |_| MemStore::new(false));
+        let (ids_single, t_single) = drive_single(&single, &objs);
+        let (ids_batch, t_batch) = drive_batch(&batch, &objs);
+        let (ids_sharded, t_sharded) = drive_batch(&sharded, &objs);
+
+        // Hard requirement: identical stores whatever the write path.
+        assert_eq!(ids_single, ids_batch, "{name}: batch ids diverged");
+        assert_eq!(ids_single, ids_sharded, "{name}: sharded ids diverged");
+        assert_eq!(single.total_bytes(), batch.total_bytes(), "{name}: bytes");
+        assert_eq!(single.total_bytes(), sharded.total_bytes(), "{name}: bytes");
+        assert_eq!(single.len(), sharded.len(), "{name}: object count");
+
+        let bytes = single.total_bytes();
+        let objects = single.len();
+        for (config, t) in [
+            ("single", &t_single),
+            ("batch", &t_batch),
+            ("sharded-batch", &t_sharded),
+        ] {
+            for (op, millis, base) in [
+                ("put", t.put_ms, t_single.put_ms),
+                ("get", t.get_ms, t_single.get_ms),
+            ] {
+                rows.push(StoreRow {
+                    workload: name,
+                    op,
+                    config,
+                    objects,
+                    bytes,
+                    millis,
+                    mb_per_s: bytes as f64 / 1e6 / (millis / 1e3).max(1e-9),
+                    speedup_vs_single: base / millis.max(1e-9),
+                });
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Store throughput: single vs batch vs sharded-batch (identical stores asserted)",
+        &[
+            "workload", "op", "config", "objects", "MB", "ms", "MB/s", "speedup",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.workload.to_string(),
+            r.op.to_string(),
+            r.config.to_string(),
+            r.objects.to_string(),
+            format!("{:.2}", r.bytes as f64 / 1e6),
+            format!("{:.2}", r.millis),
+            format!("{:.1}", r.mb_per_s),
+            format!("{:.2}x", r.speedup_vs_single),
+        ]);
+    }
+    table.emit("store");
+    if let Err(e) = write_json(&rows) {
+        eprintln!("warning: could not write BENCH_store.json: {e}");
+    }
+    rows
+}
+
+/// Writes the rows as `target/experiments/BENCH_store.json`.
+pub fn write_json(rows: &[StoreRow]) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_store.json");
+    let mut out = String::from("{\n  \"experiment\": \"store\",\n");
+    let _ = writeln!(out, "  \"shard_count\": {SHARD_COUNT},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"op\": \"{}\", \"config\": \"{}\", \"objects\": {}, \"bytes\": {}, \"millis\": {:.3}, \"mb_per_s\": {:.2}, \"speedup_vs_single\": {:.3}}}",
+            r.workload, r.op, r.config, r.objects, r.bytes, r.millis, r.mb_per_s, r.speedup_vs_single,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_covers_all_configs_and_writes_json() {
+        let rows = run(Scale::Quick);
+        for workload in ["LC", "BF", "DD"] {
+            for config in ["single", "batch", "sharded-batch"] {
+                for op in ["put", "get"] {
+                    let row = rows
+                        .iter()
+                        .find(|r| r.workload == workload && r.config == config && r.op == op)
+                        .unwrap_or_else(|| panic!("{workload}/{config}/{op} missing"));
+                    assert!(row.objects > 0);
+                    assert!(row.bytes > 0);
+                    assert!(row.mb_per_s > 0.0);
+                    if config == "single" {
+                        assert!((row.speedup_vs_single - 1.0).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+        // DD's corpus includes chunk objects: far more objects than
+        // versions, the shape batch writes are for.
+        let dd = rows.iter().find(|r| r.workload == "DD").unwrap();
+        assert!(dd.objects > 40, "DD corpus has {} objects", dd.objects);
+        let path = write_json(&rows).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"config\": \"sharded-batch\""));
+        assert!(text.contains("\"speedup_vs_single\""));
+    }
+}

@@ -9,7 +9,7 @@
 //! chunked (or materialized) parents; the [`dsv_storage::Materializer`]
 //! resolves either transparently at checkout.
 
-use crate::store::{prechunk, ChunkStore, DedupStats};
+use crate::store::{plan_chunked_batch, prechunk, DedupStats, PrechunkedVersion};
 use crate::{ChunkError, ChunkerParams};
 use dsv_core::StorageMode;
 use dsv_delta::bytes_delta;
@@ -18,7 +18,8 @@ use std::ops::Range;
 
 /// Per-version payload computed in the parallel phase of
 /// [`pack_versions_hybrid`]: everything that depends only on the raw
-/// contents, leaving the sequential phase pure store writes.
+/// contents, leaving the assembly phase store-free and the store itself
+/// a stream of bounded `put_batch` flushes.
 enum Prepared {
     /// Materialized versions need no precomputation.
     Full,
@@ -43,7 +44,7 @@ pub fn pack_versions_hybrid<S: ObjectStore + ?Sized>(
     params: ChunkerParams,
 ) -> Result<(PackedVersions, DedupStats), ChunkError> {
     assert_eq!(contents.len(), modes.len(), "one mode entry per version");
-    let chunk_store = ChunkStore::new(store, params)?;
+    params.validate()?;
     let n = contents.len();
 
     // Dependency order: delta parents before children; root modes
@@ -53,9 +54,7 @@ pub fn pack_versions_hybrid<S: ObjectStore + ?Sized>(
 
     // Parallel phase: everything derivable from raw contents alone —
     // chunk boundaries + content hashes for chunked versions, encoded
-    // byte deltas for delta versions — on the dsv-par runtime. The store
-    // writes below stay sequential in the same orders as ever, so the
-    // stored bytes are identical at every thread count.
+    // byte deltas for delta versions — on the dsv-par runtime.
     let versions: Vec<u32> = (0..n as u32).collect();
     let mut prepared = dsv_par::par_map(&versions, |&v| match modes[v as usize] {
         StorageMode::Materialized => Prepared::Full,
@@ -66,21 +65,37 @@ pub fn pack_versions_hybrid<S: ObjectStore + ?Sized>(
         }
     });
 
-    // Chunked versions first, in index order, so dedup increments match
-    // the estimator's accounting; then everything else in dependency
-    // order (a chunked parent's manifest already exists by then).
-    let mut stats = DedupStats::default();
-    let mut ids: Vec<Option<ObjectId>> = vec![None; n];
+    // Assembly phase, store-free: chunked versions first, in index order,
+    // so dedup increments match the estimator's accounting; then fulls
+    // and deltas in dependency order, each delta resolving its parent's
+    // content address from the object just assembled (a chunked parent's
+    // manifest id is known by then). Object ids are content addresses, so
+    // nothing needs to be written to name anything.
+    let mut chunked_versions: Vec<usize> = Vec::new();
+    let mut chunked_inputs: Vec<PrechunkedVersion<'_>> = Vec::new();
     for v in 0..n {
         if let Prepared::Chunks(chunks) = &prepared[v] {
-            let put = chunk_store.put_version_prechunked(&contents[v], chunks)?;
-            stats.record(&put);
-            ids[v] = Some(put.id);
+            chunked_versions.push(v);
+            chunked_inputs.push((contents[v].as_slice(), chunks.as_slice()));
         }
     }
+    let chunk_batch = plan_chunked_batch(store, &chunked_inputs);
+    let mut stats = DedupStats::default();
+    let mut ids: Vec<Option<ObjectId>> = vec![None; n];
+    for (&v, put) in chunked_versions.iter().zip(&chunk_batch.puts) {
+        stats.record(put);
+        ids[v] = Some(put.id);
+    }
+    // Write phase: the whole mixed plan — chunks, manifests, fulls,
+    // deltas — streamed through bounded `put_batch` flushes (concurrent
+    // per-shard writes on a sharded store, peak buffering capped by the
+    // BatchWriter). The store state is identical to the old sequential
+    // write loops at every shard and thread count.
+    let mut writer = dsv_storage::BatchWriter::new(store);
+    writer.extend(chunk_batch.objects)?;
     for v in order {
         let obj = match std::mem::replace(&mut prepared[v as usize], Prepared::Full) {
-            Prepared::Chunks(_) => continue, // stored above
+            Prepared::Chunks(_) => continue, // planned above
             Prepared::Full => Object::Full {
                 data: contents[v as usize].clone(),
             },
@@ -93,8 +108,10 @@ pub fn pack_versions_hybrid<S: ObjectStore + ?Sized>(
                 }
             }
         };
-        ids[v as usize] = Some(store.put(&obj)?);
+        ids[v as usize] = Some(obj.id());
+        writer.push(obj)?;
     }
+    writer.finish()?;
 
     Ok((
         PackedVersions {

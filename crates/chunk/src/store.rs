@@ -12,6 +12,8 @@
 use crate::cdc::{Chunker, ChunkerParams};
 use crate::ChunkError;
 use dsv_storage::{Materializer, Object, ObjectId, ObjectStore, PackedVersions, RecreationWork};
+use std::collections::HashSet;
+use std::ops::Range;
 
 /// What storing one version did (per-version dedup accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,39 +112,19 @@ impl<'a, S: ObjectStore + ?Sized> ChunkStore<'a, S> {
 
     /// Like [`ChunkStore::put_version`], but over chunk boundaries and
     /// content ids already computed by [`prechunk`] — the split the
-    /// hybrid packer uses to chunk and hash versions in parallel while
-    /// keeping the store writes (and dedup accounting) sequential in
-    /// version order. `chunks` must be `prechunk(data, self.params())`;
-    /// anything else corrupts the manifest.
+    /// hybrid packer uses to chunk and hash versions in parallel.
+    /// `chunks` must be `prechunk(data, self.params())`; anything else
+    /// corrupts the manifest. The store sees two batch ops: one
+    /// `contains_batch` probe over the chunk ids and one `put_batch` of
+    /// the new chunks plus the manifest.
     pub fn put_version_prechunked(
         &self,
         data: &[u8],
-        chunks: &[(std::ops::Range<usize>, ObjectId)],
+        chunks: &[(Range<usize>, ObjectId)],
     ) -> Result<PutVersion, ChunkError> {
-        let mut chunk_ids = Vec::with_capacity(chunks.len());
-        let mut new_chunks = 0usize;
-        let mut new_chunk_bytes = 0u64;
-        for (span, id) in chunks {
-            // Probe by id before copying: on dedup-heavy histories most
-            // chunks already exist, and duplicates cost only the hash.
-            if !self.store.contains(*id) {
-                new_chunks += 1;
-                new_chunk_bytes += span.len() as u64;
-                self.store.put(&Object::Full {
-                    data: data[span.clone()].to_vec(),
-                })?;
-            }
-            chunk_ids.push(*id);
-        }
-        let chunks = chunk_ids.len();
-        let id = self.store.put(&Object::Chunked { chunks: chunk_ids })?;
-        Ok(PutVersion {
-            id,
-            chunks,
-            new_chunks,
-            logical_bytes: data.len() as u64,
-            new_chunk_bytes,
-        })
+        let batch = plan_chunked_batch(self.store, &[(data, chunks)]);
+        self.store.put_batch(&batch.objects)?;
+        Ok(batch.puts.into_iter().next().expect("one version planned"))
     }
 
     /// Reassembles a version from its manifest id, reporting the measured
@@ -164,11 +146,89 @@ impl<'a, S: ObjectStore + ?Sized> ChunkStore<'a, S> {
     }
 }
 
+/// A version's raw bytes paired with its [`prechunk`] output — the unit
+/// [`plan_chunked_batch`] consumes.
+pub(crate) type PrechunkedVersion<'a> = (&'a [u8], &'a [(Range<usize>, ObjectId)]);
+
+/// The store writes planned for a sequence of prechunked versions:
+/// everything [`plan_chunked_batch`] decided to insert, plus the
+/// per-version accounting.
+pub(crate) struct ChunkedBatch {
+    /// New chunk objects and one manifest per version, in insertion
+    /// order — feed to [`ObjectStore::put_batch`].
+    pub objects: Vec<Object>,
+    /// Per input version, in input order (`id` is the manifest id).
+    pub puts: Vec<PutVersion>,
+}
+
+/// Simulates inserting `versions` (raw data + its [`prechunk`] output) in
+/// order against the store's current contents, **without writing**: one
+/// `contains_batch` probe resolves which chunks already exist, and a
+/// local set accounts chunks contributed by earlier versions of the same
+/// batch. Writing the returned objects through one `put_batch` leaves the
+/// store — and the dedup accounting — exactly as sequential per-version
+/// inserts would, while letting a sharded store write everything
+/// concurrently. The planned objects hold copies of the *new* chunk
+/// payloads only, so the buffer is bounded by the deduplicated (not the
+/// logical) size of the batch.
+pub(crate) fn plan_chunked_batch<S: ObjectStore + ?Sized>(
+    store: &S,
+    versions: &[PrechunkedVersion<'_>],
+) -> ChunkedBatch {
+    // One membership probe over the distinct chunk ids of the whole batch.
+    let mut distinct: Vec<ObjectId> = Vec::new();
+    let mut seen: HashSet<ObjectId> = HashSet::new();
+    for (_, chunks) in versions {
+        for (_, id) in chunks.iter() {
+            if seen.insert(*id) {
+                distinct.push(*id);
+            }
+        }
+    }
+    let present = store.contains_batch(&distinct);
+    // `have` = chunks the store holds now ∪ chunks this batch has already
+    // planned — the same visibility a sequential insert loop would see.
+    let mut have: HashSet<ObjectId> = distinct
+        .iter()
+        .zip(&present)
+        .filter(|(_, &p)| p)
+        .map(|(id, _)| *id)
+        .collect();
+
+    let mut objects = Vec::new();
+    let mut puts = Vec::with_capacity(versions.len());
+    for (data, chunks) in versions {
+        let mut chunk_ids = Vec::with_capacity(chunks.len());
+        let mut new_chunks = 0usize;
+        let mut new_chunk_bytes = 0u64;
+        for (span, id) in chunks.iter() {
+            if have.insert(*id) {
+                new_chunks += 1;
+                new_chunk_bytes += span.len() as u64;
+                objects.push(Object::Full {
+                    data: data[span.clone()].to_vec(),
+                });
+            }
+            chunk_ids.push(*id);
+        }
+        let manifest = Object::Chunked { chunks: chunk_ids };
+        puts.push(PutVersion {
+            id: manifest.id(),
+            chunks: chunks.len(),
+            new_chunks,
+            logical_bytes: data.len() as u64,
+            new_chunk_bytes,
+        });
+        objects.push(manifest);
+    }
+    ChunkedBatch { objects, puts }
+}
+
 /// The content-defined chunk spans of `data`, each paired with its
 /// content id — the pure (store-free) half of
 /// [`ChunkStore::put_version`], split out so callers can chunk and hash
 /// many versions in parallel and feed
-/// [`ChunkStore::put_version_prechunked`] sequentially.
+/// [`plan_chunked_batch`] / [`ChunkStore::put_version_prechunked`].
 pub fn prechunk(data: &[u8], params: ChunkerParams) -> Vec<(std::ops::Range<usize>, ObjectId)> {
     let mut out = Vec::new();
     let mut start = 0usize;
@@ -189,17 +249,32 @@ pub fn prechunk(data: &[u8], params: ChunkerParams) -> Vec<(std::ops::Range<usiz
 /// `None`): chunked versions depend on shared chunks, not on each other,
 /// which is exactly why their recreation cost stays flat as history
 /// grows.
+///
+/// Chunking and hashing run in parallel on the `dsv_par` runtime; the
+/// store then sees one `contains_batch` probe and bounded `put_batch`
+/// flushes of every new chunk and manifest, with dedup accounted in
+/// version order (identical to sequential per-version inserts at every
+/// thread count).
 pub fn pack_versions_chunked<S: ObjectStore + ?Sized>(
     store: &S,
     contents: &[Vec<u8>],
     params: ChunkerParams,
 ) -> Result<(PackedVersions, DedupStats), ChunkError> {
-    let chunk_store = ChunkStore::new(store, params)?;
+    params.validate()?;
+    let prechunked = dsv_par::par_map(contents, |data| prechunk(data, params));
+    let versions: Vec<PrechunkedVersion<'_>> = contents
+        .iter()
+        .zip(&prechunked)
+        .map(|(data, chunks)| (data.as_slice(), chunks.as_slice()))
+        .collect();
+    let batch = plan_chunked_batch(store, &versions);
+    let mut writer = dsv_storage::BatchWriter::new(store);
+    writer.extend(batch.objects)?;
+    writer.finish()?;
     let mut stats = DedupStats::default();
     let mut ids = Vec::with_capacity(contents.len());
-    for data in contents {
-        let put = chunk_store.put_version(data)?;
-        stats.record(&put);
+    for put in &batch.puts {
+        stats.record(put);
         ids.push(put.id);
     }
     Ok((

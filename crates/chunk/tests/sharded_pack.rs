@@ -1,0 +1,100 @@
+//! The chunked and hybrid packers must leave byte-identical stores at
+//! every shard count and every thread count: the batch write surface
+//! (`contains_batch` probe + one `put_batch`) is an IO optimization,
+//! never a semantic change — the same invariant the plain packers keep
+//! (see `dsv-storage`'s sharded_equivalence tests).
+
+use dsv_chunk::{pack_versions_chunked, pack_versions_hybrid, ChunkerParams};
+use dsv_core::StorageMode;
+use dsv_storage::{MemStore, ObjectStore, ShardedStore};
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn params() -> ChunkerParams {
+    ChunkerParams::new(64, 256, 1024).unwrap()
+}
+
+/// Overlapping versions: a shared base with per-version tails.
+fn versions(n: usize) -> Vec<Vec<u8>> {
+    let base: Vec<u8> = (0..300)
+        .flat_map(|i| format!("{i},shared-row-{},baseline\n", i * 17).into_bytes())
+        .collect();
+    (0..n)
+        .map(|v| {
+            let mut data = base.clone();
+            for k in 0..=v {
+                data.extend_from_slice(format!("{k},tail-row-{}\n", k * 31).as_bytes());
+            }
+            data
+        })
+        .collect()
+}
+
+#[test]
+fn chunked_pack_is_identical_across_shards_and_threads() {
+    let contents = versions(12);
+    let reference = MemStore::new(false);
+    let (ref_packed, ref_stats) = pack_versions_chunked(&reference, &contents, params()).unwrap();
+
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            dsv_par::with_thread_count(threads, || {
+                let store = ShardedStore::build(shards, |_| MemStore::new(false));
+                let (packed, stats) = pack_versions_chunked(&store, &contents, params()).unwrap();
+                assert_eq!(packed.ids, ref_packed.ids, "s{shards} t{threads}: ids");
+                assert_eq!(stats, ref_stats, "s{shards} t{threads}: dedup stats");
+                assert_eq!(
+                    store.total_bytes(),
+                    reference.total_bytes(),
+                    "s{shards} t{threads}: bytes"
+                );
+                assert_eq!(
+                    store.len(),
+                    reference.len(),
+                    "s{shards} t{threads}: objects"
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn hybrid_pack_is_identical_across_shards_and_threads() {
+    let contents = versions(12);
+    // A genuinely mixed plan: chunked roots, delta chains off both kinds
+    // of root, one materialized version.
+    let modes: Vec<StorageMode> = (0..12u32)
+        .map(|v| match v {
+            0 | 6 => StorageMode::Chunked,
+            3 => StorageMode::Materialized,
+            _ => StorageMode::Delta(v - 1),
+        })
+        .collect();
+
+    let reference = MemStore::new(false);
+    let (ref_packed, ref_stats) =
+        pack_versions_hybrid(&reference, &contents, &modes, params()).unwrap();
+
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            dsv_par::with_thread_count(threads, || {
+                let store = ShardedStore::build(shards, |_| MemStore::new(false));
+                let (packed, stats) =
+                    pack_versions_hybrid(&store, &contents, &modes, params()).unwrap();
+                assert_eq!(packed.ids, ref_packed.ids, "s{shards} t{threads}: ids");
+                assert_eq!(stats, ref_stats, "s{shards} t{threads}: dedup stats");
+                assert_eq!(
+                    store.total_bytes(),
+                    reference.total_bytes(),
+                    "s{shards} t{threads}: bytes"
+                );
+                assert_eq!(
+                    store.len(),
+                    reference.len(),
+                    "s{shards} t{threads}: objects"
+                );
+            });
+        }
+    }
+}

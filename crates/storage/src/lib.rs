@@ -21,23 +21,34 @@
 //! - [`object`]: the three object kinds — `Full` bytes, `Delta{base,
 //!   ops}`, or `Chunked{chunks}` — with an optional LZ-compressed on-disk
 //!   encoding (the `Φ ≠ Δ` regime of the paper).
-//! - [`store`]: the [`ObjectStore`] trait with in-memory and on-disk
-//!   implementations.
+//! - [`store`]: the batch-first [`ObjectStore`] trait (single ops plus
+//!   `put_batch` / `get_batch` / `contains_batch` / `remove_batch` and a
+//!   [`StoreStats`] snapshot) with in-memory and on-disk implementations.
+//! - [`sharded`]: [`ShardedStore`] — N independent inner stores selected
+//!   by id prefix, batches partitioned by shard and written concurrently
+//!   on the `dsv-par` runtime.
 //! - [`materialize`]: recreation — walk a version's delta chain back to a
 //!   materialized object or chunk manifest and replay it, with a
 //!   memoization cache and measured recreation work.
 //! - [`repack`]: apply a storage plan (a parent assignment from the
 //!   optimizer) to a set of version contents, producing objects and
 //!   **measured** storage/recreation statistics (what §5.2 reports).
+//!   Object ids are content addresses, so a plan's objects are assembled
+//!   store-free and streamed through bounded `put_batch` flushes
+//!   ([`BatchWriter`]).
 
 pub mod hash;
 pub mod materialize;
 pub mod object;
 pub mod repack;
+pub mod sharded;
 pub mod store;
 
 pub use hash::ObjectId;
 pub use materialize::{Materializer, RecreationWork};
 pub use object::{Object, StoreError};
-pub use repack::{dependency_order, pack_versions, PackOptions, PackedVersions};
-pub use store::{FileStore, MemStore, ObjectStore};
+pub use repack::{
+    dependency_order, pack_versions, BatchWriter, PackOptions, PackedVersions, PACK_FLUSH_BYTES,
+};
+pub use sharded::{shard_index, ShardedStore, MAX_SHARDS};
+pub use store::{FileStore, MemStore, ObjectStore, OpCounters, ShardStats, StoreStats};

@@ -13,6 +13,83 @@ use crate::object::{Object, StoreError};
 use crate::store::ObjectStore;
 use dsv_delta::bytes_delta;
 
+/// Payload bytes a [`BatchWriter`] buffers before flushing (64 MiB).
+pub const PACK_FLUSH_BYTES: u64 = 64 << 20;
+
+/// Streams a packer's objects into a store through bounded `put_batch`
+/// flushes: objects buffer until roughly [`PACK_FLUSH_BYTES`] of payload,
+/// then one batch is dispatched and the buffer dropped. Peak memory above
+/// the raw contents stays O(flush bound) instead of O(whole encoded
+/// plan), while batch dispatch (one lock acquisition per MemStore flush,
+/// concurrent per-shard writes on a sharded store) stays amortized.
+/// Content addressing makes the split safe: no object's bytes depend on
+/// another object having been stored first.
+pub struct BatchWriter<'a, S: ObjectStore + ?Sized> {
+    store: &'a S,
+    batch: Vec<Object>,
+    buffered: u64,
+    flush_bytes: u64,
+}
+
+impl<'a, S: ObjectStore + ?Sized> BatchWriter<'a, S> {
+    /// A writer flushing at the default [`PACK_FLUSH_BYTES`] bound.
+    pub fn new(store: &'a S) -> Self {
+        BatchWriter::with_flush_bytes(store, PACK_FLUSH_BYTES)
+    }
+
+    /// A writer with an explicit flush bound (tests use tiny bounds to
+    /// exercise multi-flush behavior).
+    pub fn with_flush_bytes(store: &'a S, flush_bytes: u64) -> Self {
+        BatchWriter {
+            store,
+            batch: Vec::new(),
+            buffered: 0,
+            flush_bytes,
+        }
+    }
+
+    fn payload_bytes(obj: &Object) -> u64 {
+        match obj {
+            Object::Full { data } => data.len() as u64,
+            Object::Delta { delta, .. } => delta.len() as u64,
+            Object::Chunked { chunks } => 16 * chunks.len() as u64,
+        }
+    }
+
+    /// Buffers `obj`, flushing the batch when the bound is reached.
+    pub fn push(&mut self, obj: Object) -> Result<(), StoreError> {
+        self.buffered += Self::payload_bytes(&obj);
+        self.batch.push(obj);
+        if self.buffered >= self.flush_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Buffers every object of `objs` (see [`BatchWriter::push`]).
+    pub fn extend(&mut self, objs: impl IntoIterator<Item = Object>) -> Result<(), StoreError> {
+        for obj in objs {
+            self.push(obj)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        if !self.batch.is_empty() {
+            self.store.put_batch(&self.batch)?;
+            self.batch.clear();
+        }
+        self.buffered = 0;
+        Ok(())
+    }
+
+    /// Flushes whatever remains. Dropping a writer without calling this
+    /// loses the unflushed tail.
+    pub fn finish(mut self) -> Result<(), StoreError> {
+        self.flush()
+    }
+}
+
 /// Options for packing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PackOptions {
@@ -95,8 +172,8 @@ pub fn pack_versions<S: ObjectStore + ?Sized>(
 
     // Delta payloads depend only on the raw contents (not on stored
     // objects), so encode them all in parallel on the dsv-par runtime;
-    // the loop below then writes objects sequentially in dependency
-    // order, producing byte-identical stores at every thread count.
+    // the objects are then assembled in dependency order and batch-written
+    // below, producing byte-identical stores at every thread count.
     let delta_versions: Vec<u32> = (0..n as u32)
         .filter(|&v| plan[v as usize].is_some())
         .collect();
@@ -109,7 +186,15 @@ pub fn pack_versions<S: ObjectStore + ?Sized>(
         deltas[v as usize] = Some(enc);
     }
 
+    // Object ids are content addresses, so the whole plan's objects can
+    // be constructed — delta children resolving their parent's id from
+    // the object just built, no store round-trip — and streamed through
+    // bounded `put_batch` flushes (one lock acquisition per flush on
+    // MemStore, concurrent per-shard writes on ShardedStore, peak
+    // buffering capped by the BatchWriter). The store holds exactly the
+    // objects the old sequential write loop produced.
     let mut ids: Vec<Option<ObjectId>> = vec![None; n];
+    let mut writer = BatchWriter::new(store);
     for v in order {
         let obj = match plan[v as usize] {
             None => Object::Full {
@@ -123,8 +208,10 @@ pub fn pack_versions<S: ObjectStore + ?Sized>(
                 }
             }
         };
-        ids[v as usize] = Some(store.put(&obj)?);
+        ids[v as usize] = Some(obj.id());
+        writer.push(obj)?;
     }
+    writer.finish()?;
 
     Ok(PackedVersions {
         ids: ids.into_iter().map(|i| i.expect("all packed")).collect(),
@@ -209,6 +296,28 @@ mod tests {
         let (_, deep) = packed.checkout(&m, 7).unwrap();
         assert!(deep.objects_fetched > shallow.objects_fetched);
         assert_eq!(deep.objects_fetched, 8);
+    }
+
+    #[test]
+    fn batch_writer_flush_bound_does_not_change_the_store() {
+        let objs: Vec<Object> = (0..40u8)
+            .map(|i| Object::Full {
+                data: vec![i; 100 + i as usize],
+            })
+            .collect();
+        let one_flush = MemStore::new(false);
+        one_flush.put_batch(&objs).unwrap();
+        // A bound far below the corpus forces many flushes; the store
+        // must end up identical, just with more batch dispatches.
+        let bounded = MemStore::new(false);
+        let mut writer = super::BatchWriter::with_flush_bytes(&bounded, 300);
+        writer.extend(objs.iter().cloned()).unwrap();
+        writer.finish().unwrap();
+        assert_eq!(bounded.len(), one_flush.len());
+        assert_eq!(bounded.total_bytes(), one_flush.total_bytes());
+        let stats = bounded.stats();
+        assert!(stats.ops.batch_puts > 1, "tiny bound must flush repeatedly");
+        assert_eq!(stats.ops.batch_put_objects, objs.len() as u64);
     }
 
     #[test]

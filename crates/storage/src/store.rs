@@ -3,6 +3,32 @@
 //! Both implementations persist the *encoded* object form, so
 //! `total_bytes` reports the real (possibly compressed) storage footprint
 //! — the quantity §5.2 of the paper compares across SVN/Git/MCA.
+//!
+//! # The batch contract
+//!
+//! [`ObjectStore`] is batch-first: `put_batch` / `get_batch` /
+//! `contains_batch` / `remove_batch` are the primary write/read surface
+//! (the packers in [`crate::repack`] and `dsv-chunk` feed whole plans
+//! through them), with the single-object methods as the degenerate case.
+//! The contract every implementation must keep:
+//!
+//! - **Equivalence**: a batch op leaves the store in exactly the state the
+//!   same ops applied one at a time would — same objects, same
+//!   `total_bytes` — and returns results in input order. Batches are an
+//!   throughput optimization (one lock acquisition, one IO dispatch,
+//!   cross-shard concurrency), never a semantic change.
+//! - **Idempotence**: re-putting an object (single or batched, including
+//!   duplicates *within* one batch) stores nothing new.
+//! - **No partial-failure cleanup**: if a batch op fails mid-way, objects
+//!   already written stay written (they are content-addressed, so retrying
+//!   the batch converges). Callers that need crash-safety order their
+//!   batches so new objects land before stale ones are removed — see the
+//!   repack GC note on [`ObjectStore::clear`].
+//!
+//! [`StoreStats`] snapshots a store's fill (objects, bytes, per-shard
+//! counts for [`crate::sharded::ShardedStore`]) and its single-vs-batch
+//! operation counters, so callers can see whether the hot paths really go
+//! through the batch surface (`dsv store` prints this).
 
 use crate::hash::ObjectId;
 use crate::object::{Object, StoreError};
@@ -10,8 +36,112 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A key-value store of encoded objects.
+/// Point-in-time fill of one shard of a sharded store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Objects held by the shard.
+    pub objects: usize,
+    /// Encoded bytes held by the shard.
+    pub bytes: u64,
+}
+
+/// Single-vs-batch operation counters (cumulative since the store was
+/// opened; in-memory only, not persisted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Single-object `put` calls.
+    pub puts: u64,
+    /// Single-object `get` calls.
+    pub gets: u64,
+    /// `put_batch` calls.
+    pub batch_puts: u64,
+    /// Objects moved through `put_batch`.
+    pub batch_put_objects: u64,
+    /// `get_batch` calls.
+    pub batch_gets: u64,
+    /// Objects moved through `get_batch`.
+    pub batch_get_objects: u64,
+    /// Objects removed (single `remove` plus `remove_batch` contents).
+    pub removes: u64,
+}
+
+/// A snapshot of a store's state returned by [`ObjectStore::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of stored objects.
+    pub objects: usize,
+    /// Total encoded bytes (physical footprint).
+    pub bytes: u64,
+    /// Per-shard fill; empty for unsharded stores (a 1-shard
+    /// [`crate::sharded::ShardedStore`] reports one entry).
+    pub shards: Vec<ShardStats>,
+    /// Operation counters, when the implementation tracks them
+    /// (default-implemented stores report zeros).
+    pub ops: OpCounters,
+}
+
+impl StoreStats {
+    /// Largest shard's object count divided by the mean — 1.0 is a
+    /// perfectly even fill. Returns 1.0 for unsharded or empty stores.
+    pub fn shard_imbalance(&self) -> f64 {
+        if self.shards.is_empty() || self.objects == 0 {
+            return 1.0;
+        }
+        let max = self.shards.iter().map(|s| s.objects).max().unwrap_or(0);
+        let mean = self.objects as f64 / self.shards.len() as f64;
+        max as f64 / mean.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Interior-mutability counters shared by the store implementations.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    puts: AtomicU64,
+    gets: AtomicU64,
+    batch_puts: AtomicU64,
+    batch_put_objects: AtomicU64,
+    batch_gets: AtomicU64,
+    batch_get_objects: AtomicU64,
+    removes: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn count_put(&self) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_get(&self) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_put_batch(&self, objects: usize) {
+        self.batch_puts.fetch_add(1, Ordering::Relaxed);
+        self.batch_put_objects
+            .fetch_add(objects as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn count_get_batch(&self, objects: usize) {
+        self.batch_gets.fetch_add(1, Ordering::Relaxed);
+        self.batch_get_objects
+            .fetch_add(objects as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn count_removes(&self, objects: usize) {
+        self.removes.fetch_add(objects as u64, Ordering::Relaxed);
+    }
+    pub(crate) fn snapshot(&self) -> OpCounters {
+        OpCounters {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            batch_puts: self.batch_puts.load(Ordering::Relaxed),
+            batch_put_objects: self.batch_put_objects.load(Ordering::Relaxed),
+            batch_gets: self.batch_gets.load(Ordering::Relaxed),
+            batch_get_objects: self.batch_get_objects.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A key-value store of encoded objects (see the module docs for the
+/// batch contract).
 pub trait ObjectStore {
     /// Persists `obj`; returns its id. Idempotent.
     fn put(&self, obj: &Object) -> Result<ObjectId, StoreError>;
@@ -34,16 +164,66 @@ pub trait ObjectStore {
     /// store (e.g. packing several substrates through one store in
     /// sequence), so rebuilds into the same `FileStore` never accumulate
     /// orphaned objects on disk. Repack garbage collection in `dsv-vcs`
-    /// deliberately does *not* use it: stale objects are removed
-    /// individually only after a successful re-pack, so an interrupted
-    /// optimize can never destroy the only copy of a history.
+    /// deliberately does *not* use it: stale objects are removed via
+    /// [`ObjectStore::remove_batch`] only after a successful re-pack, so
+    /// an interrupted optimize can never destroy the only copy of a
+    /// history.
     fn clear(&self);
+
+    /// Persists every object, returning ids in input order. Equivalent to
+    /// (and default-implemented as) one `put` per object; implementations
+    /// override it to take their write lock once
+    /// ([`MemStore`]) or fan out across shards concurrently
+    /// ([`crate::sharded::ShardedStore`]).
+    fn put_batch(&self, objs: &[Object]) -> Result<Vec<ObjectId>, StoreError> {
+        objs.iter().map(|o| self.put(o)).collect()
+    }
+
+    /// Fetches every id, returning objects in input order; fails if any
+    /// id is missing (the error names a missing id — for partitioned
+    /// stores not necessarily the first in input order).
+    fn get_batch(&self, ids: &[ObjectId]) -> Result<Vec<Object>, StoreError> {
+        ids.iter().map(|&id| self.get(id)).collect()
+    }
+
+    /// Membership of every id, in input order.
+    fn contains_batch(&self, ids: &[ObjectId]) -> Vec<bool> {
+        ids.iter().map(|&id| self.contains(id)).collect()
+    }
+
+    /// Removes every id; unknown ids are ignored.
+    fn remove_batch(&self, ids: &[ObjectId]) {
+        for &id in ids {
+            self.remove(id);
+        }
+    }
+
+    /// Number of shards the store routes ids across (0 = unsharded).
+    /// O(1) — unlike [`ObjectStore::stats`] it never touches the objects,
+    /// so layout-only callers (e.g. `dsv-vcs` persistence deciding the
+    /// meta format) don't pay for a store walk.
+    fn shard_count(&self) -> usize {
+        0
+    }
+
+    /// A snapshot of the store's fill and operation counters. The default
+    /// reports size only (no shards, zero counters), so third-party
+    /// stores keep compiling.
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            objects: self.len(),
+            bytes: self.total_bytes(),
+            shards: Vec::new(),
+            ops: OpCounters::default(),
+        }
+    }
 }
 
 /// An in-memory store (the default for experiments).
 pub struct MemStore {
     compress: bool,
     map: RwLock<HashMap<ObjectId, Vec<u8>>>,
+    counters: Counters,
 }
 
 impl MemStore {
@@ -52,12 +232,14 @@ impl MemStore {
         MemStore {
             compress,
             map: RwLock::new(HashMap::new()),
+            counters: Counters::default(),
         }
     }
 }
 
 impl ObjectStore for MemStore {
     fn put(&self, obj: &Object) -> Result<ObjectId, StoreError> {
+        self.counters.count_put();
         let id = obj.id();
         self.map
             .write()
@@ -67,6 +249,7 @@ impl ObjectStore for MemStore {
     }
 
     fn get(&self, id: ObjectId) -> Result<Object, StoreError> {
+        self.counters.count_get();
         let guard = self.map.read();
         let bytes = guard.get(&id).ok_or(StoreError::NotFound(id))?;
         Object::decode(bytes)
@@ -85,11 +268,58 @@ impl ObjectStore for MemStore {
     }
 
     fn remove(&self, id: ObjectId) {
+        self.counters.count_removes(1);
         self.map.write().remove(&id);
     }
 
     fn clear(&self) {
         self.map.write().clear();
+    }
+
+    fn put_batch(&self, objs: &[Object]) -> Result<Vec<ObjectId>, StoreError> {
+        self.counters.count_put_batch(objs.len());
+        // One write-lock acquisition for the whole batch.
+        let mut map = self.map.write();
+        let mut ids = Vec::with_capacity(objs.len());
+        for obj in objs {
+            let id = obj.id();
+            map.entry(id).or_insert_with(|| obj.encode(self.compress));
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    fn get_batch(&self, ids: &[ObjectId]) -> Result<Vec<Object>, StoreError> {
+        self.counters.count_get_batch(ids.len());
+        let map = self.map.read();
+        ids.iter()
+            .map(|&id| {
+                let bytes = map.get(&id).ok_or(StoreError::NotFound(id))?;
+                Object::decode(bytes)
+            })
+            .collect()
+    }
+
+    fn contains_batch(&self, ids: &[ObjectId]) -> Vec<bool> {
+        let map = self.map.read();
+        ids.iter().map(|id| map.contains_key(id)).collect()
+    }
+
+    fn remove_batch(&self, ids: &[ObjectId]) {
+        self.counters.count_removes(ids.len());
+        let mut map = self.map.write();
+        for id in ids {
+            map.remove(id);
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            objects: self.len(),
+            bytes: self.total_bytes(),
+            shards: Vec::new(),
+            ops: self.counters.snapshot(),
+        }
     }
 }
 
@@ -97,6 +327,7 @@ impl ObjectStore for MemStore {
 pub struct FileStore {
     compress: bool,
     dir: PathBuf,
+    counters: Counters,
 }
 
 impl FileStore {
@@ -106,6 +337,7 @@ impl FileStore {
         Ok(FileStore {
             compress,
             dir: dir.to_path_buf(),
+            counters: Counters::default(),
         })
     }
 
@@ -113,10 +345,10 @@ impl FileStore {
         let hex = id.to_hex();
         self.dir.join(&hex[..2]).join(&hex[2..])
     }
-}
 
-impl ObjectStore for FileStore {
-    fn put(&self, obj: &Object) -> Result<ObjectId, StoreError> {
+    /// Single-object write without counter accounting (shared by `put`
+    /// and `put_batch`).
+    fn write_object(&self, obj: &Object) -> Result<ObjectId, StoreError> {
         let id = obj.id();
         let path = self.path_of(id);
         if path.exists() {
@@ -134,12 +366,24 @@ impl ObjectStore for FileStore {
         Ok(id)
     }
 
-    fn get(&self, id: ObjectId) -> Result<Object, StoreError> {
+    fn read_object(&self, id: ObjectId) -> Result<Object, StoreError> {
         let path = self.path_of(id);
         let mut bytes = Vec::new();
         let mut f = std::fs::File::open(&path).map_err(|_| StoreError::NotFound(id))?;
         f.read_to_end(&mut bytes)?;
         Object::decode(&bytes)
+    }
+}
+
+impl ObjectStore for FileStore {
+    fn put(&self, obj: &Object) -> Result<ObjectId, StoreError> {
+        self.counters.count_put();
+        self.write_object(obj)
+    }
+
+    fn get(&self, id: ObjectId) -> Result<Object, StoreError> {
+        self.counters.count_get();
+        self.read_object(id)
     }
 
     fn contains(&self, id: ObjectId) -> bool {
@@ -175,6 +419,7 @@ impl ObjectStore for FileStore {
     }
 
     fn remove(&self, id: ObjectId) {
+        self.counters.count_removes(1);
         let _ = std::fs::remove_file(self.path_of(id));
     }
 
@@ -185,6 +430,34 @@ impl ObjectStore for FileStore {
             for d in fanout.flatten() {
                 let _ = std::fs::remove_dir_all(d.path());
             }
+        }
+    }
+
+    fn put_batch(&self, objs: &[Object]) -> Result<Vec<ObjectId>, StoreError> {
+        self.counters.count_put_batch(objs.len());
+        // One file per object regardless; concurrency across files comes
+        // from sharding (`ShardedStore<FileStore>`), not from here.
+        objs.iter().map(|o| self.write_object(o)).collect()
+    }
+
+    fn get_batch(&self, ids: &[ObjectId]) -> Result<Vec<Object>, StoreError> {
+        self.counters.count_get_batch(ids.len());
+        ids.iter().map(|&id| self.read_object(id)).collect()
+    }
+
+    fn remove_batch(&self, ids: &[ObjectId]) {
+        self.counters.count_removes(ids.len());
+        for &id in ids {
+            let _ = std::fs::remove_file(self.path_of(id));
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            objects: self.len(),
+            bytes: self.total_bytes(),
+            shards: Vec::new(),
+            ops: self.counters.snapshot(),
         }
     }
 }
@@ -240,10 +513,64 @@ mod tests {
         assert!(store.contains(id));
     }
 
+    /// Batch ops must be observationally identical to their single-object
+    /// loops: same ids out, same store state, order preserved, duplicate
+    /// and repeated inputs deduplicated by content address.
+    fn exercise_batches(store: &dyn ObjectStore) {
+        store.clear();
+        let objs: Vec<Object> = (0..20u8)
+            .map(|i| Object::Full {
+                data: format!("batched object {i} payload").into_bytes(),
+            })
+            .collect();
+        let mut with_dup = objs.clone();
+        with_dup.push(objs[3].clone()); // intra-batch duplicate
+
+        let ids = store.put_batch(&with_dup).unwrap();
+        assert_eq!(ids.len(), with_dup.len());
+        assert_eq!(ids[3], ids[with_dup.len() - 1]);
+        assert_eq!(store.len(), objs.len(), "duplicates stored once");
+        for (obj, id) in with_dup.iter().zip(&ids) {
+            assert_eq!(*id, obj.id());
+        }
+
+        // Batch reads in input order, including repeated ids.
+        let fetched = store.get_batch(&ids).unwrap();
+        assert_eq!(fetched, with_dup);
+        let missing = ObjectId::for_bytes(b"absent");
+        assert!(matches!(
+            store.get_batch(&[ids[0], missing]).unwrap_err(),
+            StoreError::NotFound(_)
+        ));
+        assert_eq!(
+            store.contains_batch(&[ids[0], missing, ids[5]]),
+            vec![true, false, true]
+        );
+
+        // Batch put is idempotent and leaves bytes unchanged.
+        let bytes = store.total_bytes();
+        let again = store.put_batch(&objs).unwrap();
+        assert_eq!(&again[..], &ids[..objs.len()]);
+        assert_eq!(store.total_bytes(), bytes);
+
+        // Batch removal (unknown ids ignored).
+        store.remove_batch(&[ids[0], ids[1], missing]);
+        assert_eq!(store.len(), objs.len() - 2);
+        assert!(!store.contains(ids[0]));
+        assert!(store.contains(ids[2]));
+        store.clear();
+    }
+
     #[test]
     fn mem_store_basics() {
         exercise(&MemStore::new(false));
         exercise(&MemStore::new(true));
+    }
+
+    #[test]
+    fn mem_store_batches() {
+        exercise_batches(&MemStore::new(false));
+        exercise_batches(&MemStore::new(true));
     }
 
     #[test]
@@ -252,6 +579,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = FileStore::open(&dir, true).unwrap();
         exercise(&store);
+        exercise_batches(&store);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -287,5 +615,67 @@ mod tests {
         raw.put(&obj).unwrap();
         compressed.put(&obj).unwrap();
         assert!(compressed.total_bytes() < raw.total_bytes() / 2);
+    }
+
+    #[test]
+    fn stats_track_single_and_batch_ops() {
+        let store = MemStore::new(false);
+        let objs: Vec<Object> = (0..5u8)
+            .map(|i| Object::Full { data: vec![i; 64] })
+            .collect();
+        let ids = store.put_batch(&objs).unwrap();
+        store.put(&objs[0]).unwrap();
+        store.get(ids[0]).unwrap();
+        store.get_batch(&ids).unwrap();
+        store.remove(ids[4]);
+        store.remove_batch(&ids[..2]);
+
+        let stats = store.stats();
+        assert_eq!(stats.objects, 2);
+        assert!(stats.bytes > 0);
+        assert!(stats.shards.is_empty());
+        assert_eq!(stats.shard_imbalance(), 1.0);
+        assert_eq!(stats.ops.puts, 1);
+        assert_eq!(stats.ops.batch_puts, 1);
+        assert_eq!(stats.ops.batch_put_objects, 5);
+        assert_eq!(stats.ops.gets, 1);
+        assert_eq!(stats.ops.batch_gets, 1);
+        assert_eq!(stats.ops.batch_get_objects, 5);
+        assert_eq!(stats.ops.removes, 3);
+    }
+
+    #[test]
+    fn default_trait_batches_fall_back_to_singles() {
+        /// A minimal third-party store: only the original single-object
+        /// surface implemented — the batch methods and `stats` must work
+        /// through their defaults.
+        struct Minimal(MemStore);
+        impl ObjectStore for Minimal {
+            fn put(&self, obj: &Object) -> Result<ObjectId, StoreError> {
+                self.0.put(obj)
+            }
+            fn get(&self, id: ObjectId) -> Result<Object, StoreError> {
+                self.0.get(id)
+            }
+            fn contains(&self, id: ObjectId) -> bool {
+                self.0.contains(id)
+            }
+            fn total_bytes(&self) -> u64 {
+                self.0.total_bytes()
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn remove(&self, id: ObjectId) {
+                self.0.remove(id)
+            }
+            fn clear(&self) {
+                self.0.clear()
+            }
+        }
+        let store = Minimal(MemStore::new(false));
+        exercise_batches(&store);
+        let stats = store.stats();
+        assert_eq!(stats.ops, OpCounters::default());
     }
 }

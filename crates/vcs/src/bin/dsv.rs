@@ -4,19 +4,29 @@
 //! client/server variant; this is the single-machine equivalent):
 //!
 //! ```text
-//! dsv init <repo-dir>
+//! dsv init <repo-dir> [--shards <n>]
 //! dsv commit <repo-dir> <file> [-b branch] [-m message]
 //! dsv checkout <repo-dir> <version> [-o out-file]
 //! dsv log <repo-dir> [branch]
 //! dsv branch <repo-dir> <name> <version>
 //! dsv branches <repo-dir>
 //! dsv status <repo-dir>
+//! dsv store <repo-dir>
 //! dsv solvers
 //! dsv optimize <repo-dir> <p1|p2|p3|p4|p5|p6> [bound]
 //!              [--solver <name>] [--portfolio] [--hybrid] [--binary]
 //!              [--hops <n>] [--hop-bound <n>]
 //! dsv --threads <n> <any command ...>
 //! ```
+//!
+//! `init --shards <n>` lays the object store out as `n` independent
+//! shards (`objects/shard-<i>/…`) selected by object-id prefix; batch
+//! writes (commit packs, optimize re-packs) then hit all shards
+//! concurrently. The shard count is recorded in the repository metadata
+//! (meta v3) and is a pure layout property — the stored bytes are
+//! identical at every shard count. `store` prints the [`StoreStats`]
+//! snapshot: object/byte counts, per-shard fill, dedup ratio, and the
+//! single-vs-batch operation counters of this process.
 //!
 //! `optimize` bounds: p3/p4 take a storage budget in bytes; p5/p6 take a
 //! recreation threshold in bytes. The solve goes through the planner:
@@ -39,8 +49,8 @@
 
 use dsv_core::solvers::{registry, Support};
 use dsv_core::{ChunkingSpec, ModePolicy, PlanSpec, Problem, SolverChoice};
-use dsv_storage::FileStore;
-use dsv_vcs::{persist, CommitId, Placement, Repository};
+use dsv_storage::{FileStore, ObjectStore, ShardedStore, StoreStats, MAX_SHARDS};
+use dsv_vcs::{persist, CommitId, Placement, RepoStore, Repository};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -63,14 +73,50 @@ fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "init" => {
-            let root = repo_dir(args, 1)?;
+            // Parse and strip `--shards <n>` before resolving positionals,
+            // so `dsv init --shards 4 repo` works and a missing value (or
+            // a flag swallowed as the repo dir) cannot silently produce a
+            // flat layout — there is no re-shard path later.
+            let mut positional: Vec<String> = Vec::new();
+            let mut shards: Option<usize> = None;
+            let mut iter = args.iter();
+            while let Some(arg) = iter.next() {
+                if arg == "--shards" {
+                    let v = iter.next().ok_or("--shards needs a value")?;
+                    match v.parse::<usize>() {
+                        Ok(n) if (1..=MAX_SHARDS).contains(&n) => shards = Some(n),
+                        _ => {
+                            return Err(format!(
+                                "invalid --shards '{v}' (need an integer in 1..={MAX_SHARDS})"
+                            ))
+                        }
+                    }
+                } else if arg.starts_with("--") {
+                    return Err(format!("unknown init flag '{arg}' (see: dsv help)"));
+                } else {
+                    positional.push(arg.clone());
+                }
+            }
+            let root = repo_dir(&positional, 1)?;
             if root.join("meta.dsv").exists() {
                 return Err(format!("{} is already a repository", root.display()));
             }
-            let store = FileStore::open(&root.join("objects"), true).map_err(stringify)?;
-            let repo: Repository<FileStore> = Repository::init(store);
+            let objects = root.join("objects");
+            let store = match shards {
+                None => RepoStore::Flat(FileStore::open(&objects, true).map_err(stringify)?),
+                Some(n) => RepoStore::Sharded(
+                    ShardedStore::open_sharded(&objects, n, true).map_err(stringify)?,
+                ),
+            };
+            let repo: Repository<RepoStore> = Repository::init(store);
             persist::save(&repo, &root).map_err(stringify)?;
-            println!("initialized empty dsv repository at {}", root.display());
+            match shards {
+                None => println!("initialized empty dsv repository at {}", root.display()),
+                Some(n) => println!(
+                    "initialized empty dsv repository at {} ({n} object shards)",
+                    root.display()
+                ),
+            }
             Ok(())
         }
         "commit" => {
@@ -151,6 +197,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 chunked,
                 repo.storage_bytes()
             );
+            Ok(())
+        }
+        "store" => {
+            let root = repo_dir(args, 1)?;
+            let repo = persist::load(&root, true).map_err(stringify)?;
+            print_store_stats(&repo.store().stats(), repo.logical_bytes());
             Ok(())
         }
         "solvers" => {
@@ -236,8 +288,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "help" | "--help" | "-h" => {
             println!(
-                "usage: dsv <init|commit|checkout|log|branch|branches|status|solvers|optimize> ..."
+                "usage: dsv <init|commit|checkout|log|branch|branches|status|store|solvers|optimize> ..."
             );
+            println!("       dsv init <repo> [--shards <n>]  shard the object store n ways");
+            println!("       dsv store <repo>  print object-store stats (shard fill, dedup ratio)");
             println!("       dsv optimize <repo> <p1..p6> [bound] [--solver <name>] [--portfolio]");
             println!(
                 "                    [--hybrid] [--binary] [--hops <reveal-n>] [--hop-bound <n>]"
@@ -250,6 +304,56 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command '{other}' (try: dsv help)")),
     }
+}
+
+/// Renders a [`StoreStats`] snapshot — works for any `ObjectStore`
+/// (memory or file, flat or sharded); `logical_bytes` is the raw size of
+/// all committed versions, giving the dedup/delta ratio.
+fn print_store_stats(stats: &StoreStats, logical_bytes: u64) {
+    let layout = if stats.shards.is_empty() {
+        "flat".to_owned()
+    } else {
+        format!("{} shards", stats.shards.len())
+    };
+    println!(
+        "{} objects, {} bytes on disk ({layout})",
+        stats.objects, stats.bytes
+    );
+    if stats.bytes > 0 {
+        println!(
+            "dedup ratio: {:.2}x ({logical_bytes} logical bytes)",
+            logical_bytes as f64 / stats.bytes as f64
+        );
+    }
+    if !stats.shards.is_empty() {
+        println!(
+            "shard fill (imbalance {:.2}, 1.00 = even):",
+            stats.shard_imbalance()
+        );
+        for (i, s) in stats.shards.iter().enumerate() {
+            let pct = if stats.objects > 0 {
+                100.0 * s.objects as f64 / stats.objects as f64
+            } else {
+                0.0
+            };
+            println!(
+                "  shard-{i:<3} {:>8} objects {:>12} bytes  {pct:>5.1}%",
+                s.objects, s.bytes
+            );
+        }
+    }
+    let ops = &stats.ops;
+    println!(
+        "ops this process: {} put / {} get single; {} put_batch ({} objects), \
+         {} get_batch ({} objects), {} removes",
+        ops.puts,
+        ops.gets,
+        ops.batch_puts,
+        ops.batch_put_objects,
+        ops.batch_gets,
+        ops.batch_get_objects,
+        ops.removes
+    );
 }
 
 /// Strips a global `--threads <n>` flag from `args`, pinning the dsv-par

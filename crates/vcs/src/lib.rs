@@ -45,4 +45,5 @@ pub use commit::{CommitId, CommitMeta};
 pub use dsv_core::{ModePolicy, PlanSpec, SolverChoice};
 pub use error::VcsError;
 pub use optimize::OptimizeReport;
+pub use persist::RepoStore;
 pub use repo::{Placement, Repository};

@@ -48,39 +48,6 @@ pub struct OptimizeReport {
 }
 
 impl<S: ObjectStore> Repository<S> {
-    /// Rebuilds the repository's storage layout by solving `problem` over
-    /// deltas revealed within `reveal_hops` of the commit DAG.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use Repository::optimize_with with a PlanSpec"
-    )]
-    pub fn optimize(
-        &mut self,
-        problem: Problem,
-        reveal_hops: usize,
-    ) -> Result<OptimizeReport, VcsError> {
-        self.optimize_with(&PlanSpec::new(problem).reveal_hops(reveal_hops))
-    }
-
-    /// Rebuilds the repository's storage layout under the **hybrid**
-    /// three-mode model with chunked estimates from `params`.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use Repository::optimize_with with a PlanSpec whose ModePolicy is Hybrid"
-    )]
-    pub fn optimize_hybrid(
-        &mut self,
-        problem: Problem,
-        reveal_hops: usize,
-        params: ChunkerParams,
-    ) -> Result<OptimizeReport, VcsError> {
-        self.optimize_with(
-            &PlanSpec::new(problem)
-                .reveal_hops(reveal_hops)
-                .modes(ModePolicy::Hybrid(params.into())),
-        )
-    }
-
     /// Rebuilds the repository's storage layout per `spec`: reveal deltas
     /// within `spec.reveal_hop_count()` hops of the commit DAG (plus
     /// per-version chunked estimates when the effective mode policy is
@@ -192,9 +159,8 @@ impl<S: ObjectStore> Repository<S> {
                 new_ids.extend(chunks);
             }
         }
-        for stale in old_ids.difference(&new_ids) {
-            self.store.remove(*stale);
-        }
+        let stale: Vec<_> = old_ids.difference(&new_ids).copied().collect();
+        self.store.remove_batch(&stale);
         self.objects = packed.ids;
         self.plan = solution.modes().to_vec();
 
@@ -489,20 +455,6 @@ mod tests {
         for v in 0..repo.version_count() as u32 {
             assert!(!repo.checkout(CommitId(v)).unwrap().is_empty());
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_the_planner() {
-        let mut a = populated();
-        let mut b = populated();
-        let via_wrapper = a.optimize(Problem::MinStorage, 4).unwrap();
-        let via_spec = b.optimize_with(&spec(Problem::MinStorage, 4)).unwrap();
-        assert_eq!(
-            via_wrapper.planned_storage_cost,
-            via_spec.planned_storage_cost
-        );
-        assert_eq!(via_wrapper.provenance.solver, via_spec.provenance.solver);
     }
 
     #[test]

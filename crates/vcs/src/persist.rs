@@ -3,8 +3,9 @@
 //! Layout of a repository directory:
 //!
 //! ```text
-//! <root>/meta.dsv     line-based metadata (versions, branches, plan)
-//! <root>/objects/     content-addressed object files (FileStore)
+//! <root>/meta.dsv            line-based metadata (versions, branches, plan)
+//! <root>/objects/            content-addressed object files (flat FileStore)
+//! <root>/objects/shard-<i>/  … or one FileStore per shard (sharded layout)
 //! ```
 //!
 //! The metadata format is a deliberately simple, versioned text format —
@@ -14,30 +15,108 @@
 //!
 //! Format v2 adds the placement policy (so a reloaded chunked repository
 //! keeps chunking new commits) and a `c` plan marker for versions stored
-//! as chunk manifests. v1 files (binary plans, implicit greedy placement)
-//! still load.
+//! as chunk manifests. Format v3 adds a `store sharded <n>` line for
+//! repositories whose objects live in a
+//! [`ShardedStore<FileStore>`](dsv_storage::ShardedStore) — the shard
+//! count is a routing property, so it must reopen exactly as written.
+//! Flat repositories keep saving as v2; v1 files (binary plans, implicit
+//! greedy placement) still load. [`load`] returns the store behind
+//! [`RepoStore`], which dispatches to whichever layout the meta names.
 
 use crate::commit::{CommitId, CommitMeta};
 use crate::error::VcsError;
 use crate::repo::{Placement, Repository};
 use dsv_chunk::ChunkerParams;
 use dsv_core::StorageMode;
-use dsv_storage::{FileStore, ObjectId, StoreError};
+use dsv_storage::{FileStore, Object, ObjectId, ObjectStore, ShardedStore, StoreError, StoreStats};
 use std::fmt::Write as _;
 use std::path::Path;
 
 const MAGIC_V1: &str = "dsv-meta v1";
 const MAGIC_V2: &str = "dsv-meta v2";
+const MAGIC_V3: &str = "dsv-meta v3";
+
+/// The on-disk store of a loaded repository: a flat [`FileStore`]
+/// (meta v1/v2) or a [`ShardedStore`] of per-shard `FileStore`s (meta
+/// v3's `store sharded <n>` layout). Delegates the whole
+/// [`ObjectStore`] surface — including the batch methods and stats, so a
+/// sharded repository keeps its concurrent batch writes behind this
+/// wrapper.
+pub enum RepoStore {
+    /// `objects/ab/<hex>` — the original single-directory fan-out.
+    Flat(FileStore),
+    /// `objects/shard-<i>/ab/<hex>` — id-prefix-routed shards.
+    Sharded(ShardedStore<FileStore>),
+}
+
+macro_rules! delegate {
+    ($self:ident, $store:ident => $body:expr) => {
+        match $self {
+            RepoStore::Flat($store) => $body,
+            RepoStore::Sharded($store) => $body,
+        }
+    };
+}
+
+impl ObjectStore for RepoStore {
+    fn put(&self, obj: &Object) -> Result<ObjectId, StoreError> {
+        delegate!(self, s => s.put(obj))
+    }
+    fn get(&self, id: ObjectId) -> Result<Object, StoreError> {
+        delegate!(self, s => s.get(id))
+    }
+    fn contains(&self, id: ObjectId) -> bool {
+        delegate!(self, s => s.contains(id))
+    }
+    fn total_bytes(&self) -> u64 {
+        delegate!(self, s => s.total_bytes())
+    }
+    fn len(&self) -> usize {
+        delegate!(self, s => s.len())
+    }
+    fn remove(&self, id: ObjectId) {
+        delegate!(self, s => s.remove(id))
+    }
+    fn clear(&self) {
+        delegate!(self, s => s.clear())
+    }
+    fn put_batch(&self, objs: &[Object]) -> Result<Vec<ObjectId>, StoreError> {
+        delegate!(self, s => s.put_batch(objs))
+    }
+    fn get_batch(&self, ids: &[ObjectId]) -> Result<Vec<Object>, StoreError> {
+        delegate!(self, s => s.get_batch(ids))
+    }
+    fn contains_batch(&self, ids: &[ObjectId]) -> Vec<bool> {
+        delegate!(self, s => s.contains_batch(ids))
+    }
+    fn remove_batch(&self, ids: &[ObjectId]) {
+        delegate!(self, s => s.remove_batch(ids))
+    }
+    fn shard_count(&self) -> usize {
+        delegate!(self, s => s.shard_count())
+    }
+    fn stats(&self) -> StoreStats {
+        delegate!(self, s => s.stats())
+    }
+}
 
 /// Serializes repository metadata (not objects — those live in the
-/// FileStore) to `<root>/meta.dsv`.
+/// FileStore) to `<root>/meta.dsv`. A store reporting a non-zero
+/// [`ObjectStore::shard_count`] is saved as meta v3 with that count;
+/// flat stores keep the v2 format.
 pub fn save<S: dsv_storage::ObjectStore>(
     repo: &Repository<S>,
     root: &Path,
 ) -> Result<(), VcsError> {
     std::fs::create_dir_all(root).map_err(StoreError::from)?;
+    let shard_count = repo.store().shard_count();
     let mut out = String::new();
-    let _ = writeln!(out, "{MAGIC_V2}");
+    if shard_count > 0 {
+        let _ = writeln!(out, "{MAGIC_V3}");
+        let _ = writeln!(out, "store sharded {shard_count}");
+    } else {
+        let _ = writeln!(out, "{MAGIC_V2}");
+    }
     match repo.placement() {
         Placement::GreedyDelta => {
             let _ = writeln!(out, "placement greedy");
@@ -84,16 +163,27 @@ pub fn save<S: dsv_storage::ObjectStore>(
     Ok(())
 }
 
-/// Loads a repository whose objects live in `<root>/objects`.
-pub fn load(root: &Path, compress: bool) -> Result<Repository<FileStore>, VcsError> {
-    let store = FileStore::open(&root.join("objects"), compress)?;
+/// Loads a repository whose objects live in `<root>/objects` — flat or
+/// sharded per the meta file (see [`RepoStore`]).
+pub fn load(root: &Path, compress: bool) -> Result<Repository<RepoStore>, VcsError> {
     let text = std::fs::read_to_string(root.join("meta.dsv")).map_err(StoreError::from)?;
     let mut lines = text.lines();
     let magic = lines.next().ok_or_else(corrupt)?;
-    let v2 = match magic {
-        MAGIC_V1 => false,
-        MAGIC_V2 => true,
+    let (v2, v3) = match magic {
+        MAGIC_V1 => (false, false),
+        MAGIC_V2 => (true, false),
+        MAGIC_V3 => (true, true),
         _ => return Err(corrupt()),
+    };
+
+    let objects_dir = root.join("objects");
+    let store = if v3 {
+        match parse_store(lines.next().ok_or_else(corrupt)?)? {
+            0 => RepoStore::Flat(FileStore::open(&objects_dir, compress)?),
+            n => RepoStore::Sharded(ShardedStore::open_sharded(&objects_dir, n, compress)?),
+        }
+    } else {
+        RepoStore::Flat(FileStore::open(&objects_dir, compress)?)
     };
 
     let placement = if v2 {
@@ -164,6 +254,23 @@ pub fn load(root: &Path, compress: bool) -> Result<Repository<FileStore>, VcsErr
 
 fn corrupt() -> VcsError {
     VcsError::Store(StoreError::Corrupt("malformed meta.dsv"))
+}
+
+/// Parses a v3 `store …` line; returns the shard count (0 = flat).
+fn parse_store(line: &str) -> Result<usize, VcsError> {
+    let mut fields = line.split(' ');
+    if fields.next() != Some("store") {
+        return Err(corrupt());
+    }
+    match fields.next() {
+        Some("flat") => Ok(0),
+        Some("sharded") => fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .filter(|&n| (1..=dsv_storage::MAX_SHARDS).contains(&n))
+            .ok_or_else(corrupt),
+        _ => Err(corrupt()),
+    }
 }
 
 fn parse_placement(line: &str) -> Result<Placement, VcsError> {
@@ -331,6 +438,81 @@ mod tests {
             data.len()
         );
         assert_eq!(loaded.checkout(id).unwrap(), data);
+    }
+
+    #[test]
+    fn sharded_layout_roundtrips_through_meta_v3() {
+        let tmp = TempDir::new("sharded");
+        let root = tmp.path();
+        let shard_count = 4;
+        let store = ShardedStore::open_sharded(&root.join("objects"), shard_count, false).unwrap();
+        let mut repo = Repository::init(store);
+        let mut data = b"id,value\n".to_vec();
+        for i in 0..200 {
+            data.extend_from_slice(format!("{i},row-{}\n", i * 13).as_bytes());
+        }
+        repo.commit("main", &data, "base").unwrap();
+        data.extend_from_slice(b"200,appended\n");
+        repo.commit("main", &data, "grow").unwrap();
+        save(&repo, root).unwrap();
+
+        // Meta v3 records the shard count; the shard directories exist.
+        let meta = std::fs::read_to_string(root.join("meta.dsv")).unwrap();
+        assert!(meta.starts_with(MAGIC_V3), "{meta}");
+        assert!(meta.contains(&format!("store sharded {shard_count}")));
+        for i in 0..shard_count {
+            assert!(root.join("objects").join(format!("shard-{i}")).is_dir());
+        }
+
+        // Reload: same shard routing, same contents, same footprint.
+        let mut loaded = load(root, false).unwrap();
+        assert!(matches!(loaded.store(), RepoStore::Sharded(_)));
+        assert_eq!(loaded.store().stats().shards.len(), shard_count);
+        assert_eq!(loaded.storage_bytes(), repo.storage_bytes());
+        for v in 0..repo.version_count() as u32 {
+            assert_eq!(
+                loaded.checkout(CommitId(v)).unwrap(),
+                repo.checkout(CommitId(v)).unwrap(),
+                "v{v}"
+            );
+        }
+
+        // Committing and re-saving keeps the sharded layout (v3 again).
+        data.extend_from_slice(b"201,post-reload\n");
+        let id = loaded.commit("main", &data, "post-reload").unwrap();
+        save(&loaded, root).unwrap();
+        let reloaded = load(root, false).unwrap();
+        assert_eq!(reloaded.store().stats().shards.len(), shard_count);
+        assert_eq!(reloaded.checkout(id).unwrap(), data);
+    }
+
+    #[test]
+    fn sharded_and_flat_repos_store_identical_bytes() {
+        // The shard count is a layout property: the same history stores
+        // the same physical bytes flat or sharded.
+        let tmp = TempDir::new("sharded-eq");
+        let root = tmp.path();
+        let flat = FileStore::open(&root.join("flat/objects"), true).unwrap();
+        let sharded = ShardedStore::open_sharded(&root.join("sharded/objects"), 8, true).unwrap();
+        let mut a = Repository::init(flat);
+        let mut b = Repository::init(sharded);
+        let mut data = b"k,v\n".to_vec();
+        for i in 0..150 {
+            data.extend_from_slice(format!("{i},payload-{}\n", i * 7).as_bytes());
+            if i % 30 == 0 {
+                a.commit("main", &data, "grow").unwrap();
+                b.commit("main", &data, "grow").unwrap();
+            }
+        }
+        assert_eq!(a.storage_bytes(), b.storage_bytes());
+        assert_eq!(a.store().len(), b.store().len());
+        for v in 0..a.version_count() as u32 {
+            assert_eq!(
+                a.object_id(CommitId(v)),
+                b.object_id(CommitId(v)),
+                "same content addresses regardless of layout"
+            );
+        }
     }
 
     #[test]

@@ -290,6 +290,18 @@ impl<S: ObjectStore> Repository<S> {
         self.store.total_bytes()
     }
 
+    /// The underlying object store (e.g. for [`ObjectStore::stats`];
+    /// writes go through the repository methods).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Total raw bytes across all committed versions — the numerator of
+    /// the store's dedup/delta ratio (`logical_bytes / storage_bytes`).
+    pub fn logical_bytes(&self) -> u64 {
+        self.commits.iter().map(|m| m.size).sum()
+    }
+
     /// The current storage plan (per-version storage modes).
     pub fn current_plan(&self) -> &[StorageMode] {
         &self.plan

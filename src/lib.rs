@@ -16,7 +16,10 @@
 //! - [`delta`] — differencing substrate (Myers diff, byte/XOR/tabular
 //!   deltas).
 //! - [`compress`] — LZ77-style compression used for compact delta storage.
-//! - [`storage`] — content-addressed object store with delta chains.
+//! - [`storage`] — batch-first, content-addressed object store with delta
+//!   chains: `put_batch`/`get_batch` move whole plans, `ShardedStore`
+//!   partitions batches across id-prefix shards written concurrently, and
+//!   `StoreStats` reports fill and single-vs-batch op counters.
 //! - [`chunk`] — content-defined chunking and dedup (FastCDC-style).
 //! - [`vcs`] — the prototype dataset version-control system.
 //! - [`workloads`] — synthetic version-graph/dataset generators (DC, LC,
