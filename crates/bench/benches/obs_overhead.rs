@@ -1,0 +1,73 @@
+//! Zero-overhead check for the dsv-obs instrumentation.
+//!
+//! The observability contract is that with no recorder installed a
+//! `span!`/`counter!` call site costs one relaxed atomic load — nothing
+//! is allocated and no argument is evaluated. These benches enforce it
+//! two ways:
+//!
+//! - a tight loop over disabled `span!` + `counter!` sites next to the
+//!   same loop with no instrumentation at all (the pair must be
+//!   indistinguishable);
+//! - the real `chunked_cost_pairs` hot path untraced vs. traced with a
+//!   recorder installed (the traced run shows what `--trace` costs, the
+//!   untraced run must match the historical baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsv_chunk::{chunked_cost_pairs, ChunkerParams};
+use dsv_obs as obs;
+use dsv_workloads::presets;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_disabled_macros(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("bare_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("span_and_counter_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                // With no recorder installed both macros reduce to one
+                // relaxed atomic load; `i` is never evaluated as a field.
+                let span = obs::span!("bench.iter", i = i);
+                span.in_scope(|| {
+                    acc = acc.wrapping_add(black_box(i));
+                });
+                obs::counter!("bench.iterations", 1);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_traced_hot_path(c: &mut Criterion) {
+    let dataset = presets::dedup_chain().scaled(12).keep_contents().build(7);
+    let contents = dataset.contents.as_ref().expect("contents kept").clone();
+    let params = ChunkerParams::default();
+
+    let mut group = c.benchmark_group("obs_hot_path");
+    group.bench_function("estimate_untraced", |b| {
+        b.iter(|| black_box(chunked_cost_pairs(black_box(&contents), params).unwrap()))
+    });
+    group.bench_function("estimate_traced", |b| {
+        b.iter(|| {
+            let recorder = Arc::new(obs::Recorder::new());
+            let pairs = obs::with_recorder(&recorder, || {
+                chunked_cost_pairs(black_box(&contents), params).unwrap()
+            });
+            black_box((pairs, recorder.snapshot().total_ns))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disabled_macros, bench_traced_hot_path);
+criterion_main!(benches);

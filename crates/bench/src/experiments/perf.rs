@@ -19,17 +19,40 @@
 //!   hybrid instance (every capable solver on its own worker);
 //! - **pack**: executing the winning plan with
 //!   `dsv_chunk::pack_versions_hybrid`.
+//!
+//! Each run also installs a thread-local `dsv-obs` recorder, so every
+//! JSON row carries a `phases` array — the phase's real span subtree
+//! (wall/self milliseconds and activation counts) as produced by the
+//! library's own instrumentation. The span tree's *shape* is asserted
+//! identical at every thread count, like the results themselves.
 
 use crate::report::Table;
 use crate::{timed, Scale};
 use dsv_chunk::{chunked_cost_pairs, pack_versions_hybrid, ChunkerParams};
 use dsv_core::{plan, CostPair, PlanSpec, Problem, SolverChoice, StorageMode};
+use dsv_obs as obs;
 use dsv_storage::{MemStore, ObjectId, ObjectStore};
 use dsv_workloads::presets::Preset;
 use dsv_workloads::{presets, Dataset};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// One aggregated span from a phase's trace tree: the phase root itself
+/// (first entry) plus its flattened descendants, names path-joined with
+/// `/` ("pack", "pack/write", "pack/write/flush", ...).
+#[derive(Debug, Clone)]
+pub struct PhaseSpan {
+    /// Path-joined span name relative to (and including) the phase root.
+    pub name: String,
+    /// Aggregated wall-clock milliseconds across all instances.
+    pub wall_ms: f64,
+    /// Wall time minus the wall time of child spans.
+    pub self_ms: f64,
+    /// Number of span instances aggregated under this name.
+    pub count: u64,
+}
 
 /// One phase timing at one thread count.
 #[derive(Debug, Clone)]
@@ -45,6 +68,9 @@ pub struct PerfRow {
     /// 1-thread wall-clock of the same phase divided by this one's
     /// (1.0 for the baseline itself).
     pub speedup_vs_1t: f64,
+    /// Per-phase breakdown from the dsv-obs recorder that ran alongside
+    /// the measurement: the phase's span subtree, flattened.
+    pub phases: Vec<PhaseSpan>,
 }
 
 /// Everything the run must reproduce bit-for-bit at every thread count.
@@ -67,6 +93,32 @@ struct Fingerprint {
 struct Measured {
     fingerprint: Fingerprint,
     millis: [f64; 4],
+    tree: obs::TraceTree,
+}
+
+/// Flattens the named phase's span subtree into [`PhaseSpan`] rows.
+fn flatten_phase(tree: &obs::TraceTree, phase: &str) -> Vec<PhaseSpan> {
+    fn walk(node: &obs::TraceNode, prefix: &str, out: &mut Vec<PhaseSpan>) {
+        let name = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix}/{}", node.name)
+        };
+        out.push(PhaseSpan {
+            name: name.clone(),
+            wall_ms: node.wall_ns as f64 / 1e6,
+            self_ms: node.self_ns as f64 / 1e6,
+            count: node.count,
+        });
+        for child in &node.children {
+            walk(child, &name, out);
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(node) = tree.find(&[phase]) {
+        walk(node, "", &mut out);
+    }
+    out
 }
 
 /// The thread counts the experiment sweeps: always 1 and 2 (so the JSON
@@ -87,48 +139,62 @@ fn ms(d: Duration) -> f64 {
 }
 
 fn measure(preset: &Preset, versions: usize, exact_budget: Duration) -> Measured {
-    let params = ChunkerParams::default();
-    let (ds, t_build): (Dataset, _) =
-        timed(|| (*preset).scaled(versions).keep_contents().build(2015));
-    let contents = ds.contents.as_ref().expect("contents kept");
+    // The recorder is thread-local (`with_recorder`), so concurrent test
+    // runs and other workloads cannot bleed spans into this measurement.
+    // The library's own instrumentation provides the spans: `build`,
+    // `estimate`, `solve`, and `pack` become the tree's roots.
+    let recorder = Arc::new(obs::Recorder::new());
+    let (fingerprint, millis) = obs::with_recorder(&recorder, || {
+        let params = ChunkerParams::default();
+        let (ds, t_build): (Dataset, _) =
+            timed(|| (*preset).scaled(versions).keep_contents().build(2015));
+        let contents = ds.contents.as_ref().expect("contents kept");
 
-    let (estimates, t_estimate) =
-        timed(|| chunked_cost_pairs(contents, params).expect("valid params"));
+        let (estimates, t_estimate) =
+            timed(|| chunked_cost_pairs(contents, params).expect("valid params"));
 
-    let mut matrix = ds.matrix.clone();
-    for (i, pair) in estimates.iter().enumerate() {
-        matrix.set_chunked(i as u32, *pair);
-    }
-    let instance = dsv_core::ProblemInstance::new(matrix);
-    let spec = PlanSpec::new(Problem::MinStorage)
-        .solver(SolverChoice::Portfolio)
-        .exact_budget(exact_budget);
-    let (chosen, t_solve) = timed(|| plan(&instance, &spec).expect("solvable"));
+        let mut matrix = ds.matrix.clone();
+        for (i, pair) in estimates.iter().enumerate() {
+            matrix.set_chunked(i as u32, *pair);
+        }
+        let instance = dsv_core::ProblemInstance::new(matrix);
+        let spec = PlanSpec::new(Problem::MinStorage)
+            .solver(SolverChoice::Portfolio)
+            .exact_budget(exact_budget);
+        let (chosen, t_solve) = timed(|| plan(&instance, &spec).expect("solvable"));
 
-    let ((store_bytes, ids), t_pack) = timed(|| {
-        let store = MemStore::new(false);
-        let (packed, _) = pack_versions_hybrid(&store, contents, chosen.solution.modes(), params)
-            .expect("winning plan packs");
-        (store.total_bytes(), packed.ids)
+        let ((store_bytes, ids), t_pack) = timed(|| {
+            let store = MemStore::new(false);
+            let (packed, _) =
+                pack_versions_hybrid(&store, contents, chosen.solution.modes(), params)
+                    .expect("winning plan packs");
+            (store.total_bytes(), packed.ids)
+        });
+
+        (
+            Fingerprint {
+                sizes: ds.sizes.clone(),
+                revealed: ds.matrix.revealed_count(),
+                matrix_storage_sum: ds
+                    .matrix
+                    .revealed_entries()
+                    .map(|(_, _, p)| p.storage + p.recreation)
+                    .sum(),
+                estimates,
+                winner: chosen.provenance.solver,
+                winner_objective: chosen.solution.storage_cost(),
+                modes: chosen.solution.modes().to_vec(),
+                store_bytes,
+                ids,
+            },
+            [ms(t_build), ms(t_estimate), ms(t_solve), ms(t_pack)],
+        )
     });
 
     Measured {
-        fingerprint: Fingerprint {
-            sizes: ds.sizes.clone(),
-            revealed: ds.matrix.revealed_count(),
-            matrix_storage_sum: ds
-                .matrix
-                .revealed_entries()
-                .map(|(_, _, p)| p.storage + p.recreation)
-                .sum(),
-            estimates,
-            winner: chosen.provenance.solver,
-            winner_objective: chosen.solution.storage_cost(),
-            modes: chosen.solution.modes().to_vec(),
-            store_bytes,
-            ids,
-        },
-        millis: [ms(t_build), ms(t_estimate), ms(t_solve), ms(t_pack)],
+        fingerprint,
+        millis,
+        tree: recorder.snapshot(),
     }
 }
 
@@ -156,10 +222,19 @@ pub fn run(scale: Scale) -> Vec<PerfRow> {
             let base = baseline.get_or_insert_with(|| Measured {
                 fingerprint: m.fingerprint.clone(),
                 millis: m.millis,
+                tree: m.tree.clone(),
             });
             assert_eq!(
                 m.fingerprint, base.fingerprint,
                 "{name}: {threads}-thread run diverged from the sequential baseline"
+            );
+            // Timings differ per run, but the *shape* of the span tree —
+            // which phases ran, nested how, how many times — must not
+            // depend on the worker count.
+            assert_eq!(
+                m.tree.shape(),
+                base.tree.shape(),
+                "{name}: {threads}-thread span tree diverged from the sequential baseline"
             );
             for (i, phase) in PHASES.iter().enumerate() {
                 rows.push(PerfRow {
@@ -168,6 +243,7 @@ pub fn run(scale: Scale) -> Vec<PerfRow> {
                     threads,
                     millis: m.millis[i],
                     speedup_vs_1t: base.millis[i] / m.millis[i].max(1e-9),
+                    phases: flatten_phase(&m.tree, phase),
                 });
             }
         }
@@ -205,10 +281,20 @@ pub fn write_json(rows: &[PerfRow]) -> std::io::Result<PathBuf> {
     let _ = writeln!(out, "  \"hardware_threads\": {hw},");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let phases: Vec<String> = r
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"self_ms\": {:.3}, \"count\": {}}}",
+                    p.name, p.wall_ms, p.self_ms, p.count
+                )
+            })
+            .collect();
         let _ = write!(
             out,
-            "    {{\"workload\": \"{}\", \"phase\": \"{}\", \"threads\": {}, \"millis\": {:.2}, \"speedup_vs_1t\": {:.3}}}",
-            r.workload, r.phase, r.threads, r.millis, r.speedup_vs_1t,
+            "    {{\"workload\": \"{}\", \"phase\": \"{}\", \"threads\": {}, \"millis\": {:.2}, \"speedup_vs_1t\": {:.3}, \"phases\": [{}]}}",
+            r.workload, r.phase, r.threads, r.millis, r.speedup_vs_1t, phases.join(", "),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -243,10 +329,37 @@ mod tests {
             if r.threads == 1 {
                 assert!((r.speedup_vs_1t - 1.0).abs() < 1e-9);
             }
+            // Every row's breakdown starts at the phase's own span — the
+            // library instrumentation, not the harness, produced it.
+            assert_eq!(
+                r.phases.first().map(|p| p.name.as_str()),
+                Some(r.phase),
+                "{}/{} row is missing its span subtree",
+                r.workload,
+                r.phase
+            );
+            for p in &r.phases {
+                assert!(p.count > 0, "{}: zero-count span in breakdown", p.name);
+                assert!(p.self_ms <= p.wall_ms + 1e-9);
+            }
+        }
+        // The pack phase must expose its nested structure, not just the
+        // root: hybrid packing always runs prepare + write.
+        let pack = rows
+            .iter()
+            .find(|r| r.phase == "pack")
+            .expect("pack rows exist");
+        for nested in ["pack/prepare", "pack/write"] {
+            assert!(
+                pack.phases.iter().any(|p| p.name == nested),
+                "pack breakdown missing {nested}"
+            );
         }
         let path = write_json(&rows).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("\"phase\": \"build\""));
         assert!(text.contains("\"speedup_vs_1t\""));
+        assert!(text.contains("\"phases\": ["));
+        assert!(text.contains("\"self_ms\""));
     }
 }

@@ -25,6 +25,7 @@
 use crate::cdc::{Chunker, ChunkerParams};
 use crate::ChunkError;
 use dsv_core::CostPair;
+use dsv_obs as obs;
 use dsv_storage::{Object, ObjectId};
 use std::collections::HashSet;
 
@@ -46,15 +47,21 @@ pub fn chunked_cost_pairs(
     params: ChunkerParams,
 ) -> Result<Vec<CostPair>, ChunkError> {
     params.validate()?;
+    let _span = obs::span!("estimate", versions = contents.len()).entered();
     // Chunking + hashing each version is independent work — run it on the
     // dsv-par work-stealing runtime. The dedup pass below stays
     // sequential over the precomputed chunk ids, so the order-dependent
     // increments are identical at every thread count.
-    let per_version: Vec<Vec<(ObjectId, u64)>> = dsv_par::par_map(contents, |data| {
-        Chunker::new(data, params)
-            .map(|chunk| (Object::full_id(chunk), chunk.len() as u64))
-            .collect()
+    let chunk_span = obs::span!("chunk");
+    let per_version: Vec<Vec<(ObjectId, u64)>> = chunk_span.in_scope(|| {
+        dsv_par::par_map(contents, |data| {
+            Chunker::new(data, params)
+                .map(|chunk| (Object::full_id(chunk), chunk.len() as u64))
+                .collect()
+        })
     });
+    drop(chunk_span);
+    let dedup_span = obs::span!("dedup").entered();
     let mut seen: HashSet<ObjectId> = HashSet::new();
     let mut out = Vec::with_capacity(contents.len());
     for (data, chunk_ids) in contents.iter().zip(&per_version) {
@@ -70,6 +77,8 @@ pub fn chunked_cost_pairs(
             data.len() as u64 + manifest,
         ));
     }
+    dedup_span.record("unique_chunks", seen.len());
+    drop(dedup_span);
     Ok(out)
 }
 

@@ -13,6 +13,7 @@ use crate::store::{plan_chunked_batch, prechunk, DedupStats, PrechunkedVersion};
 use crate::{ChunkError, ChunkerParams};
 use dsv_core::StorageMode;
 use dsv_delta::bytes_delta;
+use dsv_obs as obs;
 use dsv_storage::{dependency_order, Object, ObjectId, ObjectStore, PackedVersions};
 use std::ops::Range;
 
@@ -46,6 +47,7 @@ pub fn pack_versions_hybrid<S: ObjectStore + ?Sized>(
     assert_eq!(contents.len(), modes.len(), "one mode entry per version");
     params.validate()?;
     let n = contents.len();
+    let _pack = obs::span!("pack", versions = n, packer = "hybrid").entered();
 
     // Dependency order: delta parents before children; root modes
     // (materialized and chunked) are forest roots.
@@ -56,14 +58,18 @@ pub fn pack_versions_hybrid<S: ObjectStore + ?Sized>(
     // chunk boundaries + content hashes for chunked versions, encoded
     // byte deltas for delta versions — on the dsv-par runtime.
     let versions: Vec<u32> = (0..n as u32).collect();
-    let mut prepared = dsv_par::par_map(&versions, |&v| match modes[v as usize] {
-        StorageMode::Materialized => Prepared::Full,
-        StorageMode::Chunked => Prepared::Chunks(prechunk(&contents[v as usize], params)),
-        StorageMode::Delta(p) => {
-            let ops = bytes_delta::diff(&contents[p as usize], &contents[v as usize]);
-            Prepared::Delta(bytes_delta::encode(&ops))
-        }
+    let prepare_span = obs::span!("prepare");
+    let mut prepared = prepare_span.in_scope(|| {
+        dsv_par::par_map(&versions, |&v| match modes[v as usize] {
+            StorageMode::Materialized => Prepared::Full,
+            StorageMode::Chunked => Prepared::Chunks(prechunk(&contents[v as usize], params)),
+            StorageMode::Delta(p) => {
+                let ops = bytes_delta::diff(&contents[p as usize], &contents[v as usize]);
+                Prepared::Delta(bytes_delta::encode(&ops))
+            }
+        })
     });
+    drop(prepare_span);
 
     // Assembly phase, store-free: chunked versions first, in index order,
     // so dedup increments match the estimator's accounting; then fulls
@@ -79,7 +85,9 @@ pub fn pack_versions_hybrid<S: ObjectStore + ?Sized>(
             chunked_inputs.push((contents[v].as_slice(), chunks.as_slice()));
         }
     }
-    let chunk_batch = plan_chunked_batch(store, &chunked_inputs);
+    let plan_span = obs::span!("plan_chunks", chunked = chunked_inputs.len());
+    let chunk_batch = plan_span.in_scope(|| plan_chunked_batch(store, &chunked_inputs));
+    drop(plan_span);
     let mut stats = DedupStats::default();
     let mut ids: Vec<Option<ObjectId>> = vec![None; n];
     for (&v, put) in chunked_versions.iter().zip(&chunk_batch.puts) {
@@ -91,6 +99,7 @@ pub fn pack_versions_hybrid<S: ObjectStore + ?Sized>(
     // per-shard writes on a sharded store, peak buffering capped by the
     // BatchWriter). The store state is identical to the old sequential
     // write loops at every shard and thread count.
+    let _write = obs::span!("write").entered();
     let mut writer = dsv_storage::BatchWriter::new(store);
     writer.extend(chunk_batch.objects)?;
     for v in order {

@@ -38,6 +38,7 @@ use crate::solvers::gith::GitHParams;
 use crate::solvers::registry::{
     by_name_tuned, prescribed, registry_tuned, Solver, SolverOutcome, Support,
 };
+use dsv_obs as obs;
 use std::time::Duration;
 
 /// Which solver(s) a [`plan`] call runs.
@@ -358,8 +359,12 @@ fn run_single(
     problem: Problem,
     solver: &dyn Solver,
 ) -> Result<Plan, SolveError> {
-    let outcome = solver.solve_detailed(instance, &problem)?;
+    let span = obs::span!(solver.name());
+    let outcome = span.in_scope(|| solver.solve_detailed(instance, &problem))?;
     let summary = summarize(problem, &outcome, instance.weights());
+    span.record("objective", summary.objective);
+    span.record("feasible", summary.feasible);
+    drop(span);
     let feasible = summary.feasible;
     Ok(Plan {
         solution: outcome.solution,
@@ -406,6 +411,13 @@ pub fn plan(instance: &ProblemInstance, spec: &PlanSpec) -> Result<Plan, SolveEr
         _ => instance,
     };
     let problem = spec.problem();
+    // Every solve gets a "solve" span; Auto/Named nest the solver's own
+    // span beneath it (via the thread-local span stack inside
+    // `run_single`), while Portfolio parents its per-solver child spans
+    // explicitly through a `SpanHandle` — dsv-par workers are fresh
+    // threads that cannot see this thread's span stack.
+    let solve_span = obs::span!("solve", problem = format!("{problem}"));
+    let _solve = solve_span.enter();
     match spec.solver_choice() {
         SolverChoice::Auto => {
             let solver = by_name_tuned(prescribed(problem), spec.tuning())
@@ -434,7 +446,24 @@ pub fn plan(instance: &ProblemInstance, spec: &PlanSpec) -> Result<Plan, SolveEr
                 .into_iter()
                 .filter(|s| s.support(problem).is_some())
                 .collect();
-            let outcomes = dsv_par::par_map(&solvers, |s| s.solve_detailed(inst, &problem));
+            let fanout = solve_span.handle();
+            let outcomes = dsv_par::par_map(&solvers, |s| {
+                let span = fanout.child(s.name());
+                let outcome = span.in_scope(|| s.solve_detailed(inst, &problem));
+                if span.is_enabled() {
+                    if let Ok(o) = &outcome {
+                        span.record(
+                            "objective",
+                            problem.objective_value_on(&o.solution, inst.weights()),
+                        );
+                        span.record(
+                            "feasible",
+                            problem.is_feasible_on(&o.solution, inst.weights()),
+                        );
+                    }
+                }
+                outcome
+            });
             for (solver, outcome) in solvers.iter().zip(outcomes) {
                 match outcome {
                     Ok(outcome) => {

@@ -36,8 +36,13 @@
 //!   Object ids are content addresses, so a plan's objects are assembled
 //!   store-free and streamed through bounded `put_batch` flushes
 //!   ([`BatchWriter`]).
+//! - [`instrument`]: [`InstrumentedStore`] — wraps any store, counting
+//!   and tracing every operation once at the trait boundary (dsv-obs
+//!   spans + metrics), with dedup against the inner store's own
+//!   counters.
 
 pub mod hash;
+pub mod instrument;
 pub mod materialize;
 pub mod object;
 pub mod repack;
@@ -45,6 +50,7 @@ pub mod sharded;
 pub mod store;
 
 pub use hash::ObjectId;
+pub use instrument::InstrumentedStore;
 pub use materialize::{Materializer, RecreationWork};
 pub use object::{Object, StoreError};
 pub use repack::{

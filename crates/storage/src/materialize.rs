@@ -15,6 +15,7 @@ use crate::hash::ObjectId;
 use crate::object::{Object, StoreError};
 use crate::store::ObjectStore;
 use dsv_delta::bytes_delta;
+use dsv_obs as obs;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -66,6 +67,7 @@ impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
         &self,
         id: ObjectId,
     ) -> Result<(Arc<Vec<u8>>, RecreationWork), StoreError> {
+        let _span = obs::span!("materialize").entered();
         let mut work = RecreationWork::default();
         // Walk the chain down to a Full object or a cache hit.
         let mut chain: Vec<(ObjectId, Vec<u8>)> = Vec::new(); // (id, delta bytes)
@@ -119,6 +121,9 @@ impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
                 cache.lock().insert(obj_id, Arc::clone(&base));
             }
         }
+        obs::counter!("materialize.calls", 1);
+        obs::counter!("materialize.objects_fetched", work.objects_fetched as u64);
+        obs::counter!("materialize.bytes_read", work.bytes_read);
         Ok((base, work))
     }
 

@@ -12,6 +12,7 @@ use crate::materialize::{Materializer, RecreationWork};
 use crate::object::{Object, StoreError};
 use crate::store::ObjectStore;
 use dsv_delta::bytes_delta;
+use dsv_obs as obs;
 
 /// Payload bytes a [`BatchWriter`] buffers before flushing (64 MiB).
 pub const PACK_FLUSH_BYTES: u64 = 64 << 20;
@@ -76,7 +77,11 @@ impl<'a, S: ObjectStore + ?Sized> BatchWriter<'a, S> {
 
     fn flush(&mut self) -> Result<(), StoreError> {
         if !self.batch.is_empty() {
-            self.store.put_batch(&self.batch)?;
+            let span = obs::span!("flush", objects = self.batch.len());
+            obs::counter!("pack.flush.count", 1);
+            obs::counter!("pack.flush.objects", self.batch.len() as u64);
+            obs::counter!("pack.flush.bytes", self.buffered);
+            span.in_scope(|| self.store.put_batch(&self.batch))?;
             self.batch.clear();
         }
         self.buffered = 0;
@@ -168,6 +173,7 @@ pub fn pack_versions<S: ObjectStore + ?Sized>(
 ) -> Result<PackedVersions, StoreError> {
     assert_eq!(contents.len(), plan.len(), "one plan entry per version");
     let n = contents.len();
+    let _pack = obs::span!("pack", versions = n, packer = "binary").entered();
     let order = dependency_order(plan)?;
 
     // Delta payloads depend only on the raw contents (not on stored
@@ -177,10 +183,14 @@ pub fn pack_versions<S: ObjectStore + ?Sized>(
     let delta_versions: Vec<u32> = (0..n as u32)
         .filter(|&v| plan[v as usize].is_some())
         .collect();
-    let encoded = dsv_par::par_map(&delta_versions, |&v| {
-        let p = plan[v as usize].expect("filtered to delta versions") as usize;
-        bytes_delta::encode(&bytes_delta::diff(&contents[p], &contents[v as usize]))
+    let encode_span = obs::span!("encode", deltas = delta_versions.len());
+    let encoded = encode_span.in_scope(|| {
+        dsv_par::par_map(&delta_versions, |&v| {
+            let p = plan[v as usize].expect("filtered to delta versions") as usize;
+            bytes_delta::encode(&bytes_delta::diff(&contents[p], &contents[v as usize]))
+        })
     });
+    drop(encode_span);
     let mut deltas: Vec<Option<Vec<u8>>> = vec![None; n];
     for (&v, enc) in delta_versions.iter().zip(encoded) {
         deltas[v as usize] = Some(enc);
@@ -194,6 +204,7 @@ pub fn pack_versions<S: ObjectStore + ?Sized>(
     // buffering capped by the BatchWriter). The store holds exactly the
     // objects the old sequential write loop produced.
     let mut ids: Vec<Option<ObjectId>> = vec![None; n];
+    let _write = obs::span!("write").entered();
     let mut writer = BatchWriter::new(store);
     for v in order {
         let obj = match plan[v as usize] {

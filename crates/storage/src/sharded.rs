@@ -30,7 +30,10 @@
 use crate::hash::ObjectId;
 use crate::object::{Object, StoreError};
 use crate::store::{Counters, ObjectStore, ShardStats, StoreStats};
+use dsv_obs as obs;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Largest supported shard count: [`shard_index`] routes on the id's
 /// leading 16 bits, so any shard beyond 2^16 could never receive an
@@ -49,6 +52,9 @@ pub fn shard_index(id: ObjectId, n: usize) -> usize {
 pub struct ShardedStore<S> {
     shards: Vec<S>,
     counters: Counters,
+    /// Wall time each shard spent inside batch fan-out work, nanoseconds
+    /// (cumulative; surfaced as [`ShardStats::batch_ns`]).
+    shard_ns: Vec<AtomicU64>,
 }
 
 impl<S: ObjectStore> ShardedStore<S> {
@@ -61,9 +67,11 @@ impl<S: ObjectStore> ShardedStore<S> {
             "shard_index routes on 16 bits: {} shards > {MAX_SHARDS} leaves some unreachable",
             shards.len()
         );
+        let shard_ns = shards.iter().map(|_| AtomicU64::new(0)).collect();
         ShardedStore {
             shards,
             counters: Counters::default(),
+            shard_ns,
         }
     }
 
@@ -122,15 +130,21 @@ impl ShardedStore<crate::store::FileStore> {
 
 /// Runs `per_shard` concurrently over every non-empty group on the
 /// dsv-par runtime, returning `(shard, group, result)` triples in shard
-/// order.
+/// order. Each shard's wall time is folded into its `timers` entry.
 fn on_shards<'a, R: Send>(
     groups: &'a [Vec<usize>],
+    timers: &[AtomicU64],
     per_shard: impl Fn(usize, &'a [usize]) -> R + Sync,
 ) -> Vec<(usize, &'a [usize], R)> {
     let work: Vec<usize> = (0..groups.len())
         .filter(|&s| !groups[s].is_empty())
         .collect();
-    let results = dsv_par::par_map(&work, |&s| per_shard(s, &groups[s]));
+    let results = dsv_par::par_map(&work, |&s| {
+        let start = Instant::now();
+        let result = per_shard(s, &groups[s]);
+        timers[s].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    });
     work.into_iter()
         .zip(results)
         .map(|(s, r)| (s, groups[s].as_slice(), r))
@@ -173,12 +187,13 @@ impl<S: ObjectStore + Sync> ObjectStore for ShardedStore<S> {
 
     fn put_batch(&self, objs: &[Object]) -> Result<Vec<ObjectId>, StoreError> {
         self.counters.count_put_batch(objs.len());
+        let _span = obs::span!("store.put_batch", objects = objs.len()).entered();
         let groups = self.partition(objs.iter().map(|o| o.id()));
         // Each shard takes its group as single inner puts rather than an
         // inner `put_batch`: the latter needs a contiguous `&[Object]`,
         // i.e. cloning every payload. The shard's lock is uncontended
         // anyway — exactly one worker drives each shard per batch.
-        let per_shard = on_shards(&groups, |s, group| {
+        let per_shard = on_shards(&groups, &self.shard_ns, |s, group| {
             group
                 .iter()
                 .map(|&i| self.shards[s].put(&objs[i]))
@@ -198,10 +213,11 @@ impl<S: ObjectStore + Sync> ObjectStore for ShardedStore<S> {
 
     fn get_batch(&self, ids: &[ObjectId]) -> Result<Vec<Object>, StoreError> {
         self.counters.count_get_batch(ids.len());
+        let _span = obs::span!("store.get_batch", objects = ids.len()).entered();
         let groups = self.partition(ids.iter().copied());
         // Ids are Copy, so each shard gets its sub-batch as one inner
         // `get_batch` (one read-lock acquisition on a MemStore shard).
-        let per_shard = on_shards(&groups, |s, group| {
+        let per_shard = on_shards(&groups, &self.shard_ns, |s, group| {
             let shard_ids: Vec<ObjectId> = group.iter().map(|&i| ids[i]).collect();
             self.shards[s].get_batch(&shard_ids)
         });
@@ -219,7 +235,7 @@ impl<S: ObjectStore + Sync> ObjectStore for ShardedStore<S> {
 
     fn contains_batch(&self, ids: &[ObjectId]) -> Vec<bool> {
         let groups = self.partition(ids.iter().copied());
-        let per_shard = on_shards(&groups, |s, group| {
+        let per_shard = on_shards(&groups, &self.shard_ns, |s, group| {
             let shard_ids: Vec<ObjectId> = group.iter().map(|&i| ids[i]).collect();
             self.shards[s].contains_batch(&shard_ids)
         });
@@ -234,8 +250,9 @@ impl<S: ObjectStore + Sync> ObjectStore for ShardedStore<S> {
 
     fn remove_batch(&self, ids: &[ObjectId]) {
         self.counters.count_removes(ids.len());
+        let _span = obs::span!("store.remove_batch", objects = ids.len()).entered();
         let groups = self.partition(ids.iter().copied());
-        on_shards(&groups, |s, group| {
+        on_shards(&groups, &self.shard_ns, |s, group| {
             let shard_ids: Vec<ObjectId> = group.iter().map(|&i| ids[i]).collect();
             self.shards[s].remove_batch(&shard_ids);
         });
@@ -249,9 +266,11 @@ impl<S: ObjectStore + Sync> ObjectStore for ShardedStore<S> {
         let shards: Vec<ShardStats> = self
             .shards
             .iter()
-            .map(|s| ShardStats {
+            .zip(&self.shard_ns)
+            .map(|(s, ns)| ShardStats {
                 objects: s.len(),
                 bytes: s.total_bytes(),
+                batch_ns: ns.load(Ordering::Relaxed),
             })
             .collect();
         StoreStats {

@@ -45,6 +45,9 @@ pub struct ShardStats {
     pub objects: usize,
     /// Encoded bytes held by the shard.
     pub bytes: u64,
+    /// Cumulative wall time this shard spent inside batch fan-out work
+    /// (nanoseconds since the store was opened; in-memory only).
+    pub batch_ns: u64,
 }
 
 /// Single-vs-batch operation counters (cumulative since the store was
@@ -65,6 +68,23 @@ pub struct OpCounters {
     pub batch_get_objects: u64,
     /// Objects removed (single `remove` plus `remove_batch` contents).
     pub removes: u64,
+}
+
+impl OpCounters {
+    /// Objects written through any surface: single `put` calls plus
+    /// `put_batch` contents. Each stored object is counted exactly once
+    /// — batch calls count their elements under `batch_put_objects`
+    /// only, never additionally as singles (see the accounting contract
+    /// on [`ObjectStore`]).
+    pub fn put_objects(&self) -> u64 {
+        self.puts + self.batch_put_objects
+    }
+
+    /// Objects read through any surface: single `get` calls plus
+    /// `get_batch` contents.
+    pub fn get_objects(&self) -> u64 {
+        self.gets + self.batch_get_objects
+    }
 }
 
 /// A snapshot of a store's state returned by [`ObjectStore::stats`].
@@ -209,6 +229,16 @@ pub trait ObjectStore {
     /// A snapshot of the store's fill and operation counters. The default
     /// reports size only (no shards, zero counters), so third-party
     /// stores keep compiling.
+    ///
+    /// **Accounting contract:** a batched call counts once as a batch op
+    /// with its elements under `batch_*_objects` — its elements must not
+    /// *also* be counted as single ops, even when the implementation
+    /// routes the batch through the default single-op loops. Stores that
+    /// count singles internally and don't override the batch defaults
+    /// would double-report; wrap them in
+    /// [`crate::InstrumentedStore`], which counts each call exactly once
+    /// at the trait boundary and replaces (never sums with) the inner
+    /// store's own counters.
     fn stats(&self) -> StoreStats {
         StoreStats {
             objects: self.len(),

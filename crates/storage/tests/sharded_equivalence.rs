@@ -137,6 +137,62 @@ fn shard_stats_partition_the_whole_store() {
 }
 
 #[test]
+fn tracing_preserves_byte_identity_and_span_shape() {
+    use dsv_obs as obs;
+    use std::sync::Arc;
+
+    let objs = corpus(99, 100);
+    let reference = MemStore::new(false);
+    let ref_ids = reference.put_batch(&objs).unwrap();
+
+    // The batch spans are opened on the calling thread before the
+    // per-shard fan-out, so a thread-local recorder sees exactly one
+    // activation of each batch op no matter the layout or worker count.
+    let mut base_shape: Option<Vec<(String, u64)>> = None;
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let recorder = Arc::new(obs::Recorder::new());
+            obs::with_recorder(&recorder, || {
+                dsv_par::with_thread_count(threads, || {
+                    let sharded = ShardedStore::build(shards, |_| MemStore::new(false));
+                    let ids = sharded.put_batch(&objs).unwrap();
+                    assert_eq!(ids, ref_ids, "s{shards} t{threads}: traced ids");
+                    assert_eq!(
+                        sharded.total_bytes(),
+                        reference.total_bytes(),
+                        "s{shards} t{threads}: traced total_bytes"
+                    );
+                    let got = sharded.get_batch(&ids).unwrap();
+                    for (i, &id) in ids.iter().enumerate() {
+                        assert_eq!(got[i], reference.get(id).unwrap());
+                    }
+                    sharded.remove_batch(&ids);
+                    assert_eq!(sharded.len(), 0, "s{shards} t{threads}: traced removal");
+                    // The per-shard timers observed the fan-out.
+                    let stats = sharded.stats();
+                    assert!(
+                        stats.shards.iter().map(|s| s.batch_ns).sum::<u64>() > 0,
+                        "s{shards} t{threads}: no shard batch time recorded"
+                    );
+                })
+            });
+            let shape = recorder.snapshot().shape();
+            assert_eq!(
+                shape,
+                vec![
+                    ("store.get_batch".to_owned(), 1),
+                    ("store.put_batch".to_owned(), 1),
+                    ("store.remove_batch".to_owned(), 1),
+                ],
+                "s{shards} t{threads}: span shape"
+            );
+            let base = base_shape.get_or_insert_with(|| shape.clone());
+            assert_eq!(&shape, base, "s{shards} t{threads}: shape diverged");
+        }
+    }
+}
+
+#[test]
 fn batch_surface_equals_single_op_loops() {
     // The batch contract on the sharded store itself: put_batch /
     // get_batch / remove_batch leave exactly the state the single-object

@@ -11,12 +11,14 @@
 //! dsv branch <repo-dir> <name> <version>
 //! dsv branches <repo-dir>
 //! dsv status <repo-dir>
-//! dsv store <repo-dir>
+//! dsv store <repo-dir> [--json]
+//! dsv stats <repo-dir>
 //! dsv solvers
 //! dsv optimize <repo-dir> <p1|p2|p3|p4|p5|p6> [bound]
 //!              [--solver <name>] [--portfolio] [--hybrid] [--binary]
 //!              [--hops <n>] [--hop-bound <n>]
 //! dsv --threads <n> <any command ...>
+//! dsv --trace [--trace-json <path>] <any command ...>
 //! ```
 //!
 //! `init --shards <n>` lays the object store out as `n` independent
@@ -46,13 +48,24 @@
 //! Results are identical at any thread count; the default is the
 //! `DSV_THREADS` environment variable, falling back to the machine's
 //! available parallelism.
+//!
+//! `--trace` (or `DSV_TRACE=1`) installs a [`dsv_obs`] span recorder
+//! around the whole command and prints the aggregated call tree — wall
+//! and self time per phase — to stderr when the command finishes.
+//! `--trace-json <path>` writes the same tree as JSON. Both are accepted
+//! anywhere on the command line and compose with `--threads`; the span
+//! tree's *shape* is identical at every thread count. `store --json`
+//! emits the [`StoreStats`] snapshot plus this process's metrics as
+//! JSON; `stats` prints both in human form.
 
 use dsv_core::solvers::{registry, Support};
 use dsv_core::{ChunkingSpec, ModePolicy, PlanSpec, Problem, SolverChoice};
+use dsv_obs as obs;
 use dsv_storage::{FileStore, ObjectStore, ShardedStore, StoreStats, MAX_SHARDS};
 use dsv_vcs::{persist, CommitId, Placement, RepoStore, Repository};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,10 +79,39 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    // `--threads` is global (any command may hit a parallel phase), so it
-    // is extracted before dispatch and pins the dsv-par runtime.
+    // `--threads` and the trace flags are global (any command may hit a
+    // parallel phase), so they are extracted before dispatch: `--threads`
+    // pins the dsv-par runtime, the trace flags wrap the whole command in
+    // a span recorder.
     let args = extract_threads(args)?;
-    let args = &args[..];
+    let (args, trace) = extract_trace(&args)?;
+    // Metrics are a single branch per update; keep them on so that
+    // `store --json` and `stats` can report what this process did.
+    obs::set_metrics_enabled(true);
+    let recorder = if trace.enabled() {
+        let r = Arc::new(obs::Recorder::new());
+        obs::set_global_recorder(Some(Arc::clone(&r)));
+        Some(r)
+    } else {
+        None
+    };
+    let mut result = dispatch(&args);
+    if let Some(recorder) = recorder {
+        obs::set_global_recorder(None);
+        let tree = recorder.snapshot();
+        if trace.human && !tree.is_empty() {
+            eprint!("{}", tree.render());
+        }
+        if let Some(path) = &trace.json {
+            let write = std::fs::write(path, tree.to_json())
+                .map_err(|e| format!("writing trace to {}: {e}", path.display()));
+            result = result.and(write);
+        }
+    }
+    result
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "init" => {
@@ -200,9 +242,27 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "store" => {
+            let json = args.iter().any(|a| a == "--json");
+            let positional: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
+            let root = repo_dir(&positional, 1)?;
+            let repo = persist::load(&root, true).map_err(stringify)?;
+            let stats = repo.store().stats();
+            if json {
+                println!("{}", store_stats_json(&stats, repo.logical_bytes()));
+            } else {
+                print_store_stats(&stats, repo.logical_bytes());
+            }
+            Ok(())
+        }
+        "stats" => {
             let root = repo_dir(args, 1)?;
             let repo = persist::load(&root, true).map_err(stringify)?;
             print_store_stats(&repo.store().stats(), repo.logical_bytes());
+            let metrics = obs::metrics().snapshot();
+            if !metrics.is_empty() {
+                println!("metrics this process:");
+                print!("{}", metrics.render());
+            }
             Ok(())
         }
         "solvers" => {
@@ -288,10 +348,11 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "help" | "--help" | "-h" => {
             println!(
-                "usage: dsv <init|commit|checkout|log|branch|branches|status|store|solvers|optimize> ..."
+                "usage: dsv <init|commit|checkout|log|branch|branches|status|store|stats|solvers|optimize> ..."
             );
             println!("       dsv init <repo> [--shards <n>]  shard the object store n ways");
-            println!("       dsv store <repo>  print object-store stats (shard fill, dedup ratio)");
+            println!("       dsv store <repo> [--json]  print object-store stats (shard fill, dedup ratio)");
+            println!("       dsv stats <repo>  store stats plus this process's metrics");
             println!("       dsv optimize <repo> <p1..p6> [bound] [--solver <name>] [--portfolio]");
             println!(
                 "                    [--hybrid] [--binary] [--hops <reveal-n>] [--hop-bound <n>]"
@@ -300,6 +361,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 "       dsv --threads <n> ...  pin the parallel runtime's worker count \
                  (default: DSV_THREADS, then available cores)"
             );
+            println!(
+                "       dsv --trace ...  print a span tree of the command's phases to stderr \
+                 (also: DSV_TRACE=1)"
+            );
+            println!("       dsv --trace-json <path> ...  write the span tree as JSON");
             Ok(())
         }
         other => Err(format!("unknown command '{other}' (try: dsv help)")),
@@ -376,6 +442,87 @@ fn extract_threads(args: &[String]) -> Result<Vec<String>, String> {
         }
     }
     Ok(out)
+}
+
+/// Global tracing options stripped from the command line by
+/// [`extract_trace`].
+struct TraceOpts {
+    /// Print the rendered span tree to stderr after the command.
+    human: bool,
+    /// Write the span tree as JSON to this path after the command.
+    json: Option<PathBuf>,
+}
+
+impl TraceOpts {
+    fn enabled(&self) -> bool {
+        self.human || self.json.is_some()
+    }
+}
+
+/// Strips the global `--trace` / `--trace-json <path>` flags from `args`.
+/// `DSV_TRACE=1` (or `true`) in the environment is equivalent to
+/// `--trace`, mirroring how `DSV_THREADS` backs `--threads`.
+fn extract_trace(args: &[String]) -> Result<(Vec<String>, TraceOpts), String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut human = false;
+    let mut json = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--trace" {
+            human = true;
+        } else if arg == "--trace-json" {
+            let value = iter.next().ok_or("--trace-json needs a path")?;
+            json = Some(PathBuf::from(value));
+        } else {
+            out.push(arg.clone());
+        }
+    }
+    if !human {
+        human = std::env::var("DSV_TRACE")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+    }
+    Ok((out, TraceOpts { human, json }))
+}
+
+/// JSON form of [`print_store_stats`] plus the process's metrics
+/// snapshot — everything is numeric except metric names, which
+/// [`dsv_obs`] escapes itself.
+fn store_stats_json(stats: &StoreStats, logical_bytes: u64) -> String {
+    let shards: Vec<String> = stats
+        .shards
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"objects\": {}, \"bytes\": {}, \"batch_ms\": {:.3}}}",
+                s.objects,
+                s.bytes,
+                s.batch_ns as f64 / 1e6
+            )
+        })
+        .collect();
+    let ops = &stats.ops;
+    format!(
+        "{{\"objects\": {}, \"bytes\": {}, \"logical_bytes\": {logical_bytes}, \
+         \"shards\": [{}], \
+         \"ops\": {{\"puts\": {}, \"gets\": {}, \"batch_puts\": {}, \"batch_put_objects\": {}, \
+         \"batch_gets\": {}, \"batch_get_objects\": {}, \"removes\": {}, \
+         \"put_objects\": {}, \"get_objects\": {}}}, \
+         \"metrics\": {}}}",
+        stats.objects,
+        stats.bytes,
+        shards.join(", "),
+        ops.puts,
+        ops.gets,
+        ops.batch_puts,
+        ops.batch_put_objects,
+        ops.batch_gets,
+        ops.batch_get_objects,
+        ops.removes,
+        ops.put_objects(),
+        ops.get_objects(),
+        obs::metrics().snapshot().to_json()
+    )
 }
 
 fn repo_dir(args: &[String], idx: usize) -> Result<PathBuf, String> {

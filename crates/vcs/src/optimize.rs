@@ -19,6 +19,7 @@ use dsv_core::{
     plan, CostMatrix, CostPair, ModePolicy, PlanSpec, Problem, ProblemInstance, Provenance,
 };
 use dsv_delta::bytes_delta;
+use dsv_obs as obs;
 use dsv_storage::{pack_versions, Materializer, ObjectStore, PackOptions};
 use std::collections::{HashSet, VecDeque};
 
@@ -75,8 +76,12 @@ impl<S: ObjectStore> Repository<S> {
         };
         let reveal_hops = spec.reveal_hop_count();
         let storage_before = self.store.total_bytes();
+        let _optimize = obs::span!("optimize", versions = n).entered();
+        obs::counter!("optimize.runs", 1);
 
-        // Materialize every version once (cached chain walks).
+        // Materialize every version once (cached chain walks). The
+        // Materializer's own per-call "materialize" spans aggregate as
+        // one n-count child of the optimize span.
         let contents: Vec<Vec<u8>> = {
             let m = Materializer::with_cache(&self.store);
             let mut out = Vec::with_capacity(n);
@@ -98,6 +103,7 @@ impl<S: ObjectStore> Repository<S> {
         // runtime, reveal sequentially (reveal order does not affect the
         // matrix).
         let pairs = self.pairs_within_hops(reveal_hops);
+        let reveal_span = obs::span!("reveal", pairs = pairs.len()).entered();
         let costs = dsv_par::par_map(&pairs, |&(a, b)| {
             let fwd = bytes_delta::encode(&bytes_delta::diff(
                 &contents[a as usize],
@@ -113,6 +119,7 @@ impl<S: ObjectStore> Repository<S> {
             matrix.reveal(a, b, CostPair::proportional(fwd));
             matrix.reveal(b, a, CostPair::proportional(rev));
         }
+        drop(reveal_span);
         if let Some(params) = chunking {
             for (i, pair) in chunked_cost_pairs(&contents, params)?
                 .into_iter()
@@ -160,15 +167,20 @@ impl<S: ObjectStore> Repository<S> {
             }
         }
         let stale: Vec<_> = old_ids.difference(&new_ids).copied().collect();
-        self.store.remove_batch(&stale);
+        let gc_span = obs::span!("gc", stale = stale.len());
+        obs::counter!("optimize.gc.stale_objects", stale.len() as u64);
+        gc_span.in_scope(|| self.store.remove_batch(&stale));
+        drop(gc_span);
         self.objects = packed.ids;
         self.plan = solution.modes().to_vec();
 
+        let storage_after = self.store.total_bytes();
+        obs::gauge!("optimize.storage_after_bytes", storage_after as f64);
         Ok(OptimizeReport {
             problem: spec.problem(),
             provenance: chosen.provenance,
             storage_before,
-            storage_after: self.store.total_bytes(),
+            storage_after,
             materialized: solution.materialized().count(),
             chunked: solution.chunked().count(),
             planned_storage_cost: solution.storage_cost(),

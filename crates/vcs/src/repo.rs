@@ -5,6 +5,7 @@ use crate::error::VcsError;
 use dsv_chunk::{ChunkStore, ChunkerParams};
 use dsv_core::StorageMode;
 use dsv_delta::bytes_delta;
+use dsv_obs as obs;
 use dsv_storage::{Materializer, MemStore, Object, ObjectId, ObjectStore};
 use std::collections::BTreeMap;
 
@@ -195,6 +196,8 @@ impl<S: ObjectStore> Repository<S> {
         message: &str,
         max_recreation_bytes: Option<u64>,
     ) -> Result<CommitId, VcsError> {
+        let _span = obs::span!("commit", bytes = data.len()).entered();
+        obs::counter!("vcs.commits", 1);
         let id = CommitId(self.commits.len() as u32);
         if let Placement::Chunked(params) = self.placement {
             // Chunked placement: dedup against every chunk already stored.
@@ -269,6 +272,8 @@ impl<S: ObjectStore> Repository<S> {
     /// Reconstructs the content of a commit.
     pub fn checkout(&self, id: CommitId) -> Result<Vec<u8>, VcsError> {
         self.meta(id)?;
+        let _span = obs::span!("checkout").entered();
+        obs::counter!("vcs.checkouts", 1);
         let m = Materializer::new(&self.store);
         Ok(m.materialize(self.objects[id.index()])?.as_ref().clone())
     }

@@ -12,6 +12,7 @@ use crate::zipf::zipf_weights;
 use dsv_core::{CostMatrix, CostPair, ProblemInstance};
 use dsv_delta::cost::{delta_annotation, full_annotation, CostModel};
 use dsv_delta::script::line_diff;
+use dsv_obs as obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -130,6 +131,7 @@ impl Dataset {
 /// Builds a dataset: generates the version graph and contents, computes
 /// the deltas, and assembles the matrices.
 pub fn build(name: &str, params: &DatasetParams, seed: u64) -> Dataset {
+    let build_span = obs::span!("build", versions = params.graph.commits).entered();
     let graph = VersionGraph::generate(&params.graph, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
 
@@ -137,6 +139,7 @@ pub fn build(name: &str, params: &DatasetParams, seed: u64) -> Dataset {
     // derives from its first parent (merges take the first parent's
     // content plus fresh edits, matching the paper's user-performed-merge
     // model).
+    let contents_span = obs::span!("contents");
     let mut tables = Vec::with_capacity(graph.n);
     tables.push(base_table(&params.edits, &mut rng));
     for v in 1..graph.n {
@@ -146,6 +149,7 @@ pub fn build(name: &str, params: &DatasetParams, seed: u64) -> Dataset {
     }
     let contents: Vec<Vec<u8>> = tables.iter().map(|t| t.to_csv()).collect();
     drop(tables);
+    drop(contents_span);
     let sizes: Vec<u64> = contents.iter().map(|c| c.len() as u64).collect();
 
     // Matrices: diagonal from full contents, off-diagonal from real diffs
@@ -164,6 +168,7 @@ pub fn build(name: &str, params: &DatasetParams, seed: u64) -> Dataset {
     // reveal sequentially (reveal order does not affect the matrix).
     let pairs = graph.pairs_within_hops(params.reveal_hops);
     let model = params.cost_model;
+    let reveal_span = obs::span!("reveal", pairs = pairs.len()).entered();
     let annotated = dsv_par::par_map(&pairs, |&(a, b)| {
         let (ca, cb) = (&contents[a as usize], &contents[b as usize]);
         if params.directed {
@@ -188,6 +193,8 @@ pub fn build(name: &str, params: &DatasetParams, seed: u64) -> Dataset {
             matrix.reveal(b, a, rev);
         }
     }
+    drop(reveal_span);
+    drop(build_span);
 
     Dataset {
         name: name.to_owned(),

@@ -13,6 +13,7 @@ use crate::dataset::{to_pair, Dataset};
 use dsv_core::{CostMatrix, CostPair};
 use dsv_delta::cost::{delta_annotation, full_annotation, CostModel};
 use dsv_delta::script::line_diff;
+use dsv_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -83,6 +84,7 @@ fn rows_of(content: &[u8]) -> Vec<Vec<u8>> {
 /// Builds the dedup-chain dataset deterministically from `seed`.
 pub fn build(name: &str, params: &DedupParams, seed: u64) -> Dataset {
     assert!(params.versions >= 1);
+    let _build = obs::span!("build", versions = params.versions).entered();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995_9e37_79b9);
     let mut serial = 0u64;
     let mut next_row = |rng: &mut StdRng| {
@@ -130,6 +132,7 @@ pub fn build(name: &str, params: &DedupParams, seed: u64) -> Dataset {
         CostMatrix::undirected(diag)
     };
     let model = params.cost_model;
+    let reveal_span = obs::span!("reveal", pairs = params.versions.saturating_sub(1)).entered();
     for v in 1..params.versions as u32 {
         let (prev, cur) = (&contents[v as usize - 1], &contents[v as usize]);
         if params.directed {
@@ -144,6 +147,7 @@ pub fn build(name: &str, params: &DedupParams, seed: u64) -> Dataset {
             matrix.reveal(v - 1, v, to_pair(delta_annotation(model, &both, target)));
         }
     }
+    drop(reveal_span);
 
     Dataset {
         name: name.to_owned(),

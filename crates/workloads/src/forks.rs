@@ -15,6 +15,7 @@ use crate::table_gen::{base_table, random_commit, EditParams};
 use dsv_core::{CostMatrix, CostPair};
 use dsv_delta::cost::{delta_annotation, full_annotation, CostModel};
 use dsv_delta::script::line_diff;
+use dsv_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -69,6 +70,7 @@ impl Default for ForkParams {
 pub fn build(name: &str, params: &ForkParams, seed: u64) -> Dataset {
     assert!(params.forks >= 1);
     assert!(params.clusters >= 1);
+    let _build = obs::span!("build", versions = params.forks).entered();
     let mut rng = StdRng::seed_from_u64(seed);
     let base = base_table(&params.edits, &mut rng);
 
@@ -125,6 +127,7 @@ pub fn build(name: &str, params: &ForkParams, seed: u64) -> Dataset {
         }
     }
     let model = params.cost_model;
+    let reveal_span = obs::span!("reveal", pairs = pairs.len()).entered();
     let annotated = dsv_par::par_map(&pairs, |&(a, b)| {
         let (ca, cb) = (&contents[a as usize], &contents[b as usize]);
         let fwd = line_diff(ca, cb).encode();
@@ -148,6 +151,7 @@ pub fn build(name: &str, params: &ForkParams, seed: u64) -> Dataset {
             matrix.reveal(b, a, rev);
         }
     }
+    drop(reveal_span);
 
     Dataset {
         name: name.to_owned(),

@@ -13,6 +13,7 @@
 use crate::dataset::Dataset;
 use crate::version_graph::{GraphParams, VersionGraph};
 use dsv_core::{CostMatrix, CostPair};
+use dsv_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,6 +50,7 @@ impl Default for SyntheticParams {
 
 /// Builds a cost-only dataset (no contents).
 pub fn build(name: &str, params: &SyntheticParams, seed: u64) -> Dataset {
+    let _build = obs::span!("build", versions = params.graph.commits).entered();
     let graph = VersionGraph::generate(&params.graph, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
 
@@ -88,7 +90,9 @@ pub fn build(name: &str, params: &SyntheticParams, seed: u64) -> Dataset {
         let jitter = rng.gen_range(mean / 2..=mean + mean / 2);
         jitter.min(sizes[a as usize].min(sizes[b as usize]))
     };
-    for (a, b, hops) in graph.pairs_within_hops_dist(params.reveal_hops) {
+    let pairs = graph.pairs_within_hops_dist(params.reveal_hops);
+    let reveal_span = obs::span!("reveal", pairs = pairs.len()).entered();
+    for (a, b, hops) in pairs {
         if params.directed {
             let fwd = delta_for(hops, a, b, &mut rng);
             matrix.reveal(a, b, CostPair::new(fwd, phi(fwd, params.phi_factor)));
@@ -99,6 +103,7 @@ pub fn build(name: &str, params: &SyntheticParams, seed: u64) -> Dataset {
             matrix.reveal(a, b, CostPair::new(d, phi(d, params.phi_factor)));
         }
     }
+    drop(reveal_span);
 
     Dataset {
         name: name.to_owned(),

@@ -30,6 +30,12 @@
 //!   estimation, portfolio solves, and packing. Thread count comes from
 //!   `DSV_THREADS` (or `dsv --threads`); results are identical at every
 //!   thread count.
+//! - [`obs`] — std-only tracing/metrics shim (tracing-subset API)
+//!   instrumenting the solve/pack/store pipeline: spans aggregate into a
+//!   deterministic call tree with wall/self time (`dsv --trace`,
+//!   `--trace-json`, `DSV_TRACE=1`), and a metrics registry of counters,
+//!   gauges, and histograms backs `dsv stats` / `dsv store --json`. With
+//!   no recorder installed every macro is one relaxed atomic load.
 //!
 //! ## The three storage substrates
 //!
@@ -83,6 +89,7 @@ pub use dsv_compress as compress;
 pub use dsv_core as core;
 pub use dsv_delta as delta;
 pub use dsv_graph as graph;
+pub use dsv_obs as obs;
 pub use dsv_par as par;
 pub use dsv_storage as storage;
 pub use dsv_vcs as vcs;

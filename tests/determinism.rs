@@ -178,6 +178,58 @@ fn parallel_portfolio_matches_sequential() {
     }
 }
 
+/// Property: installing a dsv-obs recorder must not change a single byte
+/// of the pipeline's output — and the span tree it collects has the same
+/// *shape* (same named phases, nested the same way, closed the same
+/// number of times) at every thread count. Wall times differ per run;
+/// the shape is the deterministic part.
+#[test]
+fn tracing_changes_nothing_and_span_shape_is_thread_count_stable() {
+    use dataset_versioning::chunk::{chunked_cost_pairs, pack_versions_hybrid, ChunkerParams};
+    use dataset_versioning::obs;
+    use std::sync::Arc;
+
+    let run = || {
+        let ds = presets::dedup_chain().scaled(20).keep_contents().build(13);
+        let contents = ds.contents.as_ref().unwrap().clone();
+        let params = ChunkerParams::default();
+        let estimates = chunked_cost_pairs(&contents, params).unwrap();
+        let inst = ds.instance_with_chunked(params).unwrap();
+        let spec = PlanSpec::new(Problem::MinStorage)
+            .solver(SolverChoice::Portfolio)
+            .exact_node_budget(Some(50_000));
+        let p = plan(&inst, &spec).unwrap();
+        let store = MemStore::new(true);
+        let (packed, _) =
+            pack_versions_hybrid(&store, &contents, p.solution.modes(), params).unwrap();
+        (
+            ds.sizes.clone(),
+            estimates,
+            p.provenance.solver,
+            p.solution,
+            store.total_bytes(),
+            packed.ids,
+        )
+    };
+
+    let untraced = par::with_thread_count(1, run);
+    let mut base_shape: Option<Vec<(String, u64)>> = None;
+    for threads in THREAD_COUNTS {
+        let recorder = Arc::new(obs::Recorder::new());
+        let traced = obs::with_recorder(&recorder, || par::with_thread_count(threads, run));
+        assert_eq!(traced, untraced, "t{threads}: tracing changed the results");
+        let shape = recorder.snapshot().shape();
+        for phase in ["build", "estimate", "solve", "pack"] {
+            assert!(
+                shape.iter().any(|(path, _)| path == phase),
+                "t{threads}: span tree is missing the {phase} phase"
+            );
+        }
+        let base = base_shape.get_or_insert_with(|| shape.clone());
+        assert_eq!(&shape, base, "t{threads}: span tree shape diverged");
+    }
+}
+
 /// Property: both packers (binary and hybrid) write byte-identical
 /// stores — same object ids, same physical bytes — at every thread
 /// count.
