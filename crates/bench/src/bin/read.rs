@@ -1,0 +1,10 @@
+//! Hot read path benchmark: replays a Zipf(2) checkout trace over the
+//! LC/BF/DD pack corpora with and without the bounded `CheckoutCache`;
+//! asserts every checkout is byte-identical and that the cache strictly
+//! reduces store reads on the delta-chain workloads, then writes
+//! `target/experiments/BENCH_read.json`. `--quick` shrinks the workloads.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::read::run(scale);
+}

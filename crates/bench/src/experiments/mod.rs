@@ -13,6 +13,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod hybrid;
 pub mod perf;
+pub mod read;
 pub mod sec52;
 pub mod solver_matrix;
 pub mod store;

@@ -97,7 +97,9 @@ struct Measured {
 }
 
 /// Flattens the named phase's span subtree into [`PhaseSpan`] rows.
-fn flatten_phase(tree: &obs::TraceTree, phase: &str) -> Vec<PhaseSpan> {
+/// Shared with the `read` experiment, which reports the `checkout`
+/// subtree the same way.
+pub(crate) fn flatten_phase(tree: &obs::TraceTree, phase: &str) -> Vec<PhaseSpan> {
     fn walk(node: &obs::TraceNode, prefix: &str, out: &mut Vec<PhaseSpan>) {
         let name = if prefix.is_empty() {
             node.name.clone()

@@ -1,0 +1,402 @@
+//! Hot read path: Zipf checkout throughput with and without the cache.
+//!
+//! The paper's workload-aware experiment (§6, Fig. 16) assigns versions
+//! Zipfian access frequencies with exponent 2 — "real-world access
+//! frequencies are known to follow such distributions" — and most reads
+//! land on a small hot set. This experiment measures what the bounded
+//! [`dsv_storage::CheckoutCache`] buys on exactly that access pattern.
+//!
+//! For each workload (LC/BF/DD) it packs the corpus the way the system
+//! would — a MinStorage delta plan for the binary workloads, dedup chunk
+//! manifests for DD — reassembles it as a [`dsv_vcs::Repository`], draws
+//! a Zipf(2) access trace over the versions, and replays the trace twice:
+//!
+//! - **uncached**: every checkout replays its full delta chain (or
+//!   refetches every chunk) from the store;
+//! - **cached**: the same repository behind a byte-budgeted
+//!   `CheckoutCache` sized at half the logical corpus, so admission and
+//!   eviction are exercised, not just lookup.
+//!
+//! Every checkout is verified byte-identical to the committed content in
+//! both configurations before any timing is reported. The run asserts
+//! cached `bytes_read` is *strictly* below uncached on the delta-chain
+//! workloads (LC/BF) and no worse on DD, then writes
+//! `target/experiments/BENCH_read.json` — rows carry the recreation-work
+//! counters, the final cache stats, and the `checkout` span subtree from
+//! the thread-local dsv-obs recorder.
+
+use crate::experiments::perf::{flatten_phase, PhaseSpan};
+use crate::report::Table;
+use crate::{timed, Scale};
+use dsv_chunk::{pack_versions_chunked, ChunkerParams};
+use dsv_core::{plan, PlanSpec, Problem, StorageMode};
+use dsv_obs as obs;
+use dsv_storage::{pack_versions, MemStore, PackOptions, RecreationWork};
+use dsv_vcs::{CommitId, CommitMeta, Placement, Repository};
+use dsv_workloads::{presets, zipf_weights};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One trace replay: one workload through one cache configuration.
+#[derive(Debug, Clone)]
+pub struct ReadRow {
+    /// Workload name ("LC", "BF", "DD").
+    pub workload: &'static str,
+    /// Cache configuration ("uncached", "cached").
+    pub config: &'static str,
+    /// Versions in the repository.
+    pub versions: usize,
+    /// Checkouts replayed.
+    pub accesses: usize,
+    /// Logical bytes of version content served to the caller.
+    pub bytes_served: u64,
+    /// Delta/full/chunk payload bytes read from the store.
+    pub bytes_read: u64,
+    /// Bytes of content produced while replaying chains.
+    pub bytes_written: u64,
+    /// Objects fetched from the store.
+    pub objects_fetched: usize,
+    /// Checkout-cache hits observed by the materializer.
+    pub cache_hits: usize,
+    /// Store reads the cache hits avoided (estimated bytes).
+    pub bytes_saved: u64,
+    /// Cache byte budget (0 for the uncached configuration).
+    pub cache_budget: u64,
+    /// Entries resident when the trace finished.
+    pub cache_entries: usize,
+    /// Entries evicted over the trace.
+    pub cache_evictions: u64,
+    /// Offers rejected by admission control.
+    pub cache_rejected: u64,
+    /// Wall-clock milliseconds for the whole trace.
+    pub millis: f64,
+    /// Served MB/s over the trace.
+    pub mb_per_s: f64,
+    /// Uncached wall-clock divided by this one's (1.0 for uncached).
+    pub speedup_vs_uncached: f64,
+    /// The `checkout` span subtree aggregated over the trace, from the
+    /// dsv-obs recorder running alongside the measurement.
+    pub phases: Vec<PhaseSpan>,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Packs `name`'s corpus the way the system would and reassembles it as
+/// a repository: MinStorage delta plan for the binary workloads, chunk
+/// manifests for DD. Returns the repository plus the logical contents.
+fn build_repo(name: &str, versions: usize, chunked: bool) -> (Repository<MemStore>, Vec<Vec<u8>>) {
+    let seed = 2015;
+    let preset = match name {
+        "LC" => presets::linear_chain(),
+        "BF" => presets::bootstrap_forks(),
+        "DD" => presets::dedup_chain(),
+        other => panic!("unknown workload {other}"),
+    };
+    let ds = preset.scaled(versions).keep_contents().build(seed);
+    let contents = ds.contents.clone().expect("contents kept");
+    let store = MemStore::new(false);
+    let (modes, ids, placement) = if chunked {
+        let (packed, _) = pack_versions_chunked(&store, &contents, ChunkerParams::default())
+            .expect("chunked pack");
+        (
+            vec![StorageMode::Chunked; contents.len()],
+            packed.ids,
+            Placement::Chunked(ChunkerParams::default()),
+        )
+    } else {
+        let instance = ds.instance();
+        let chosen = plan(&instance, &PlanSpec::new(Problem::MinStorage)).expect("solvable");
+        let packed = pack_versions(
+            &store,
+            &contents,
+            chosen.solution.parents(),
+            PackOptions::default(),
+        )
+        .expect("plan packs");
+        (
+            chosen.solution.modes().to_vec(),
+            packed.ids,
+            Placement::GreedyDelta,
+        )
+    };
+    let commits: Vec<CommitMeta> = contents
+        .iter()
+        .enumerate()
+        .map(|(i, c)| CommitMeta {
+            id: CommitId(i as u32),
+            parents: if i == 0 {
+                Vec::new()
+            } else {
+                vec![CommitId(i as u32 - 1)]
+            },
+            message: format!("v{i}"),
+            sequence: i as u64,
+            size: c.len() as u64,
+        })
+        .collect();
+    let head = CommitId(contents.len() as u32 - 1);
+    let repo = Repository::from_parts(
+        store,
+        commits,
+        modes,
+        ids,
+        vec![("main".to_string(), head)],
+        placement,
+    )
+    .expect("packed parts reassemble");
+    (repo, contents)
+}
+
+/// A shuffled access trace of roughly `accesses` checkouts whose
+/// per-version counts follow Zipf(2), every version accessed at least
+/// once. Deterministic per seed.
+fn zipf_trace(versions: usize, accesses: usize, seed: u64) -> Vec<u32> {
+    let weights = zipf_weights(versions, 2.0, seed);
+    let total: f64 = weights.iter().sum();
+    let mut trace = Vec::new();
+    for (v, w) in weights.iter().enumerate() {
+        let count = ((w / total) * accesses as f64).round() as usize;
+        for _ in 0..count.max(1) {
+            trace.push(v as u32);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a1f);
+    trace.shuffle(&mut rng);
+    trace
+}
+
+/// Replays `trace`, verifying every checkout against `contents`, and
+/// returns the accumulated recreation work, wall-clock, and the span
+/// tree the replay produced.
+fn drive(
+    repo: &Repository<MemStore>,
+    trace: &[u32],
+    contents: &[Vec<u8>],
+) -> (RecreationWork, f64, obs::TraceTree) {
+    let recorder = Arc::new(obs::Recorder::new());
+    let (total, elapsed) = obs::with_recorder(&recorder, || {
+        timed(|| {
+            let mut total = RecreationWork::default();
+            for &v in trace {
+                let (bytes, work) = repo.checkout_measured(CommitId(v)).expect("checkout");
+                assert_eq!(bytes, contents[v as usize], "v{v} must reconstruct");
+                total.add(work);
+            }
+            total
+        })
+    });
+    (total, ms(elapsed), recorder.snapshot())
+}
+
+/// Runs the comparison. Panics if any checkout diverges from the packed
+/// content or the cache fails to reduce store reads on the delta-chain
+/// workloads — the speedup must come from real read elimination.
+pub fn run(scale: Scale) -> Vec<ReadRow> {
+    let configs: [(&'static str, usize, bool); 3] = [
+        ("LC", scale.pick(60, 400), false),
+        ("BF", scale.pick(24, 120), false),
+        ("DD", scale.pick(40, 150), true),
+    ];
+    let accesses = scale.pick(240, 2400);
+
+    let mut rows = Vec::new();
+    for (name, versions, chunked) in configs {
+        let (mut repo, contents) = build_repo(name, versions, chunked);
+        let trace = zipf_trace(contents.len(), accesses, 2015);
+        let bytes_served: u64 = trace
+            .iter()
+            .map(|&v| contents[v as usize].len() as u64)
+            .sum();
+
+        let (work_u, ms_u, tree_u) = drive(&repo, &trace, &contents);
+
+        // Half the logical corpus: big enough to hold the Zipf hot set,
+        // small enough that admission and eviction actually run.
+        let logical: u64 = contents.iter().map(|c| c.len() as u64).sum();
+        let budget = (logical / 2).max(1);
+        let cache = repo.enable_checkout_cache(budget);
+        let (work_c, ms_c, tree_c) = drive(&repo, &trace, &contents);
+        let stats = cache.stats();
+
+        assert!(
+            work_c.bytes_read <= work_u.bytes_read,
+            "{name}: cache increased store reads ({} > {})",
+            work_c.bytes_read,
+            work_u.bytes_read
+        );
+        if !chunked {
+            assert!(
+                work_c.bytes_read < work_u.bytes_read,
+                "{name}: cache saved nothing on a delta-chain workload"
+            );
+            assert!(work_c.cache_hits > 0, "{name}: no cache hits under Zipf");
+        }
+
+        for (config, work, millis, cache_stats) in [
+            ("uncached", &work_u, ms_u, None),
+            ("cached", &work_c, ms_c, Some(stats)),
+        ] {
+            rows.push(ReadRow {
+                workload: name,
+                config,
+                versions,
+                accesses: trace.len(),
+                bytes_served,
+                bytes_read: work.bytes_read,
+                bytes_written: work.bytes_written,
+                objects_fetched: work.objects_fetched,
+                cache_hits: work.cache_hits,
+                bytes_saved: work.bytes_saved,
+                cache_budget: cache_stats.map_or(0, |s| s.budget_bytes),
+                cache_entries: cache_stats.map_or(0, |s| s.entries),
+                cache_evictions: cache_stats.map_or(0, |s| s.evictions),
+                cache_rejected: cache_stats.map_or(0, |s| s.rejected),
+                millis,
+                mb_per_s: bytes_served as f64 / 1e6 / (millis / 1e3).max(1e-9),
+                speedup_vs_uncached: ms_u / millis.max(1e-9),
+                phases: flatten_phase(
+                    if config == "uncached" {
+                        &tree_u
+                    } else {
+                        &tree_c
+                    },
+                    "checkout",
+                ),
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "Hot read path: Zipf(2) checkout trace, uncached vs bounded CheckoutCache",
+        &[
+            "workload", "config", "accesses", "MB read", "MB saved", "hits", "evict", "ms",
+            "speedup",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.workload.to_string(),
+            r.config.to_string(),
+            r.accesses.to_string(),
+            format!("{:.2}", r.bytes_read as f64 / 1e6),
+            format!("{:.2}", r.bytes_saved as f64 / 1e6),
+            r.cache_hits.to_string(),
+            r.cache_evictions.to_string(),
+            format!("{:.1}", r.millis),
+            format!("{:.2}x", r.speedup_vs_uncached),
+        ]);
+    }
+    table.emit("read");
+    if let Err(e) = write_json(&rows) {
+        eprintln!("warning: could not write BENCH_read.json: {e}");
+    }
+    rows
+}
+
+/// Writes the rows as `target/experiments/BENCH_read.json`.
+pub fn write_json(rows: &[ReadRow]) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_read.json");
+    let mut out = String::from("{\n  \"experiment\": \"read\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let phases: Vec<String> = r
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"self_ms\": {:.3}, \"count\": {}}}",
+                    p.name, p.wall_ms, p.self_ms, p.count
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"versions\": {}, \"accesses\": {}, \"bytes_served\": {}, \"bytes_read\": {}, \"bytes_written\": {}, \"objects_fetched\": {}, \"cache_hits\": {}, \"bytes_saved\": {}, \"cache_budget\": {}, \"cache_entries\": {}, \"cache_evictions\": {}, \"cache_rejected\": {}, \"millis\": {:.3}, \"mb_per_s\": {:.2}, \"speedup_vs_uncached\": {:.3}, \"phases\": [{}]}}",
+            r.workload,
+            r.config,
+            r.versions,
+            r.accesses,
+            r.bytes_served,
+            r.bytes_read,
+            r.bytes_written,
+            r.objects_fetched,
+            r.cache_hits,
+            r.bytes_saved,
+            r.cache_budget,
+            r.cache_entries,
+            r.cache_evictions,
+            r.cache_rejected,
+            r.millis,
+            r.mb_per_s,
+            r.speedup_vs_uncached,
+            phases.join(", "),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_cuts_store_reads_under_zipf_and_writes_json() {
+        // `run` itself asserts byte-identical checkouts and strict read
+        // reduction on LC/BF; here we check the sweep's shape and the
+        // written artifact.
+        let rows = run(Scale::Quick);
+        for workload in ["LC", "BF", "DD"] {
+            let uncached = rows
+                .iter()
+                .find(|r| r.workload == workload && r.config == "uncached")
+                .unwrap_or_else(|| panic!("{workload}/uncached missing"));
+            let cached = rows
+                .iter()
+                .find(|r| r.workload == workload && r.config == "cached")
+                .unwrap_or_else(|| panic!("{workload}/cached missing"));
+            assert!(uncached.accesses >= uncached.versions);
+            assert_eq!(uncached.accesses, cached.accesses);
+            assert_eq!(uncached.bytes_served, cached.bytes_served);
+            assert!(cached.bytes_read <= uncached.bytes_read);
+            assert_eq!(uncached.cache_hits, 0);
+            assert_eq!(uncached.cache_budget, 0);
+            assert!(cached.cache_budget > 0);
+            // Every row's breakdown starts at the `checkout` span — the
+            // VCS instrumentation, not the harness, produced it.
+            assert_eq!(
+                uncached.phases.first().map(|p| p.name.as_str()),
+                Some("checkout"),
+                "{workload}: missing checkout span subtree"
+            );
+            assert_eq!(
+                uncached.phases[0].count as usize, uncached.accesses,
+                "{workload}: span count must match trace length"
+            );
+        }
+        // Delta-chain workloads must show real read elimination.
+        for workload in ["LC", "BF"] {
+            let cached = rows
+                .iter()
+                .find(|r| r.workload == workload && r.config == "cached")
+                .unwrap();
+            assert!(cached.cache_hits > 0, "{workload}: no hits");
+            assert!(cached.bytes_saved > 0, "{workload}: nothing saved");
+        }
+        let path = write_json(&rows).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"config\": \"cached\""));
+        assert!(text.contains("\"cache_evictions\""));
+        assert!(text.contains("\"phases\": ["));
+    }
+}

@@ -5,11 +5,29 @@
 //! baseline: place the new version on the best in-edge available without
 //! disturbing the existing tree. It is deliberately simple — the point of
 //! the paper's offline study is to characterize what the online policy
-//! should converge to — but it keeps the prototype VCS usable between
-//! repacks.
+//! should converge to — but it keeps a repository usable between repacks.
+//!
+//! Two entry points, one decision rule:
+//!
+//! - [`place_version`] is the matrix-free core: given the new version's
+//!   materialization cost, an optional chunked estimate, and a bounded
+//!   candidate list of delta in-edges (each carrying its base's current
+//!   recreation cost), pick the storage-cheapest feasible placement. This
+//!   is what the VCS calls on every `--online` commit — it only needs
+//!   costs for the new version's *neighborhood*, never a full revealed
+//!   matrix, so commit latency stays O(candidates) instead of O(repack).
+//! - [`insert_version`] is the solver-shaped wrapper: it derives the
+//!   candidate list from a [`ProblemInstance`]'s revealed matrix and an
+//!   existing [`StorageSolution`], delegates to [`place_version`], and
+//!   returns a validated solution over all `n` versions.
+//!
+//! Ties break deterministically: candidates are considered in the order
+//! materialize, chunked, then delta sources ascending, and a later
+//! candidate must be *strictly* cheaper to win.
 
 use crate::error::SolveError;
 use crate::instance::ProblemInstance;
+use crate::matrix::CostPair;
 use crate::solution::{StorageMode, StorageSolution};
 
 /// What the greedy placement should respect.
@@ -20,6 +38,84 @@ pub enum OnlinePolicy {
     /// Among in-edges keeping the new version's recreation cost within
     /// `θ`, pick the storage-cheapest (Problem 6 flavor).
     MaxRecreationWithin(u64),
+}
+
+/// One delta in-edge the online placement may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineCandidate {
+    /// Source version the delta would hang off.
+    pub base: u32,
+    /// Storage/recreation cost of the delta edge itself.
+    pub cost: CostPair,
+    /// The base's *current* recreation cost under the existing plan —
+    /// chained ahead of the edge's own `cost.recreation` when checking a
+    /// recreation threshold.
+    pub base_recreation: u64,
+}
+
+/// The decision [`place_version`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlinePlacement {
+    /// How the new version should be stored. `StorageMode::Delta(u)`
+    /// refers to the `base` of the winning candidate.
+    pub mode: StorageMode,
+    /// Storage cost of the chosen placement.
+    pub storage: u64,
+    /// Total recreation cost of the new version under the chosen
+    /// placement (base chain included for deltas).
+    pub recreation: u64,
+}
+
+/// Greedy local placement of one new version: the storage-cheapest option
+/// among materializing, chunking (when an estimate is available), and the
+/// given delta candidates, subject to `policy`'s recreation threshold.
+///
+/// Candidates are considered in slice order after materialize/chunked,
+/// and only a strictly cheaper storage cost displaces an earlier winner —
+/// pass candidates in ascending `base` order for the deterministic
+/// tie-break documented in the [module docs](self).
+pub fn place_version(
+    materialization: CostPair,
+    chunked: Option<CostPair>,
+    candidates: &[OnlineCandidate],
+    policy: OnlinePolicy,
+) -> Result<OnlinePlacement, SolveError> {
+    let mut best: Option<OnlinePlacement> = None;
+    let mut consider = |mode: StorageMode, storage: u64, recreation: u64| {
+        let feasible = match policy {
+            OnlinePolicy::MinStorage => true,
+            OnlinePolicy::MaxRecreationWithin(theta) => recreation <= theta,
+        };
+        if feasible && best.is_none_or(|b| storage < b.storage) {
+            best = Some(OnlinePlacement {
+                mode,
+                storage,
+                recreation,
+            });
+        }
+    };
+    consider(
+        StorageMode::Materialized,
+        materialization.storage,
+        materialization.recreation,
+    );
+    if let Some(pair) = chunked {
+        consider(StorageMode::Chunked, pair.storage, pair.recreation);
+    }
+    for c in candidates {
+        consider(
+            StorageMode::Delta(c.base),
+            c.cost.storage,
+            c.base_recreation.saturating_add(c.cost.recreation),
+        );
+    }
+    best.ok_or(SolveError::RecreationThresholdInfeasible {
+        theta: match policy {
+            OnlinePolicy::MaxRecreationWithin(t) => t,
+            OnlinePolicy::MinStorage => 0,
+        },
+        minimum: materialization.recreation,
+    })
 }
 
 /// Places the newest version (index `n-1` of `instance`) given a solution
@@ -42,44 +138,25 @@ pub fn insert_version(
     let v = (n - 1) as u32;
     let matrix = instance.matrix();
 
-    // Candidates: materialize, chunk (when an estimate is revealed), or
-    // delta from any revealed source.
-    let mat = matrix.materialization(v);
-    let mut best: Option<(u64, StorageMode)> = None;
-    let mut consider = |mode: StorageMode, delta: u64, phi: u64| {
-        let feasible = match policy {
-            OnlinePolicy::MinStorage => true,
-            OnlinePolicy::MaxRecreationWithin(theta) => {
-                let base = match mode {
-                    StorageMode::Delta(u) => existing.recreation_cost(u),
-                    _ => 0,
-                };
-                base.saturating_add(phi) <= theta
-            }
-        };
-        if feasible && best.is_none_or(|(b, _)| delta < b) {
-            best = Some((delta, mode));
-        }
-    };
-    consider(StorageMode::Materialized, mat.storage, mat.recreation);
-    if let Some(pair) = matrix.chunked(v) {
-        consider(StorageMode::Chunked, pair.storage, pair.recreation);
-    }
-    for u in 0..v {
-        if let Some(pair) = matrix.get(u, v) {
-            consider(StorageMode::Delta(u), pair.storage, pair.recreation);
-        }
-    }
-
-    let (_, mode) = best.ok_or(SolveError::RecreationThresholdInfeasible {
-        theta: match policy {
-            OnlinePolicy::MaxRecreationWithin(t) => t,
-            OnlinePolicy::MinStorage => 0,
-        },
-        minimum: mat.recreation,
-    })?;
+    // Candidates: delta from any revealed source, ascending for the
+    // deterministic tie-break.
+    let candidates: Vec<OnlineCandidate> = (0..v)
+        .filter_map(|u| {
+            matrix.get(u, v).map(|pair| OnlineCandidate {
+                base: u,
+                cost: pair,
+                base_recreation: existing.recreation_cost(u),
+            })
+        })
+        .collect();
+    let placement = place_version(
+        matrix.materialization(v),
+        matrix.chunked(v),
+        &candidates,
+        policy,
+    )?;
     let mut modes = existing.modes().to_vec();
-    modes.push(mode);
+    modes.push(placement.mode);
     StorageSolution::from_modes(instance, modes)
         .map_err(|_| SolveError::Internal("online insertion built an invalid solution"))
 }
@@ -155,5 +232,86 @@ mod tests {
         let (inst, sol) = base_instance();
         let err = insert_version(&inst, &sol, OnlinePolicy::MinStorage).unwrap_err();
         assert!(matches!(err, SolveError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn place_version_prefers_strictly_cheaper_later_candidate() {
+        let mat = CostPair::proportional(1000);
+        let candidates = [
+            OnlineCandidate {
+                base: 0,
+                cost: CostPair::proportional(40),
+                base_recreation: 500,
+            },
+            OnlineCandidate {
+                base: 1,
+                cost: CostPair::proportional(40),
+                base_recreation: 100,
+            },
+            OnlineCandidate {
+                base: 2,
+                cost: CostPair::proportional(39),
+                base_recreation: 900,
+            },
+        ];
+        let p = place_version(mat, None, &candidates, OnlinePolicy::MinStorage).unwrap();
+        // Candidate 1 ties candidate 0 on storage and loses; candidate 2
+        // is strictly cheaper and wins.
+        assert_eq!(p.mode, StorageMode::Delta(2));
+        assert_eq!(p.storage, 39);
+        assert_eq!(p.recreation, 939);
+    }
+
+    #[test]
+    fn place_version_threshold_counts_base_chain() {
+        let mat = CostPair::proportional(1000);
+        let candidates = [OnlineCandidate {
+            base: 0,
+            cost: CostPair::proportional(10),
+            base_recreation: 995,
+        }];
+        // 995 + 10 > 1000: the delta is infeasible, materialize instead.
+        let p = place_version(
+            mat,
+            None,
+            &candidates,
+            OnlinePolicy::MaxRecreationWithin(1000),
+        )
+        .unwrap();
+        assert_eq!(p.mode, StorageMode::Materialized);
+        // With a looser threshold the delta wins on storage.
+        let p = place_version(
+            mat,
+            None,
+            &candidates,
+            OnlinePolicy::MaxRecreationWithin(1010),
+        )
+        .unwrap();
+        assert_eq!(p.mode, StorageMode::Delta(0));
+    }
+
+    #[test]
+    fn place_version_infeasible_reports_materialization_floor() {
+        let mat = CostPair::proportional(1000);
+        let err = place_version(mat, None, &[], OnlinePolicy::MaxRecreationWithin(10)).unwrap_err();
+        match err {
+            SolveError::RecreationThresholdInfeasible { theta, minimum } => {
+                assert_eq!(theta, 10);
+                assert_eq!(minimum, 1000);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn place_version_considers_chunked_estimate() {
+        let mat = CostPair::proportional(1000);
+        let chunked = CostPair {
+            storage: 120,
+            recreation: 1000,
+        };
+        let p = place_version(mat, Some(chunked), &[], OnlinePolicy::MinStorage).unwrap();
+        assert_eq!(p.mode, StorageMode::Chunked);
+        assert_eq!(p.storage, 120);
     }
 }

@@ -28,8 +28,11 @@
 //!   by id prefix, batches partitioned by shard and written concurrently
 //!   on the `dsv-par` runtime.
 //! - [`materialize`]: recreation — walk a version's delta chain back to a
-//!   materialized object or chunk manifest and replay it, with a
-//!   memoization cache and measured recreation work.
+//!   materialized object, chunk manifest, or deepest cached ancestor and
+//!   replay it, with measured recreation work.
+//! - [`cache`]: [`CheckoutCache`] — bounded, byte-budgeted cache of
+//!   materialized versions and chunks, scored by the paper's
+//!   workload-aware objective (access frequency × recreation cost).
 //! - [`repack`]: apply a storage plan (a parent assignment from the
 //!   optimizer) to a set of version contents, producing objects and
 //!   **measured** storage/recreation statistics (what §5.2 reports).
@@ -41,6 +44,7 @@
 //!   spans + metrics), with dedup against the inner store's own
 //!   counters.
 
+pub mod cache;
 pub mod hash;
 pub mod instrument;
 pub mod materialize;
@@ -49,6 +53,7 @@ pub mod repack;
 pub mod sharded;
 pub mod store;
 
+pub use cache::{CacheStats, CheckoutCache, DEFAULT_CACHE_BUDGET};
 pub use hash::ObjectId;
 pub use instrument::InstrumentedStore;
 pub use materialize::{Materializer, RecreationWork};

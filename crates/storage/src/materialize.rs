@@ -7,17 +7,29 @@
 //! so recreation cost stays proportional to the version's own size rather
 //! than to a chain's length). The materializer reports the bytes it had to
 //! fetch and produce, so measured costs can be compared against the
-//! matrix-predicted ones, and keeps an optional memoization cache of
-//! intermediate versions and chunks (useful when many checkouts share
-//! chain prefixes or chunk content).
+//! matrix-predicted ones.
+//!
+//! Repeated checkouts are served through an optional, shared
+//! [`CheckoutCache`] — bounded and scored by the paper's workload-aware
+//! objective (see [`crate::cache`] for the policy). Two cache behaviors
+//! make chain-heavy plans cheap:
+//!
+//! - **Chain-prefix memoization:** the downward walk stops at the deepest
+//!   cached ancestor, so two checkouts sharing a chain prefix pay for the
+//!   shared prefix once; every intermediate version replayed on the way
+//!   back up is offered to the cache under the same byte budget.
+//! - **Chunk sharing:** chunk payloads are cached individually, so
+//!   versions that share chunks skip each other's fetches.
+//!
+//! Because the cache is `Arc`-shared, one cache can serve many
+//! materializers (and a whole `Repository`) across calls and threads.
 
+use crate::cache::CheckoutCache;
 use crate::hash::ObjectId;
 use crate::object::{Object, StoreError};
 use crate::store::ObjectStore;
 use dsv_delta::bytes_delta;
 use dsv_obs as obs;
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Defensive bound on delta-chain length (cycles cannot occur with
@@ -33,13 +45,28 @@ pub struct RecreationWork {
     pub bytes_read: u64,
     /// Bytes of version content produced (including intermediates).
     pub bytes_written: u64,
+    /// Cache lookups that returned bytes (chain nodes and chunks).
+    pub cache_hits: usize,
+    /// Estimated bytes of reads the cache hits avoided.
+    pub bytes_saved: u64,
 }
 
-/// Materializes versions from an [`ObjectStore`], optionally caching
-/// intermediate results.
+impl RecreationWork {
+    /// Accumulates another measurement into this one.
+    pub fn add(&mut self, other: RecreationWork) {
+        self.objects_fetched += other.objects_fetched;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.cache_hits += other.cache_hits;
+        self.bytes_saved += other.bytes_saved;
+    }
+}
+
+/// Materializes versions from an [`ObjectStore`], optionally serving and
+/// feeding a shared [`CheckoutCache`].
 pub struct Materializer<'a, S: ObjectStore + ?Sized> {
     store: &'a S,
-    cache: Option<Mutex<HashMap<ObjectId, Arc<Vec<u8>>>>>,
+    cache: Option<Arc<CheckoutCache>>,
 }
 
 impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
@@ -48,12 +75,33 @@ impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
         Materializer { store, cache: None }
     }
 
-    /// A materializer that memoizes every object it reconstructs.
+    /// A materializer with a default-budget bounded cache.
+    #[deprecated(
+        since = "0.2.0",
+        note = "the unbounded memoize-everything cache is gone; this now builds a \
+                bounded cache with `DEFAULT_CACHE_BUDGET` — prefer \
+                `with_checkout_cache` and size the budget explicitly"
+    )]
     pub fn with_cache(store: &'a S) -> Self {
+        Self::with_checkout_cache(
+            store,
+            Arc::new(CheckoutCache::new(crate::cache::DEFAULT_CACHE_BUDGET)),
+        )
+    }
+
+    /// A materializer serving from (and feeding) `cache`. The cache is
+    /// shared: clones of the `Arc` can back other materializers or a
+    /// whole repository concurrently.
+    pub fn with_checkout_cache(store: &'a S, cache: Arc<CheckoutCache>) -> Self {
         Materializer {
             store,
-            cache: Some(Mutex::new(HashMap::new())),
+            cache: Some(cache),
         }
+    }
+
+    /// The cache backing this materializer, if any.
+    pub fn cache(&self) -> Option<&Arc<CheckoutCache>> {
+        self.cache.as_ref()
     }
 
     /// Reconstructs the version stored under `id`.
@@ -62,34 +110,40 @@ impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
     }
 
     /// Reconstructs the version and reports the work performed (cache hits
-    /// cost nothing).
+    /// cost nothing and are tallied in `cache_hits` / `bytes_saved`).
     pub fn materialize_measured(
         &self,
         id: ObjectId,
     ) -> Result<(Arc<Vec<u8>>, RecreationWork), StoreError> {
         let _span = obs::span!("materialize").entered();
         let mut work = RecreationWork::default();
-        // Walk the chain down to a Full object or a cache hit.
+        // Walk the chain down to a Full object, a chunk manifest, or the
+        // deepest cached ancestor (chain-prefix memoization).
         let mut chain: Vec<(ObjectId, Vec<u8>)> = Vec::new(); // (id, delta bytes)
         let mut cur = id;
-        let mut base: Arc<Vec<u8>> = loop {
+        // `cost` tracks the estimated cold-store read bytes to recreate
+        // the current `base` — the recreation-cost score fed to the cache.
+        let (mut base, mut cost): (Arc<Vec<u8>>, u64) = loop {
             if chain.len() > MAX_CHAIN {
                 return Err(StoreError::ChainTooLong);
             }
             if let Some(cache) = &self.cache {
-                if let Some(hit) = cache.lock().get(&cur) {
-                    break Arc::clone(hit);
+                if let Some((hit, saved)) = cache.get(cur) {
+                    work.cache_hits += 1;
+                    work.bytes_saved += saved;
+                    break (hit, saved);
                 }
             }
             match self.store.get(cur)? {
                 Object::Full { data } => {
                     work.objects_fetched += 1;
                     work.bytes_read += data.len() as u64;
+                    let cost = data.len() as u64;
                     let arc = Arc::new(data);
                     if let Some(cache) = &self.cache {
-                        cache.lock().insert(cur, Arc::clone(&arc));
+                        cache.offer(cur, &arc, cost);
                     }
-                    break arc;
+                    break (arc, cost);
                 }
                 Object::Delta { base, delta } => {
                     work.objects_fetched += 1;
@@ -101,24 +155,28 @@ impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
                     work.objects_fetched += 1;
                     work.bytes_read += (chunks.len() * 16) as u64;
                     let data = self.assemble(&chunks, &mut work)?;
+                    // Cold recreation reads the manifest plus every chunk.
+                    let cost = (chunks.len() * 16) as u64 + data.len() as u64;
                     let arc = Arc::new(data);
                     if let Some(cache) = &self.cache {
-                        cache.lock().insert(cur, Arc::clone(&arc));
+                        cache.offer(cur, &arc, cost);
                     }
-                    break arc;
+                    break (arc, cost);
                 }
             }
         };
-        // Replay deltas top-down.
+        // Replay deltas top-down; every intermediate version is a cache
+        // candidate carrying its cumulative recreation cost.
         for (obj_id, delta) in chain.into_iter().rev() {
             let ops = bytes_delta::decode(&delta)
                 .map_err(|_| StoreError::Corrupt("undecodable delta"))?;
             let next = bytes_delta::apply(&base, &ops)
                 .map_err(|_| StoreError::Corrupt("delta does not apply to its base"))?;
             work.bytes_written += next.len() as u64;
+            cost += delta.len() as u64;
             base = Arc::new(next);
             if let Some(cache) = &self.cache {
-                cache.lock().insert(obj_id, Arc::clone(&base));
+                cache.offer(obj_id, &base, cost);
             }
         }
         obs::counter!("materialize.calls", 1);
@@ -129,6 +187,8 @@ impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
 
     /// Reassembles a chunk manifest: fetches each chunk (a `Full` object
     /// holding the chunk bytes) and concatenates them in manifest order.
+    /// Chunk payloads are individually cacheable, so shared chunks are
+    /// fetched once across versions.
     fn assemble(
         &self,
         chunks: &[ObjectId],
@@ -137,8 +197,10 @@ impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
         let mut out = Vec::new();
         for &cid in chunks {
             if let Some(cache) = &self.cache {
-                if let Some(hit) = cache.lock().get(&cid) {
-                    out.extend_from_slice(hit);
+                if let Some((hit, saved)) = cache.get(cid) {
+                    work.cache_hits += 1;
+                    work.bytes_saved += saved;
+                    out.extend_from_slice(&hit);
                     continue;
                 }
             }
@@ -146,10 +208,11 @@ impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
                 Object::Full { data } => {
                     work.objects_fetched += 1;
                     work.bytes_read += data.len() as u64;
+                    let cost = data.len() as u64;
                     let arc = Arc::new(data);
                     out.extend_from_slice(&arc);
                     if let Some(cache) = &self.cache {
-                        cache.lock().insert(cid, arc);
+                        cache.offer(cid, &arc, cost);
                     }
                 }
                 // Chunks are always stored whole: a manifest pointing at a
@@ -194,6 +257,10 @@ mod tests {
         (ids, contents)
     }
 
+    fn cached<S: ObjectStore + ?Sized>(store: &S, budget: u64) -> Materializer<'_, S> {
+        Materializer::with_checkout_cache(store, Arc::new(CheckoutCache::new(budget)))
+    }
+
     #[test]
     fn materializes_full_object() {
         let store = MemStore::new(false);
@@ -222,20 +289,70 @@ mod tests {
         assert_eq!(w0.objects_fetched, 1);
         assert_eq!(w10.objects_fetched, 11);
         assert!(w10.bytes_written > 0);
+        assert_eq!(w10.cache_hits, 0);
+        assert_eq!(w10.bytes_saved, 0);
     }
 
     #[test]
     fn cache_eliminates_repeat_work() {
         let store = MemStore::new(false);
         let (ids, _) = chain_fixture(&store, 10);
-        let m = Materializer::with_cache(&store);
+        let m = cached(&store, 1 << 20);
         let (_, first) = m.materialize_measured(ids[10]).unwrap();
         assert_eq!(first.objects_fetched, 11);
         let (_, second) = m.materialize_measured(ids[10]).unwrap();
         assert_eq!(second.objects_fetched, 0, "fully cached");
+        assert_eq!(second.cache_hits, 1);
+        assert!(second.bytes_saved >= first.bytes_read);
         // A sibling sharing the prefix only fetches its own delta.
         let (_, w9) = m.materialize_measured(ids[9]).unwrap();
         assert_eq!(w9.objects_fetched, 0, "prefix was cached during replay");
+    }
+
+    #[test]
+    fn deprecated_with_cache_builds_bounded_cache() {
+        let store = MemStore::new(false);
+        let (ids, contents) = chain_fixture(&store, 5);
+        #[allow(deprecated)]
+        let m = Materializer::with_cache(&store);
+        assert_eq!(
+            m.cache().unwrap().budget_bytes(),
+            crate::cache::DEFAULT_CACHE_BUDGET
+        );
+        assert_eq!(*m.materialize(ids[5]).unwrap(), contents[5]);
+        let (_, again) = m.materialize_measured(ids[5]).unwrap();
+        assert_eq!(again.objects_fetched, 0);
+    }
+
+    #[test]
+    fn walk_stops_at_deepest_cached_ancestor() {
+        let store = MemStore::new(false);
+        let (ids, _) = chain_fixture(&store, 10);
+        let m = cached(&store, 1 << 20);
+        // Warm the prefix 0..=6 only.
+        let (_, warm) = m.materialize_measured(ids[6]).unwrap();
+        assert_eq!(warm.objects_fetched, 7);
+        // A deeper checkout reads only its 4 unshared deltas.
+        let (_, deep) = m.materialize_measured(ids[10]).unwrap();
+        assert_eq!(deep.objects_fetched, 4, "prefix served from cache");
+        assert_eq!(deep.cache_hits, 1, "one hit at the deepest ancestor");
+        assert!(deep.bytes_saved >= warm.bytes_read);
+        assert!(deep.bytes_read < warm.bytes_read + 4 * 64);
+    }
+
+    #[test]
+    fn zero_budget_cache_is_equivalent_to_uncached() {
+        let store = MemStore::new(false);
+        let (ids, contents) = chain_fixture(&store, 8);
+        let uncached = Materializer::new(&store);
+        let zero = cached(&store, 0);
+        for (id, expected) in ids.iter().zip(&contents) {
+            let (a, wa) = uncached.materialize_measured(*id).unwrap();
+            let (b, wb) = zero.materialize_measured(*id).unwrap();
+            assert_eq!(*a, *expected);
+            assert_eq!(*a, *b);
+            assert_eq!(wa, wb, "zero budget must not change measured work");
+        }
     }
 
     #[test]
@@ -284,13 +401,15 @@ mod tests {
         edited.extend_from_slice(b"unique-suffix");
         let id_a = store_chunked(&store, &base, 17);
         let id_b = store_chunked(&store, &edited, 17);
-        let m = Materializer::with_cache(&store);
+        let m = cached(&store, 1 << 20);
         let (_, first) = m.materialize_measured(id_a).unwrap();
         let (out, second) = m.materialize_measured(id_b).unwrap();
         assert_eq!(*out, edited);
         // Version b shares every aligned chunk with a: only its manifest
         // and its unique tail chunks are fetched.
         assert!(second.objects_fetched < first.objects_fetched);
+        assert!(second.cache_hits > 0);
+        assert!(second.bytes_saved > 0);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! ```text
 //! dsv init <repo-dir> [--shards <n>]
 //! dsv commit <repo-dir> <file> [-b branch] [-m message]
-//! dsv checkout <repo-dir> <version> [-o out-file]
+//!            [--online] [--online-hops <n>] [--theta <bytes>]
+//! dsv checkout <repo-dir> <version>... [-o out-file] [--cache-bytes <n>]
 //! dsv log <repo-dir> [branch]
 //! dsv branch <repo-dir> <name> <version>
 //! dsv branches <repo-dir>
@@ -29,6 +30,20 @@
 //! identical at every shard count. `store` prints the [`StoreStats`]
 //! snapshot: object/byte counts, per-shard fill, dedup ratio, and the
 //! single-vs-batch operation counters of this process.
+//!
+//! `commit --online` places the new version by bounded online
+//! re-planning (the paper's online problem): the best delta base is
+//! chosen from a `--online-hops` neighborhood of the parents instead of
+//! the first parent alone, and no repack runs — under `--trace` the
+//! commit shows an `online` span with `reveal`/`place` children and no
+//! `pack`/`gc` phase. `--theta <bytes>` bounds the new version's
+//! recreation cost (with or without `--online`); `dsv optimize` remains
+//! the explicit slow path that revisits every placement.
+//!
+//! `checkout` accepts several versions at once; with `--cache-bytes <n>`
+//! they are served through a bounded workload-aware checkout cache
+//! (chain prefixes shared, per-version recreation work printed), the
+//! serving configuration for hot Zipf-like read traffic.
 //!
 //! `optimize` bounds: p3/p4 take a storage budget in bytes; p5/p6 take a
 //! recreation threshold in bytes. The solve goes through the planner:
@@ -162,32 +177,140 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "commit" => {
-            let root = repo_dir(args, 1)?;
-            let file = args.get(2).ok_or("usage: dsv commit <repo> <file>")?;
-            let branch = flag_value(args, "-b").unwrap_or("main");
-            let message = flag_value(args, "-m").unwrap_or("(no message)");
+            // Strip flags before resolving positionals so they may appear
+            // anywhere: `dsv commit --online repo file` works.
+            let mut positional: Vec<String> = Vec::new();
+            let mut online = false;
+            let mut hops: Option<usize> = None;
+            let mut theta: Option<u64> = None;
+            let mut branch = "main".to_owned();
+            let mut message = "(no message)".to_owned();
+            let mut iter = args.iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--online" => online = true,
+                    "--online-hops" => {
+                        let v = iter.next().ok_or("--online-hops needs a value")?;
+                        hops = Some(
+                            v.parse()
+                                .map_err(|_| format!("invalid --online-hops '{v}'"))?,
+                        );
+                    }
+                    "--theta" => {
+                        let v = iter.next().ok_or("--theta needs a value (bytes)")?;
+                        theta = Some(v.parse().map_err(|_| format!("invalid --theta '{v}'"))?);
+                    }
+                    "-b" => branch = iter.next().ok_or("-b needs a branch name")?.clone(),
+                    "-m" => message = iter.next().ok_or("-m needs a message")?.clone(),
+                    a if a.starts_with("--") => {
+                        return Err(format!("unknown commit flag '{arg}' (see: dsv help)"))
+                    }
+                    _ => positional.push(arg.clone()),
+                }
+            }
+            if hops.is_some() && !online {
+                return Err("--online-hops requires --online".into());
+            }
+            let root = repo_dir(&positional, 1)?;
+            let file = positional
+                .get(2)
+                .ok_or("usage: dsv commit <repo> <file> [--online] [--theta <bytes>]")?;
             let data = std::fs::read(file).map_err(|e| format!("reading {file}: {e}"))?;
             let mut repo = persist::load(&root, true).map_err(stringify)?;
-            let id = repo.commit(branch, &data, message).map_err(stringify)?;
+            let id = if online {
+                let mut opts = dsv_vcs::OnlineOptions::default();
+                if let Some(h) = hops {
+                    opts.hops = h;
+                }
+                opts.max_recreation_bytes = theta;
+                repo.commit_online(&branch, &data, &message, opts)
+            } else {
+                repo.commit_bounded(&branch, &data, &message, theta)
+            }
+            .map_err(stringify)?;
             persist::save(&repo, &root).map_err(stringify)?;
-            println!("committed {id} on '{branch}' ({} bytes)", data.len());
+            let how = if online { ", online placement" } else { "" };
+            println!("committed {id} on '{branch}' ({} bytes{how})", data.len());
             Ok(())
         }
         "checkout" => {
-            let root = repo_dir(args, 1)?;
-            let version = parse_version(args.get(2))?;
-            let repo = persist::load(&root, true).map_err(stringify)?;
-            let data = repo.checkout(version).map_err(stringify)?;
-            match flag_value(args, "-o") {
-                Some(path) => {
-                    std::fs::write(path, &data).map_err(|e| e.to_string())?;
-                    println!("checked out {version} to {path} ({} bytes)", data.len());
+            let mut positional: Vec<String> = Vec::new();
+            let mut cache_bytes: Option<u64> = None;
+            let mut out_path: Option<String> = None;
+            let mut iter = args.iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--cache-bytes" => {
+                        let v = iter.next().ok_or("--cache-bytes needs a value")?;
+                        cache_bytes = Some(
+                            v.parse()
+                                .map_err(|_| format!("invalid --cache-bytes '{v}'"))?,
+                        );
+                    }
+                    "-o" => out_path = Some(iter.next().ok_or("-o needs a path")?.clone()),
+                    a if a.starts_with("--") => {
+                        return Err(format!("unknown checkout flag '{arg}' (see: dsv help)"))
+                    }
+                    _ => positional.push(arg.clone()),
                 }
-                None => {
-                    use std::io::Write;
-                    std::io::stdout()
-                        .write_all(&data)
-                        .map_err(|e| e.to_string())?;
+            }
+            let root = repo_dir(&positional, 1)?;
+            if positional.len() < 3 {
+                return Err(
+                    "usage: dsv checkout <repo> <version>... [-o out-file] [--cache-bytes <n>]"
+                        .into(),
+                );
+            }
+            let versions: Vec<CommitId> = positional[2..]
+                .iter()
+                .map(|s| parse_version(Some(s)))
+                .collect::<Result<_, _>>()?;
+            let mut repo = persist::load(&root, true).map_err(stringify)?;
+            let cache = cache_bytes.map(|b| repo.enable_checkout_cache(b));
+            if versions.len() == 1 {
+                let version = versions[0];
+                let data = repo.checkout(version).map_err(stringify)?;
+                match out_path {
+                    Some(path) => {
+                        std::fs::write(&path, &data).map_err(|e| e.to_string())?;
+                        println!("checked out {version} to {path} ({} bytes)", data.len());
+                    }
+                    None => {
+                        use std::io::Write;
+                        std::io::stdout()
+                            .write_all(&data)
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+            } else {
+                // A multi-version sweep reports recreation work per
+                // version instead of streaming contents — the mode that
+                // makes `--cache-bytes` observable (prefix sharing, hits).
+                if out_path.is_some() {
+                    return Err("-o needs exactly one version".into());
+                }
+                let mut total = dsv_storage::RecreationWork::default();
+                for &version in &versions {
+                    let (data, work) = repo.checkout_measured(version).map_err(stringify)?;
+                    total.add(work);
+                    println!(
+                        "{version}: {} bytes (read {}, cache hits {}, saved {})",
+                        data.len(),
+                        work.bytes_read,
+                        work.cache_hits,
+                        work.bytes_saved
+                    );
+                }
+                println!(
+                    "total: read {} bytes, {} cache hits, saved {} bytes",
+                    total.bytes_read, total.cache_hits, total.bytes_saved
+                );
+                if let Some(cache) = cache {
+                    let s = cache.stats();
+                    println!(
+                        "cache: {}/{} bytes used, {} entries, {} hits / {} misses, {} evictions",
+                        s.bytes, s.budget_bytes, s.entries, s.hits, s.misses, s.evictions
+                    );
                 }
             }
             Ok(())
@@ -351,6 +474,17 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 "usage: dsv <init|commit|checkout|log|branch|branches|status|store|stats|solvers|optimize> ..."
             );
             println!("       dsv init <repo> [--shards <n>]  shard the object store n ways");
+            println!(
+                "       dsv commit <repo> <file> [--online] [--online-hops <n>] [--theta <bytes>]"
+            );
+            println!(
+                "                    --online: place via bounded local re-planning (no repack)"
+            );
+            println!("                    --theta: cap the new version's recreation bytes");
+            println!("       dsv checkout <repo> <version>... [-o out-file] [--cache-bytes <n>]");
+            println!(
+                "                    --cache-bytes: serve through a bounded workload-aware cache"
+            );
             println!("       dsv store <repo> [--json]  print object-store stats (shard fill, dedup ratio)");
             println!("       dsv stats <repo>  store stats plus this process's metrics");
             println!("       dsv optimize <repo> <p1..p6> [bound] [--solver <name>] [--portfolio]");

@@ -46,4 +46,4 @@ pub use dsv_core::{ModePolicy, PlanSpec, SolverChoice};
 pub use error::VcsError;
 pub use optimize::OptimizeReport;
 pub use persist::RepoStore;
-pub use repo::{Placement, Repository};
+pub use repo::{OnlineOptions, Placement, Repository};

@@ -79,11 +79,18 @@ impl<S: ObjectStore> Repository<S> {
         let _optimize = obs::span!("optimize", versions = n).entered();
         obs::counter!("optimize.runs", 1);
 
-        // Materialize every version once (cached chain walks). The
+        // Materialize every version once (cached chain walks — a
+        // repack-local bounded cache, so chain prefixes are shared but
+        // the pass cannot hold the whole history in memory at once). The
         // Materializer's own per-call "materialize" spans aggregate as
         // one n-count child of the optimize span.
         let contents: Vec<Vec<u8>> = {
-            let m = Materializer::with_cache(&self.store);
+            let m = Materializer::with_checkout_cache(
+                &self.store,
+                std::sync::Arc::new(dsv_storage::CheckoutCache::new(
+                    dsv_storage::DEFAULT_CACHE_BUDGET,
+                )),
+            );
             let mut out = Vec::with_capacity(n);
             for id in &self.objects {
                 out.push(m.materialize(*id)?.as_ref().clone());
@@ -173,6 +180,13 @@ impl<S: ObjectStore> Repository<S> {
         drop(gc_span);
         self.objects = packed.ids;
         self.plan = solution.modes().to_vec();
+        // The repack orphaned the old plan's object ids: entries in the
+        // checkout cache are keyed by content address so they could never
+        // serve stale bytes, but they would sit dead under the byte
+        // budget. Drop them.
+        if let Some(cache) = self.checkout_cache() {
+            cache.clear();
+        }
 
         let storage_after = self.store.total_bytes();
         obs::gauge!("optimize.storage_after_bytes", storage_after as f64);

@@ -3,11 +3,15 @@
 use crate::commit::{CommitId, CommitMeta};
 use crate::error::VcsError;
 use dsv_chunk::{ChunkStore, ChunkerParams};
-use dsv_core::StorageMode;
+use dsv_core::online::{place_version, OnlineCandidate, OnlinePolicy};
+use dsv_core::{CostPair, SolveError, StorageMode};
 use dsv_delta::bytes_delta;
 use dsv_obs as obs;
-use dsv_storage::{Materializer, MemStore, Object, ObjectId, ObjectStore};
-use std::collections::BTreeMap;
+use dsv_storage::{
+    CheckoutCache, Materializer, MemStore, Object, ObjectId, ObjectStore, RecreationWork,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// How new commits are placed in the store (the offline optimizer can
 /// later re-pack the whole history regardless of placement).
@@ -20,6 +24,54 @@ pub enum Placement {
     /// deduplicated against all previously stored chunks (the third
     /// regime; see `dsv-chunk`).
     Chunked(ChunkerParams),
+}
+
+/// Options for [`Repository::commit_online`] — bounded local re-planning
+/// of one new version (the paper's online problem promoted into the VCS).
+///
+/// Instead of delta-ing blindly off the first parent (greedy placement)
+/// or re-packing the whole history (`optimize_with`, the explicit slow
+/// path), an online commit considers a bounded neighborhood of the new
+/// version's parents as delta bases and places the version by the
+/// storage-cheapest feasible in-edge
+/// ([`place_version`](dsv_core::online::place_version)-style local
+/// decision). Commit latency is O(`max_candidates` diffs), never
+/// O(repack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineOptions {
+    /// How many hops of the (undirected) commit DAG around the parents to
+    /// consider as delta bases.
+    pub hops: usize,
+    /// Cap on the number of candidate bases diffed.
+    pub max_candidates: usize,
+    /// Recreation budget θ in fetched bytes: candidates whose chain would
+    /// exceed it are infeasible (Problem 6 flavor). When even
+    /// materializing breaches θ — a version can never be recreated
+    /// cheaper than reading itself — the commit degrades to materialized,
+    /// matching [`Repository::commit_bounded`].
+    pub max_recreation_bytes: Option<u64>,
+}
+
+impl Default for OnlineOptions {
+    fn default() -> Self {
+        OnlineOptions {
+            hops: 2,
+            max_candidates: 8,
+            max_recreation_bytes: None,
+        }
+    }
+}
+
+/// How one `record_commit` call decides the new version's storage mode
+/// (chunked placement bypasses both: chunking is already a local
+/// decision).
+#[derive(Debug, Clone, Copy)]
+enum CommitStyle {
+    /// Delta off the first parent iff smaller than materializing (and
+    /// within the optional recreation budget).
+    Greedy { max_recreation_bytes: Option<u64> },
+    /// Bounded-neighborhood online re-planning.
+    Online(OnlineOptions),
 }
 
 /// A dataset version repository over an object store `S`.
@@ -38,6 +90,9 @@ pub struct Repository<S: ObjectStore> {
     pub(crate) objects: Vec<ObjectId>,
     branches: BTreeMap<String, CommitId>,
     placement: Placement,
+    /// Optional bounded cache serving the hot read path (see
+    /// [`CheckoutCache`]); shared by every checkout of this repository.
+    checkout_cache: Option<Arc<CheckoutCache>>,
 }
 
 impl Repository<MemStore> {
@@ -85,6 +140,39 @@ impl<S: ObjectStore> Repository<S> {
             objects: Vec::new(),
             branches: BTreeMap::new(),
             placement,
+            checkout_cache: None,
+        }
+    }
+
+    /// Enables a bounded checkout cache of `budget_bytes` (replacing any
+    /// existing cache) and returns a handle to it, e.g. for
+    /// [`CheckoutCache::stats`]. A zero budget is valid and caches
+    /// nothing. Checkouts, online commits, and greedy placement all read
+    /// through the cache; entries are keyed by content address so they
+    /// can never serve stale bytes.
+    pub fn enable_checkout_cache(&mut self, budget_bytes: u64) -> Arc<CheckoutCache> {
+        let cache = Arc::new(CheckoutCache::new(budget_bytes));
+        self.checkout_cache = Some(Arc::clone(&cache));
+        cache
+    }
+
+    /// Installs (or, with `None`, removes) a shared checkout cache — use
+    /// this to serve several repositories from one byte budget.
+    pub fn set_checkout_cache(&mut self, cache: Option<Arc<CheckoutCache>>) {
+        self.checkout_cache = cache;
+    }
+
+    /// The checkout cache, if one is enabled.
+    pub fn checkout_cache(&self) -> Option<&Arc<CheckoutCache>> {
+        self.checkout_cache.as_ref()
+    }
+
+    /// A materializer reading through the checkout cache when one is
+    /// enabled.
+    fn materializer(&self) -> Materializer<'_, S> {
+        match &self.checkout_cache {
+            Some(cache) => Materializer::with_checkout_cache(&self.store, Arc::clone(cache)),
+            None => Materializer::new(&self.store),
         }
     }
 
@@ -151,13 +239,46 @@ impl<S: ObjectStore> Repository<S> {
         message: &str,
         max_recreation_bytes: Option<u64>,
     ) -> Result<CommitId, VcsError> {
+        self.commit_styled(
+            branch,
+            data,
+            message,
+            CommitStyle::Greedy {
+                max_recreation_bytes,
+            },
+        )
+    }
+
+    /// Like [`commit`](Self::commit), but places the new version by
+    /// bounded online re-planning (see [`OnlineOptions`]): the best delta
+    /// base is chosen from a neighborhood of the parents instead of the
+    /// first parent alone, without ever running a full repack. The full
+    /// [`optimize_with`](Self::optimize_with) repack remains the explicit
+    /// slow path that revisits every placement.
+    pub fn commit_online(
+        &mut self,
+        branch: &str,
+        data: &[u8],
+        message: &str,
+        options: OnlineOptions,
+    ) -> Result<CommitId, VcsError> {
+        self.commit_styled(branch, data, message, CommitStyle::Online(options))
+    }
+
+    fn commit_styled(
+        &mut self,
+        branch: &str,
+        data: &[u8],
+        message: &str,
+        style: CommitStyle,
+    ) -> Result<CommitId, VcsError> {
         let parent = match self.branches.get(branch) {
             Some(&head) => Some(head),
             None if self.commits.is_empty() => None,
             None => return Err(VcsError::UnknownBranch(branch.to_owned())),
         };
         let parents: Vec<CommitId> = parent.into_iter().collect();
-        let id = self.record_commit(&parents, data, message, max_recreation_bytes)?;
+        let id = self.record_commit(&parents, data, message, style)?;
         self.branches.insert(branch.to_owned(), id);
         Ok(id)
     }
@@ -176,17 +297,144 @@ impl<S: ObjectStore> Repository<S> {
         if head == other {
             return Err(VcsError::DegenerateMerge);
         }
-        let id = self.record_commit(&[head, other], data, message, None)?;
+        let id = self.record_commit(
+            &[head, other],
+            data,
+            message,
+            CommitStyle::Greedy {
+                max_recreation_bytes: None,
+            },
+        )?;
         self.branches.insert(branch.to_owned(), id);
         Ok(id)
     }
 
     /// Recreation work (bytes fetched) of checking out `id` under the
-    /// current plan — the quantity `commit_bounded` budgets.
+    /// current plan — the quantity `commit_bounded` and the online θ
+    /// budget. Deliberately bypasses the checkout cache: placement
+    /// decisions must reflect the cold-store cost, not whatever happens
+    /// to be cached, so the plan stays independent of access history.
     fn recreation_bytes(&self, id: CommitId) -> Result<u64, VcsError> {
         let m = Materializer::new(&self.store);
         let (_, work) = m.materialize_measured(self.objects[id.index()])?;
         Ok(work.bytes_read)
+    }
+
+    /// Up to `cap` versions within `hops` undirected steps of `roots` on
+    /// the commit DAG, in deterministic BFS order (distance, then parents
+    /// before children, then ascending index).
+    fn neighborhood(&self, roots: &[CommitId], hops: usize, cap: usize) -> Vec<u32> {
+        let n = self.commits.len();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for meta in &self.commits {
+            for &p in &meta.parents {
+                children[p.index()].push(meta.id.0);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut queue: VecDeque<(u32, usize)> = VecDeque::new();
+        let mut out = Vec::new();
+        for &r in roots {
+            if r.index() < n && !seen[r.index()] {
+                seen[r.index()] = true;
+                queue.push_back((r.0, 0));
+            }
+        }
+        while let Some((v, d)) = queue.pop_front() {
+            out.push(v);
+            if out.len() >= cap {
+                break;
+            }
+            if d == hops {
+                continue;
+            }
+            let idx = v as usize;
+            let parents = self.commits[idx].parents.iter().map(|p| p.0);
+            for u in parents.chain(children[idx].iter().copied()) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push_back((u, d + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Online placement of `data`: diff against a bounded neighborhood of
+    /// the parents and pick the storage-cheapest feasible in-edge via the
+    /// paper's online rule ([`place_version`]). Runs under an `online`
+    /// span with `reveal`/`place` children and — by construction — no
+    /// `pack` or `gc` phase.
+    fn online_placement(
+        &self,
+        parents: &[CommitId],
+        data: &[u8],
+        options: OnlineOptions,
+    ) -> Result<(Object, StorageMode), VcsError> {
+        let _span = obs::span!(
+            "online",
+            hops = options.hops,
+            max_candidates = options.max_candidates
+        )
+        .entered();
+        obs::counter!("vcs.online_commits", 1);
+        let materialized = || Object::Full {
+            data: data.to_vec(),
+        };
+        if parents.is_empty() {
+            return Ok((materialized(), StorageMode::Materialized));
+        }
+        let neighborhood = self.neighborhood(parents, options.hops, options.max_candidates);
+        let reveal = obs::span!("reveal", candidates = neighborhood.len()).entered();
+        let mut candidates = Vec::with_capacity(neighborhood.len());
+        let mut encodings = BTreeMap::new();
+        for &u in &neighborhood {
+            let base = self.checkout(CommitId(u))?;
+            let encoded = bytes_delta::encode(&bytes_delta::diff(&base, data));
+            let cost = encoded.len() as u64;
+            candidates.push(OnlineCandidate {
+                base: u,
+                cost: CostPair {
+                    storage: cost,
+                    recreation: cost,
+                },
+                base_recreation: self.recreation_bytes(CommitId(u))?,
+            });
+            encodings.insert(u, encoded);
+        }
+        drop(reveal);
+        let _place = obs::span!("place").entered();
+        let policy = match options.max_recreation_bytes {
+            Some(theta) => OnlinePolicy::MaxRecreationWithin(theta),
+            None => OnlinePolicy::MinStorage,
+        };
+        let placement = match place_version(
+            CostPair::proportional(data.len() as u64),
+            None,
+            &candidates,
+            policy,
+        ) {
+            Ok(p) => p,
+            // θ below the version's own size: no placement can recreate
+            // the version cheaper than reading it, so degrade to
+            // materialized exactly like `commit_bounded` does.
+            Err(SolveError::RecreationThresholdInfeasible { .. }) => {
+                return Ok((materialized(), StorageMode::Materialized));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Ok(match placement.mode {
+            StorageMode::Delta(u) => (
+                Object::Delta {
+                    base: self.objects[u as usize],
+                    delta: encodings.remove(&u).expect("winner came from candidates"),
+                },
+                StorageMode::Delta(u),
+            ),
+            // `place_version` is offered no chunked estimate here, so the
+            // only other outcome is materialization.
+            _ => (materialized(), StorageMode::Materialized),
+        })
     }
 
     fn record_commit(
@@ -194,7 +442,7 @@ impl<S: ObjectStore> Repository<S> {
         parents: &[CommitId],
         data: &[u8],
         message: &str,
-        max_recreation_bytes: Option<u64>,
+        style: CommitStyle,
     ) -> Result<CommitId, VcsError> {
         let _span = obs::span!("commit", bytes = data.len()).entered();
         obs::counter!("vcs.commits", 1);
@@ -202,7 +450,8 @@ impl<S: ObjectStore> Repository<S> {
         if let Placement::Chunked(params) = self.placement {
             // Chunked placement: dedup against every chunk already stored.
             // Recreation cost is the version's own chunks (no chains), so
-            // any `max_recreation_bytes` budget is trivially respected.
+            // any recreation budget is trivially respected and online
+            // re-planning has nothing to decide.
             let put = ChunkStore::new(&self.store, params).and_then(|cs| cs.put_version(data))?;
             self.objects.push(put.id);
             self.plan.push(StorageMode::Chunked);
@@ -215,46 +464,51 @@ impl<S: ObjectStore> Repository<S> {
             });
             return Ok(id);
         }
-        // Greedy online placement: delta off the first parent when it
-        // beats materialization (the offline optimizer revisits this) and,
-        // if a recreation budget is set, when the resulting chain stays
-        // within it.
-        let (object, plan_mode) = match parents.first() {
-            Some(&p) => {
-                let base = self.checkout(p)?;
-                let ops = bytes_delta::diff(&base, data);
-                let encoded = bytes_delta::encode(&ops);
-                let chain_ok = match max_recreation_bytes {
-                    None => true,
-                    Some(theta) => {
-                        self.recreation_bytes(p)?
-                            .saturating_add(encoded.len() as u64)
-                            <= theta
+        let (object, plan_mode) = match style {
+            CommitStyle::Online(options) => self.online_placement(parents, data, options)?,
+            // Greedy placement: delta off the first parent when it beats
+            // materialization (the offline optimizer revisits this) and,
+            // if a recreation budget is set, when the resulting chain
+            // stays within it.
+            CommitStyle::Greedy {
+                max_recreation_bytes,
+            } => match parents.first() {
+                Some(&p) => {
+                    let base = self.checkout(p)?;
+                    let ops = bytes_delta::diff(&base, data);
+                    let encoded = bytes_delta::encode(&ops);
+                    let chain_ok = match max_recreation_bytes {
+                        None => true,
+                        Some(theta) => {
+                            self.recreation_bytes(p)?
+                                .saturating_add(encoded.len() as u64)
+                                <= theta
+                        }
+                    };
+                    if encoded.len() < data.len() && chain_ok {
+                        (
+                            Object::Delta {
+                                base: self.objects[p.index()],
+                                delta: encoded,
+                            },
+                            StorageMode::Delta(p.0),
+                        )
+                    } else {
+                        (
+                            Object::Full {
+                                data: data.to_vec(),
+                            },
+                            StorageMode::Materialized,
+                        )
                     }
-                };
-                if encoded.len() < data.len() && chain_ok {
-                    (
-                        Object::Delta {
-                            base: self.objects[p.index()],
-                            delta: encoded,
-                        },
-                        StorageMode::Delta(p.0),
-                    )
-                } else {
-                    (
-                        Object::Full {
-                            data: data.to_vec(),
-                        },
-                        StorageMode::Materialized,
-                    )
                 }
-            }
-            None => (
-                Object::Full {
-                    data: data.to_vec(),
-                },
-                StorageMode::Materialized,
-            ),
+                None => (
+                    Object::Full {
+                        data: data.to_vec(),
+                    },
+                    StorageMode::Materialized,
+                ),
+            },
         };
         let oid = self.store.put(&object)?;
         self.objects.push(oid);
@@ -269,13 +523,22 @@ impl<S: ObjectStore> Repository<S> {
         Ok(id)
     }
 
-    /// Reconstructs the content of a commit.
+    /// Reconstructs the content of a commit (through the checkout cache,
+    /// when one is enabled).
     pub fn checkout(&self, id: CommitId) -> Result<Vec<u8>, VcsError> {
+        Ok(self.checkout_measured(id)?.0)
+    }
+
+    /// Reconstructs the content of a commit and reports the recreation
+    /// work performed, including cache interaction (`cache_hits`,
+    /// `bytes_saved`).
+    pub fn checkout_measured(&self, id: CommitId) -> Result<(Vec<u8>, RecreationWork), VcsError> {
         self.meta(id)?;
         let _span = obs::span!("checkout").entered();
         obs::counter!("vcs.checkouts", 1);
-        let m = Materializer::new(&self.store);
-        Ok(m.materialize(self.objects[id.index()])?.as_ref().clone())
+        let m = self.materializer();
+        let (bytes, work) = m.materialize_measured(self.objects[id.index()])?;
+        Ok((bytes.as_ref().clone(), work))
     }
 
     /// First-parent history of a branch, newest first.
@@ -349,6 +612,7 @@ impl<S: ObjectStore> Repository<S> {
             objects,
             branches: map,
             placement,
+            checkout_cache: None,
         })
     }
 }
@@ -586,6 +850,142 @@ mod tests {
             late.bytes_written <= early.bytes_written * 2,
             "late {late:?} vs early {early:?}"
         );
+    }
+
+    #[test]
+    fn checkout_cache_serves_repeat_checkouts() {
+        let mut repo = Repository::in_memory();
+        let mut data = csv(400, "x");
+        repo.commit("main", &data, "v0").unwrap();
+        for i in 0..10 {
+            data.extend_from_slice(format!("{},grow\n", 400 + i).as_bytes());
+            repo.commit("main", &data, "grow").unwrap();
+        }
+        let tip = CommitId(repo.version_count() as u32 - 1);
+        let (cold_bytes, cold) = repo.checkout_measured(tip).unwrap();
+        assert_eq!(cold.cache_hits, 0, "no cache installed yet");
+        let cache = repo.enable_checkout_cache(1 << 20);
+        let (warm_bytes, first) = repo.checkout_measured(tip).unwrap();
+        assert_eq!(warm_bytes, cold_bytes);
+        assert_eq!(
+            first.bytes_read, cold.bytes_read,
+            "first read fills the cache"
+        );
+        let (again_bytes, again) = repo.checkout_measured(tip).unwrap();
+        assert_eq!(again_bytes, cold_bytes);
+        assert_eq!(again.bytes_read, 0, "tip served from cache");
+        assert!(again.cache_hits > 0);
+        assert!(again.bytes_saved >= cold.bytes_read);
+        let stats = cache.stats();
+        assert!(stats.hits >= 1);
+        assert!(stats.bytes <= stats.budget_bytes);
+        // A mid-chain version only pays for the suffix past the deepest
+        // cached ancestor (the intermediates were cached during replay).
+        let (_, mid) = repo.checkout_measured(CommitId(5)).unwrap();
+        assert_eq!(mid.bytes_read, 0, "prefix cached during tip replay");
+    }
+
+    #[test]
+    fn online_commit_picks_better_base_than_first_parent() {
+        // Greedy deltas chain off the first parent; online placement may
+        // choose any neighbor. Construct a merge whose content equals its
+        // *second* parent: greedy stores a (nonempty) delta off the first
+        // parent, online finds the near-empty delta off the second.
+        let base = csv(300, "base");
+        let build = |online: bool| {
+            let mut repo = Repository::in_memory();
+            let v0 = repo.commit("main", &base, "init").unwrap();
+            repo.branch("side", v0).unwrap();
+            let mut side = base.clone();
+            side.extend_from_slice(&csv(80, "side-only")[9..]); // skip header
+            let s = repo.commit("side", &side, "side work").unwrap();
+            let mut main = base.clone();
+            main.extend_from_slice(b"300,main-extra\n");
+            repo.commit("main", &main, "main work").unwrap();
+            repo.merge("main", s, &side, "merge: take side").unwrap();
+            let mut next = side.clone();
+            next.extend_from_slice(b"tail-row\n");
+            if online {
+                repo.commit_online("main", &next, "after", OnlineOptions::default())
+                    .unwrap();
+            } else {
+                repo.commit("main", &next, "after").unwrap();
+            }
+            repo
+        };
+        let greedy = build(false);
+        let online = build(true);
+        let tip = CommitId(greedy.version_count() as u32 - 1);
+        assert_eq!(
+            greedy.checkout(tip).unwrap(),
+            online.checkout(tip).unwrap(),
+            "placement must never change content"
+        );
+        // Both store the tip as a delta; online's base choice may differ
+        // but must never store more than greedy's first-parent delta.
+        assert!(matches!(
+            online.current_plan()[tip.index()],
+            StorageMode::Delta(_)
+        ));
+        assert!(online.storage_bytes() <= greedy.storage_bytes());
+    }
+
+    #[test]
+    fn online_commit_respects_recreation_budget() {
+        let base = csv(400, "x");
+        let theta = base.len() as u64 + 400;
+        let mut repo = Repository::in_memory();
+        let mut data = base.clone();
+        let opts = OnlineOptions {
+            max_recreation_bytes: Some(theta),
+            ..OnlineOptions::default()
+        };
+        repo.commit_online("main", &data, "v0", opts).unwrap();
+        for i in 0..30 {
+            data.extend_from_slice(
+                format!("{},appended-payload-row-{i}-padding-padding\n", 400 + i).as_bytes(),
+            );
+            repo.commit_online("main", &data, "grow", opts).unwrap();
+        }
+        let materialized = repo.current_plan().iter().filter(|p| p.is_root()).count();
+        assert!(materialized > 1, "θ must force rematerialization");
+        for v in 0..repo.version_count() as u32 {
+            let work = repo.recreation_bytes(CommitId(v)).unwrap();
+            let own = repo.meta(CommitId(v)).unwrap().size;
+            assert!(work <= theta.max(own), "v{v}: {work} > {theta}");
+        }
+    }
+
+    #[test]
+    fn online_commit_on_chunked_repo_stays_chunked() {
+        let mut repo = Repository::in_memory_chunked();
+        let data = csv(500, "x");
+        repo.commit_online("main", &data, "v0", OnlineOptions::default())
+            .unwrap();
+        let mut next = data.clone();
+        next.extend_from_slice(b"500,more\n");
+        let v1 = repo
+            .commit_online("main", &next, "v1", OnlineOptions::default())
+            .unwrap();
+        assert!(repo.current_plan().iter().all(|p| p.is_chunked()));
+        assert_eq!(repo.checkout(v1).unwrap(), next);
+    }
+
+    #[test]
+    fn neighborhood_is_bounded_and_deterministic() {
+        let mut repo = Repository::in_memory();
+        let v0 = repo.commit("main", &csv(50, "a"), "v0").unwrap();
+        for i in 0..6 {
+            repo.commit("main", &csv(51 + i, "a"), "grow").unwrap();
+        }
+        repo.branch("dev", v0).unwrap();
+        repo.commit("dev", &csv(40, "d"), "dev").unwrap();
+        let tip = CommitId(6);
+        // hops=1 from v6: itself and its parent.
+        assert_eq!(repo.neighborhood(&[tip], 1, 8), vec![6, 5]);
+        // From v0: parents-before-children ordering, capped.
+        assert_eq!(repo.neighborhood(&[v0], 1, 8), vec![0, 1, 7]);
+        assert_eq!(repo.neighborhood(&[v0], 2, 2), vec![0, 1]);
     }
 
     #[test]

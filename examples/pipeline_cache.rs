@@ -12,8 +12,9 @@ use dataset_versioning::core::{
 use dataset_versioning::delta::bytes_delta;
 use dataset_versioning::delta::similarity::{similar_pairs, ResemblanceSketch};
 use dataset_versioning::storage::{
-    pack_versions, Materializer, MemStore, ObjectStore, PackOptions,
+    pack_versions, CheckoutCache, Materializer, MemStore, ObjectStore, PackOptions,
 };
+use std::sync::Arc;
 
 /// Simulates one pipeline run's intermediate result: a ranking table that
 /// differs slightly run-to-run (upstream cleaning changed a few inputs).
@@ -85,11 +86,19 @@ fn main() {
     // Execute the plan against a real store and verify.
     let store = MemStore::new(false);
     let packed = pack_versions(&store, &runs, plan.parents(), PackOptions::default()).unwrap();
-    let m = Materializer::with_cache(&store);
+    // Verify through a bounded checkout cache (chain prefixes shared).
+    let cache = Arc::new(CheckoutCache::new(8 << 20));
+    let m = Materializer::with_checkout_cache(&store, Arc::clone(&cache));
     for (i, expected) in runs.iter().enumerate() {
         let (data, _) = packed.checkout(&m, i as u32).unwrap();
         assert_eq!(&data, expected, "run {i} must reconstruct");
     }
+    let cstats = cache.stats();
+    println!(
+        "checkout cache: {} hits, {} KB of recreation reads saved",
+        cstats.hits,
+        cstats.bytes_saved / 1024
+    );
     println!(
         "store holds {} KB — {:.1}x smaller than naive, all runs verified",
         store.total_bytes() / 1024,
