@@ -1,0 +1,11 @@
+//! Multi-client serve benchmark: N concurrent `dsv-net` clients replay a
+//! Zipf(2) checkout trace with interleaved online commits against one
+//! loopback `dsvd`, asserting every checkout byte-identical to a local
+//! mirror, then writes `target/experiments/BENCH_serve.json` with
+//! throughput, p50/p99 latency, cache hit rate, and the server span
+//! tree. `--quick` shrinks the workload.
+
+fn main() {
+    let scale = dsv_bench::Scale::from_args();
+    dsv_bench::experiments::serve::run(scale);
+}

@@ -15,6 +15,7 @@ pub mod hybrid;
 pub mod perf;
 pub mod read;
 pub mod sec52;
+pub mod serve;
 pub mod solver_matrix;
 pub mod store;
 pub mod substrates;

@@ -37,10 +37,8 @@
 //! validated [`StorageSolution`] plus [`Provenance`]: winning solver,
 //! feasibility, and every portfolio candidate's outcome. The solver suite
 //! itself is discoverable via [`solvers::registry`] and
-//! [`solvers::by_name`]; the older [`solve`] free function delegates to
-//! `plan` and is deprecated.
+//! [`solvers::by_name`].
 
-pub mod api;
 pub mod error;
 pub mod instance;
 pub mod matrix;
@@ -50,8 +48,6 @@ pub mod problem;
 pub mod solution;
 pub mod solvers;
 
-#[allow(deprecated)]
-pub use api::solve;
 pub use error::SolveError;
 pub use instance::ProblemInstance;
 pub use matrix::{CostMatrix, CostPair, TriangleViolation};

@@ -727,4 +727,58 @@ mod tests {
         );
         assert!(matches!(bad, Err(SolveError::InvalidParameter(_))));
     }
+
+    /// The Auto dispatch respects every problem's bound (ported from the
+    /// removed `api::solve` wrapper's tests).
+    #[test]
+    fn auto_dispatch_respects_bounds() {
+        let inst = paper_example();
+        let auto = |p: Problem| plan(&inst, &PlanSpec::new(p)).unwrap().solution;
+        let mca = auto(Problem::MinStorage);
+        let spt = auto(Problem::MinRecreation);
+        assert!(mca.storage_cost() <= spt.storage_cost());
+        assert!(spt.sum_recreation() <= mca.sum_recreation());
+
+        let beta = mca.storage_cost() * 3 / 2;
+        let p3 = auto(Problem::MinSumRecreationGivenStorage { beta });
+        assert!(p3.storage_cost() <= beta);
+        let p4 = auto(Problem::MinMaxRecreationGivenStorage { beta });
+        assert!(p4.storage_cost() <= beta);
+
+        let theta_sum = spt.sum_recreation() * 2;
+        let p5 = auto(Problem::MinStorageGivenSumRecreation { theta: theta_sum });
+        assert!(p5.sum_recreation() <= theta_sum);
+        let theta_max = spt.max_recreation() * 2;
+        let p6 = auto(Problem::MinStorageGivenMaxRecreation { theta: theta_max });
+        assert!(p6.max_recreation() <= theta_max);
+    }
+
+    /// Every Auto-dispatched solution passes structural validation.
+    #[test]
+    fn auto_dispatch_solutions_validate() {
+        let inst = paper_example();
+        let mca = plan(&inst, &PlanSpec::new(Problem::MinStorage))
+            .unwrap()
+            .solution;
+        let problems = [
+            Problem::MinStorage,
+            Problem::MinRecreation,
+            Problem::MinSumRecreationGivenStorage {
+                beta: mca.storage_cost() * 2,
+            },
+            Problem::MinMaxRecreationGivenStorage {
+                beta: mca.storage_cost() * 2,
+            },
+            Problem::MinStorageGivenSumRecreation {
+                theta: u64::MAX / 2,
+            },
+            Problem::MinStorageGivenMaxRecreation {
+                theta: u64::MAX / 2,
+            },
+        ];
+        for p in problems {
+            let sol = plan(&inst, &PlanSpec::new(p)).unwrap().solution;
+            assert!(sol.validate(&inst).is_ok(), "{p} produced invalid solution");
+        }
+    }
 }

@@ -1,0 +1,146 @@
+//! Blocking client for the `dsvd` protocol.
+//!
+//! [`Client::connect`] dials, performs the versioned handshake, and
+//! returns a connection that issues one request frame per call and reads
+//! exactly one response frame back. A structured error frame from the
+//! server surfaces as [`NetError::Remote`]; a response whose opcode does
+//! not match the request surfaces as [`NetError::Malformed`].
+
+use crate::frame::{read_frame, write_frame, NetError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use crate::proto::{OptimizeSummary, Request, Response, StatsSummary, WireMode, WireSolver};
+use dsv_core::Problem;
+use dsv_storage::RecreationWork;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One protocol connection to a `dsvd` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Dial `addr` (e.g. `127.0.0.1:7411`) and perform the handshake.
+    pub fn connect(addr: &str) -> Result<Client, NetError> {
+        Self::connect_with(addr, DEFAULT_MAX_FRAME, Some(Duration::from_secs(60)))
+    }
+
+    /// [`Client::connect`] with an explicit frame cap and read timeout
+    /// (`None` blocks forever — only sensible in tests).
+    pub fn connect_with(
+        addr: &str,
+        max_frame: u32,
+        read_timeout: Option<Duration>,
+    ) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(read_timeout)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut client = Client {
+            reader,
+            writer,
+            max_frame,
+        };
+        match client.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::HelloOk { version } if version == PROTOCOL_VERSION => Ok(client),
+            Response::HelloOk { version } => Err(NetError::Handshake(format!(
+                "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+            ))),
+            other => Err(NetError::Handshake(format!(
+                "unexpected handshake reply opcode 0x{:02x}",
+                other.opcode()
+            ))),
+        }
+    }
+
+    /// Send one request, read one response. Error frames become
+    /// [`NetError::Remote`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, NetError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let frame = read_frame(&mut self.reader, self.max_frame)?;
+        match Response::decode(&frame)? {
+            Response::Error { code, message } => Err(NetError::Remote { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(NetError::Malformed("expected Pong")),
+        }
+    }
+
+    /// Returns `(new version id, logical bytes, online?)`.
+    pub fn commit(
+        &mut self,
+        branch: &str,
+        message: &str,
+        online: bool,
+        hops: u32,
+        theta: Option<u64>,
+        data: Vec<u8>,
+    ) -> Result<(u32, u64, bool), NetError> {
+        let req = Request::Commit {
+            branch: branch.to_owned(),
+            message: message.to_owned(),
+            online,
+            hops,
+            theta,
+            data,
+        };
+        match self.call(&req)? {
+            Response::CommitOk { id, bytes, online } => Ok((id, bytes, online)),
+            _ => Err(NetError::Malformed("expected CommitOk")),
+        }
+    }
+
+    pub fn checkout(&mut self, version: u32) -> Result<(Vec<u8>, RecreationWork), NetError> {
+        match self.call(&Request::Checkout { version })? {
+            Response::CheckoutOk { data, work } => Ok((data, work)),
+            _ => Err(NetError::Malformed("expected CheckoutOk")),
+        }
+    }
+
+    pub fn optimize(
+        &mut self,
+        problem: Problem,
+        solver: WireSolver,
+        mode: WireMode,
+        reveal_hops: u32,
+        hop_bound: Option<u32>,
+    ) -> Result<OptimizeSummary, NetError> {
+        let req = Request::Optimize {
+            problem,
+            solver,
+            mode,
+            reveal_hops,
+            hop_bound,
+        };
+        match self.call(&req)? {
+            Response::OptimizeOk(summary) => Ok(summary),
+            _ => Err(NetError::Malformed("expected OptimizeOk")),
+        }
+    }
+
+    pub fn stats(&mut self) -> Result<StatsSummary, NetError> {
+        match self.call(&Request::Stats)? {
+            Response::StatsOk(summary) => Ok(summary),
+            _ => Err(NetError::Malformed("expected StatsOk")),
+        }
+    }
+
+    /// Ask the server to stop accepting connections and exit its serve
+    /// loop once in-flight requests drain.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            _ => Err(NetError::Malformed("expected ShutdownOk")),
+        }
+    }
+}

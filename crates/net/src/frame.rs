@@ -1,0 +1,242 @@
+//! Length-prefixed frame codec.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! +-----------------+----------+----------------+
+//! | body len u32 LE | opcode u8| body (len bytes)|
+//! +-----------------+----------+----------------+
+//! ```
+//!
+//! The length covers only the body, not the 5-byte header. A reader
+//! enforces a maximum body length *before* allocating, so a hostile or
+//! corrupt length prefix cannot trigger an out-of-memory allocation; it
+//! surfaces as [`NetError::FrameTooLarge`] instead. Truncated streams
+//! surface as [`NetError::Eof`] (clean close at a frame boundary) or
+//! [`NetError::Truncated`] (close mid-frame), and a socket read timeout
+//! maps to [`NetError::Timeout`] — never a panic or an indefinite hang.
+
+use std::io::{Read, Write};
+
+/// Version negotiated in the `Hello`/`HelloOk` handshake. Bump on any
+/// incompatible change to the frame layout or request/response bodies.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default cap on a frame body: 64 MiB. Generous for dataset payloads in
+/// this repo's experiments while still bounding per-connection memory.
+pub const DEFAULT_MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Frame header size on the wire: u32 length + u8 opcode.
+pub const HEADER_LEN: u64 = 5;
+
+/// Opcode constants. Requests use the low range, responses set the high
+/// bit, and `0xFF` is the structured error response.
+pub mod opcode {
+    pub const HELLO: u8 = 0x01;
+    pub const PING: u8 = 0x02;
+    pub const COMMIT: u8 = 0x03;
+    pub const CHECKOUT: u8 = 0x04;
+    pub const OPTIMIZE: u8 = 0x05;
+    pub const STATS: u8 = 0x06;
+    pub const SHUTDOWN: u8 = 0x07;
+
+    pub const HELLO_OK: u8 = 0x81;
+    pub const PONG: u8 = 0x82;
+    pub const COMMIT_OK: u8 = 0x83;
+    pub const CHECKOUT_OK: u8 = 0x84;
+    pub const OPTIMIZE_OK: u8 = 0x85;
+    pub const STATS_OK: u8 = 0x86;
+    pub const SHUTDOWN_OK: u8 = 0x87;
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Stable numeric codes carried by error frames so clients can react
+/// without parsing the human-readable message.
+pub mod errcode {
+    pub const VERSION_MISMATCH: u16 = 1;
+    pub const FRAME_TOO_LARGE: u16 = 2;
+    pub const UNKNOWN_OPCODE: u16 = 3;
+    pub const MALFORMED: u16 = 4;
+    pub const BAD_REQUEST: u16 = 5;
+    pub const SERVER: u16 = 6;
+}
+
+/// One wire frame: opcode plus raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub opcode: u8,
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    pub fn new(opcode: u8, body: Vec<u8>) -> Self {
+        Frame { opcode, body }
+    }
+
+    /// Total bytes this frame occupies on the wire (header + body).
+    pub fn wire_len(&self) -> u64 {
+        HEADER_LEN + self.body.len() as u64
+    }
+}
+
+/// Everything that can go wrong at the transport or codec layer.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error other than timeout/EOF.
+    Io(std::io::Error),
+    /// A read hit the configured socket timeout.
+    Timeout,
+    /// The peer closed the stream at a frame boundary.
+    Eof,
+    /// The peer closed the stream in the middle of a frame.
+    Truncated,
+    /// Length prefix exceeded the reader's configured cap.
+    FrameTooLarge { len: u32, max: u32 },
+    /// Frame arrived intact but its opcode is not part of the protocol.
+    UnknownOpcode(u8),
+    /// Frame body did not decode as its opcode's layout.
+    Malformed(&'static str),
+    /// Handshake failed (bad magic or version mismatch).
+    Handshake(String),
+    /// The peer answered with a structured error frame.
+    Remote { code: u16, message: String },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network i/o error: {e}"),
+            NetError::Timeout => write!(f, "network read timed out"),
+            NetError::Eof => write!(f, "connection closed"),
+            NetError::Truncated => write!(f, "connection closed mid-frame"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds cap of {max} bytes")
+            }
+            NetError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            NetError::Malformed(what) => write!(f, "malformed frame body: {what}"),
+            NetError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+            NetError::Remote { message, .. } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::Timeout,
+            std::io::ErrorKind::UnexpectedEof => NetError::Truncated,
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+impl NetError {
+    /// Error-frame code this condition should be reported with.
+    pub fn code(&self) -> u16 {
+        match self {
+            NetError::FrameTooLarge { .. } => errcode::FRAME_TOO_LARGE,
+            NetError::UnknownOpcode(_) => errcode::UNKNOWN_OPCODE,
+            NetError::Malformed(_) => errcode::MALFORMED,
+            NetError::Handshake(_) => errcode::VERSION_MISMATCH,
+            NetError::Remote { code, .. } => *code,
+            _ => errcode::SERVER,
+        }
+    }
+}
+
+/// Read one frame, enforcing `max_body` before any body allocation.
+///
+/// A clean EOF before the first header byte returns [`NetError::Eof`];
+/// EOF anywhere later returns [`NetError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R, max_body: u32) -> Result<Frame, NetError> {
+    let mut header = [0u8; 5];
+    // Distinguish "peer hung up between frames" from "frame cut short".
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    NetError::Eof
+                } else {
+                    NetError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let opcode = header[4];
+    if len > max_body {
+        return Err(NetError::FrameTooLarge { len, max: max_body });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Frame { opcode, body })
+}
+
+/// Write one frame (header + body) and flush.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), NetError> {
+    let len = frame.body.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[frame.opcode])?;
+    w.write_all(&frame.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let frame = Frame::new(opcode::PING, vec![1, 2, 3, 255]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        assert_eq!(buf.len() as u64, frame.wire_len());
+        let back = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(opcode::PING);
+        match read_frame(&mut buf.as_slice(), 1024) {
+            Err(NetError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_error_not_a_hang() {
+        let frame = Frame::new(opcode::COMMIT, vec![7; 64]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME),
+            Err(NetError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_distinguished_from_clean_eof() {
+        assert!(matches!(
+            read_frame(&mut [].as_slice(), DEFAULT_MAX_FRAME),
+            Err(NetError::Eof)
+        ));
+        assert!(matches!(
+            read_frame(&mut [9u8, 0, 0].as_slice(), DEFAULT_MAX_FRAME),
+            Err(NetError::Truncated)
+        ));
+    }
+}

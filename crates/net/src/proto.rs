@@ -1,0 +1,744 @@
+//! Request/response bodies for the `dsvd` protocol.
+//!
+//! Bodies are hand-encoded little-endian (no serde in the offline build):
+//! integers as fixed-width LE, booleans as one byte (`0`/`1`), options as
+//! a presence byte followed by the value, strings and byte blobs as a
+//! `u32` length prefix followed by the raw bytes. Decoding is strict —
+//! unknown enum discriminants, non-UTF-8 strings, short bodies, and
+//! trailing bytes all surface as [`NetError::Malformed`], never a panic.
+//!
+//! See the crate docs for the opcode table and frame layout.
+
+use crate::frame::{errcode, opcode, Frame, NetError};
+use dsv_core::{ChunkingSpec, ModePolicy, Problem, SolverChoice};
+use dsv_storage::{CacheStats, OpCounters, RecreationWork, ShardStats, StoreStats};
+
+/// Solver selection on the wire — mirrors [`SolverChoice`] with an owned
+/// name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireSolver {
+    Auto,
+    Named(String),
+    Portfolio,
+}
+
+impl WireSolver {
+    pub fn to_choice(&self) -> SolverChoice {
+        match self {
+            WireSolver::Auto => SolverChoice::Auto,
+            WireSolver::Named(name) => SolverChoice::Named(name.clone()),
+            WireSolver::Portfolio => SolverChoice::Portfolio,
+        }
+    }
+}
+
+/// Mode policy on the wire — mirrors [`ModePolicy`]; hybrid carries the
+/// client's chunker configuration (ignored by a chunked-placement server,
+/// which keeps its own granularity, matching local `--hybrid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    Auto,
+    Binary,
+    Hybrid {
+        min_size: u64,
+        avg_size: u64,
+        max_size: u64,
+    },
+}
+
+impl WireMode {
+    pub fn to_policy(&self) -> ModePolicy {
+        match *self {
+            WireMode::Auto => ModePolicy::Auto,
+            WireMode::Binary => ModePolicy::Binary,
+            WireMode::Hybrid {
+                min_size,
+                avg_size,
+                max_size,
+            } => ModePolicy::Hybrid(ChunkingSpec {
+                min_size: min_size as usize,
+                avg_size: avg_size as usize,
+                max_size: max_size as usize,
+            }),
+        }
+    }
+}
+
+/// Client → server messages. One request maps to exactly one response
+/// frame (the matching `*Ok` opcode or an error frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Handshake; must be the first frame on a connection.
+    Hello {
+        version: u16,
+    },
+    Ping,
+    Commit {
+        branch: String,
+        message: String,
+        online: bool,
+        /// Reveal neighborhood for `--online` placement.
+        hops: u32,
+        /// `--theta`: recreation bound in bytes.
+        theta: Option<u64>,
+        data: Vec<u8>,
+    },
+    Checkout {
+        version: u32,
+    },
+    Optimize {
+        problem: Problem,
+        solver: WireSolver,
+        mode: WireMode,
+        reveal_hops: u32,
+        hop_bound: Option<u32>,
+    },
+    Stats,
+    Shutdown,
+}
+
+/// One portfolio candidate's numbers, mirroring
+/// `dsv_core::CandidateSummary` with the solver name owned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateLine {
+    pub solver: String,
+    /// `Err` carries the solver's rendered `SolveError`.
+    pub outcome: Result<CandidateNumbers, String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateNumbers {
+    pub objective: u64,
+    pub storage: u64,
+    pub sum_recreation: u64,
+    pub max_recreation: u64,
+    pub feasible: bool,
+}
+
+/// Everything the client needs to print an optimize outcome exactly as
+/// the local CLI does — `dsv_vcs::OptimizeReport` flattened to owned
+/// strings (solver names are `&'static str` locally).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeSummary {
+    /// Rendered problem, e.g. `P3(β=4096)`.
+    pub problem: String,
+    pub solver: String,
+    pub feasible: bool,
+    pub portfolio: bool,
+    pub storage_before: u64,
+    pub storage_after: u64,
+    pub materialized: u64,
+    pub chunked: u64,
+    pub planned_storage_cost: u64,
+    pub planned_max_recreation: u64,
+    pub planned_sum_recreation: u64,
+    pub candidates: Vec<CandidateLine>,
+}
+
+/// Store-wide numbers for `stats`/`store`, plus the server's shared
+/// checkout-cache stats when one is installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSummary {
+    pub stats: StoreStats,
+    pub logical_bytes: u64,
+    pub cache: Option<CacheStats>,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    HelloOk {
+        version: u16,
+    },
+    Pong,
+    CommitOk {
+        /// The new version's numeric id (`CommitId.0`).
+        id: u32,
+        bytes: u64,
+        online: bool,
+    },
+    CheckoutOk {
+        data: Vec<u8>,
+        work: RecreationWork,
+    },
+    OptimizeOk(OptimizeSummary),
+    StatsOk(StatsSummary),
+    ShutdownOk,
+    Error {
+        code: u16,
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// encoding primitives
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => put_u8(buf, 0),
+        Some(v) => {
+            put_u8(buf, 1);
+            put_u64(buf, v);
+        }
+    }
+}
+
+fn put_opt_u32(buf: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        None => put_u8(buf, 0),
+        Some(v) => {
+            put_u8(buf, 1);
+            put_u32(buf, v);
+        }
+    }
+}
+
+fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+fn put_string(buf: &mut Vec<u8>, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+/// Strict decoding cursor over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(NetError::Malformed("body shorter than declared field"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, NetError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(NetError::Malformed("boolean byte not 0/1")),
+        }
+    }
+
+    fn u16(&mut self) -> Result<u16, NetError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, NetError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(NetError::Malformed("option byte not 0/1")),
+        }
+    }
+
+    fn opt_u32(&mut self) -> Result<Option<u32>, NetError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            _ => Err(NetError::Malformed("option byte not 0/1")),
+        }
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, NetError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, NetError> {
+        String::from_utf8(self.bytes()?).map_err(|_| NetError::Malformed("string not UTF-8"))
+    }
+
+    /// Decoders must consume exactly the body; trailing bytes mean the
+    /// peer and we disagree about the layout.
+    fn finish(self) -> Result<(), NetError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(NetError::Malformed("trailing bytes after body"))
+        }
+    }
+}
+
+fn put_problem(buf: &mut Vec<u8>, p: Problem) {
+    let (kind, bound) = match p {
+        Problem::MinStorage => (1, 0),
+        Problem::MinRecreation => (2, 0),
+        Problem::MinSumRecreationGivenStorage { beta } => (3, beta),
+        Problem::MinMaxRecreationGivenStorage { beta } => (4, beta),
+        Problem::MinStorageGivenSumRecreation { theta } => (5, theta),
+        Problem::MinStorageGivenMaxRecreation { theta } => (6, theta),
+    };
+    put_u8(buf, kind);
+    put_u64(buf, bound);
+}
+
+fn get_problem(c: &mut Cursor) -> Result<Problem, NetError> {
+    let kind = c.u8()?;
+    let bound = c.u64()?;
+    Ok(match kind {
+        1 => Problem::MinStorage,
+        2 => Problem::MinRecreation,
+        3 => Problem::MinSumRecreationGivenStorage { beta: bound },
+        4 => Problem::MinMaxRecreationGivenStorage { beta: bound },
+        5 => Problem::MinStorageGivenSumRecreation { theta: bound },
+        6 => Problem::MinStorageGivenMaxRecreation { theta: bound },
+        _ => return Err(NetError::Malformed("unknown problem kind")),
+    })
+}
+
+fn put_work(buf: &mut Vec<u8>, w: &RecreationWork) {
+    put_u64(buf, w.objects_fetched as u64);
+    put_u64(buf, w.bytes_read);
+    put_u64(buf, w.bytes_written);
+    put_u64(buf, w.cache_hits as u64);
+    put_u64(buf, w.bytes_saved);
+}
+
+fn get_work(c: &mut Cursor) -> Result<RecreationWork, NetError> {
+    Ok(RecreationWork {
+        objects_fetched: c.u64()? as usize,
+        bytes_read: c.u64()?,
+        bytes_written: c.u64()?,
+        cache_hits: c.u64()? as usize,
+        bytes_saved: c.u64()?,
+    })
+}
+
+fn put_store_stats(buf: &mut Vec<u8>, s: &StoreStats) {
+    put_u64(buf, s.objects as u64);
+    put_u64(buf, s.bytes);
+    put_u32(buf, s.shards.len() as u32);
+    for shard in &s.shards {
+        put_u64(buf, shard.objects as u64);
+        put_u64(buf, shard.bytes);
+        put_u64(buf, shard.batch_ns);
+    }
+    let ops = &s.ops;
+    for v in [
+        ops.puts,
+        ops.gets,
+        ops.batch_puts,
+        ops.batch_put_objects,
+        ops.batch_gets,
+        ops.batch_get_objects,
+        ops.removes,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+fn get_store_stats(c: &mut Cursor) -> Result<StoreStats, NetError> {
+    let objects = c.u64()? as usize;
+    let bytes = c.u64()?;
+    let n_shards = c.u32()? as usize;
+    // Shard count is server-controlled but still bounded defensively:
+    // the stores cap at well under 2^16 shards.
+    if n_shards > 1 << 16 {
+        return Err(NetError::Malformed("implausible shard count"));
+    }
+    let mut shards = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        shards.push(ShardStats {
+            objects: c.u64()? as usize,
+            bytes: c.u64()?,
+            batch_ns: c.u64()?,
+        });
+    }
+    let ops = OpCounters {
+        puts: c.u64()?,
+        gets: c.u64()?,
+        batch_puts: c.u64()?,
+        batch_put_objects: c.u64()?,
+        batch_gets: c.u64()?,
+        batch_get_objects: c.u64()?,
+        removes: c.u64()?,
+    };
+    Ok(StoreStats {
+        objects,
+        bytes,
+        shards,
+        ops,
+    })
+}
+
+fn put_cache_stats(buf: &mut Vec<u8>, s: &CacheStats) {
+    put_u64(buf, s.budget_bytes);
+    put_u64(buf, s.bytes);
+    put_u64(buf, s.entries as u64);
+    put_u64(buf, s.lookups);
+    put_u64(buf, s.hits);
+    put_u64(buf, s.misses);
+    put_u64(buf, s.admitted);
+    put_u64(buf, s.rejected);
+    put_u64(buf, s.evictions);
+    put_u64(buf, s.bytes_saved);
+}
+
+fn get_cache_stats(c: &mut Cursor) -> Result<CacheStats, NetError> {
+    Ok(CacheStats {
+        budget_bytes: c.u64()?,
+        bytes: c.u64()?,
+        entries: c.u64()? as usize,
+        lookups: c.u64()?,
+        hits: c.u64()?,
+        misses: c.u64()?,
+        admitted: c.u64()?,
+        rejected: c.u64()?,
+        evictions: c.u64()?,
+        bytes_saved: c.u64()?,
+    })
+}
+
+impl Request {
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => opcode::HELLO,
+            Request::Ping => opcode::PING,
+            Request::Commit { .. } => opcode::COMMIT,
+            Request::Checkout { .. } => opcode::CHECKOUT,
+            Request::Optimize { .. } => opcode::OPTIMIZE,
+            Request::Stats => opcode::STATS,
+            Request::Shutdown => opcode::SHUTDOWN,
+        }
+    }
+
+    pub fn encode(&self) -> Frame {
+        let mut body = Vec::new();
+        match self {
+            Request::Hello { version } => put_u16(&mut body, *version),
+            Request::Ping | Request::Stats | Request::Shutdown => {}
+            Request::Commit {
+                branch,
+                message,
+                online,
+                hops,
+                theta,
+                data,
+            } => {
+                put_string(&mut body, branch);
+                put_string(&mut body, message);
+                put_bool(&mut body, *online);
+                put_u32(&mut body, *hops);
+                put_opt_u64(&mut body, *theta);
+                put_bytes(&mut body, data);
+            }
+            Request::Checkout { version } => put_u32(&mut body, *version),
+            Request::Optimize {
+                problem,
+                solver,
+                mode,
+                reveal_hops,
+                hop_bound,
+            } => {
+                put_problem(&mut body, *problem);
+                match solver {
+                    WireSolver::Auto => put_u8(&mut body, 0),
+                    WireSolver::Named(name) => {
+                        put_u8(&mut body, 1);
+                        put_string(&mut body, name);
+                    }
+                    WireSolver::Portfolio => put_u8(&mut body, 2),
+                }
+                match mode {
+                    WireMode::Auto => put_u8(&mut body, 0),
+                    WireMode::Binary => put_u8(&mut body, 1),
+                    WireMode::Hybrid {
+                        min_size,
+                        avg_size,
+                        max_size,
+                    } => {
+                        put_u8(&mut body, 2);
+                        put_u64(&mut body, *min_size);
+                        put_u64(&mut body, *avg_size);
+                        put_u64(&mut body, *max_size);
+                    }
+                }
+                put_u32(&mut body, *reveal_hops);
+                put_opt_u32(&mut body, *hop_bound);
+            }
+        }
+        Frame::new(self.opcode(), body)
+    }
+
+    pub fn decode(frame: &Frame) -> Result<Request, NetError> {
+        let mut c = Cursor::new(&frame.body);
+        let req = match frame.opcode {
+            opcode::HELLO => Request::Hello { version: c.u16()? },
+            opcode::PING => Request::Ping,
+            opcode::COMMIT => Request::Commit {
+                branch: c.string()?,
+                message: c.string()?,
+                online: c.bool()?,
+                hops: c.u32()?,
+                theta: c.opt_u64()?,
+                data: c.bytes()?,
+            },
+            opcode::CHECKOUT => Request::Checkout { version: c.u32()? },
+            opcode::OPTIMIZE => {
+                let problem = get_problem(&mut c)?;
+                let solver = match c.u8()? {
+                    0 => WireSolver::Auto,
+                    1 => WireSolver::Named(c.string()?),
+                    2 => WireSolver::Portfolio,
+                    _ => return Err(NetError::Malformed("unknown solver selector")),
+                };
+                let mode = match c.u8()? {
+                    0 => WireMode::Auto,
+                    1 => WireMode::Binary,
+                    2 => WireMode::Hybrid {
+                        min_size: c.u64()?,
+                        avg_size: c.u64()?,
+                        max_size: c.u64()?,
+                    },
+                    _ => return Err(NetError::Malformed("unknown mode selector")),
+                };
+                Request::Optimize {
+                    problem,
+                    solver,
+                    mode,
+                    reveal_hops: c.u32()?,
+                    hop_bound: c.opt_u32()?,
+                }
+            }
+            opcode::STATS => Request::Stats,
+            opcode::SHUTDOWN => Request::Shutdown,
+            other => return Err(NetError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::HelloOk { .. } => opcode::HELLO_OK,
+            Response::Pong => opcode::PONG,
+            Response::CommitOk { .. } => opcode::COMMIT_OK,
+            Response::CheckoutOk { .. } => opcode::CHECKOUT_OK,
+            Response::OptimizeOk(_) => opcode::OPTIMIZE_OK,
+            Response::StatsOk(_) => opcode::STATS_OK,
+            Response::ShutdownOk => opcode::SHUTDOWN_OK,
+            Response::Error { .. } => opcode::ERROR,
+        }
+    }
+
+    /// Structured error frame for a codec/server failure.
+    pub fn error_for(err: &NetError) -> Response {
+        Response::Error {
+            code: err.code(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Server-side (VCS/repository) failure.
+    pub fn server_error(message: impl Into<String>) -> Response {
+        Response::Error {
+            code: errcode::SERVER,
+            message: message.into(),
+        }
+    }
+
+    pub fn encode(&self) -> Frame {
+        let mut body = Vec::new();
+        match self {
+            Response::HelloOk { version } => put_u16(&mut body, *version),
+            Response::Pong | Response::ShutdownOk => {}
+            Response::CommitOk { id, bytes, online } => {
+                put_u32(&mut body, *id);
+                put_u64(&mut body, *bytes);
+                put_bool(&mut body, *online);
+            }
+            Response::CheckoutOk { data, work } => {
+                put_work(&mut body, work);
+                put_bytes(&mut body, data);
+            }
+            Response::OptimizeOk(s) => {
+                put_string(&mut body, &s.problem);
+                put_string(&mut body, &s.solver);
+                put_bool(&mut body, s.feasible);
+                put_bool(&mut body, s.portfolio);
+                put_u64(&mut body, s.storage_before);
+                put_u64(&mut body, s.storage_after);
+                put_u64(&mut body, s.materialized);
+                put_u64(&mut body, s.chunked);
+                put_u64(&mut body, s.planned_storage_cost);
+                put_u64(&mut body, s.planned_max_recreation);
+                put_u64(&mut body, s.planned_sum_recreation);
+                put_u32(&mut body, s.candidates.len() as u32);
+                for c in &s.candidates {
+                    put_string(&mut body, &c.solver);
+                    match &c.outcome {
+                        Ok(n) => {
+                            put_u8(&mut body, 1);
+                            put_u64(&mut body, n.objective);
+                            put_u64(&mut body, n.storage);
+                            put_u64(&mut body, n.sum_recreation);
+                            put_u64(&mut body, n.max_recreation);
+                            put_bool(&mut body, n.feasible);
+                        }
+                        Err(e) => {
+                            put_u8(&mut body, 0);
+                            put_string(&mut body, e);
+                        }
+                    }
+                }
+            }
+            Response::StatsOk(s) => {
+                put_store_stats(&mut body, &s.stats);
+                put_u64(&mut body, s.logical_bytes);
+                match &s.cache {
+                    None => put_u8(&mut body, 0),
+                    Some(c) => {
+                        put_u8(&mut body, 1);
+                        put_cache_stats(&mut body, c);
+                    }
+                }
+            }
+            Response::Error { code, message } => {
+                put_u16(&mut body, *code);
+                put_string(&mut body, message);
+            }
+        }
+        Frame::new(self.opcode(), body)
+    }
+
+    pub fn decode(frame: &Frame) -> Result<Response, NetError> {
+        let mut c = Cursor::new(&frame.body);
+        let resp = match frame.opcode {
+            opcode::HELLO_OK => Response::HelloOk { version: c.u16()? },
+            opcode::PONG => Response::Pong,
+            opcode::COMMIT_OK => Response::CommitOk {
+                id: c.u32()?,
+                bytes: c.u64()?,
+                online: c.bool()?,
+            },
+            opcode::CHECKOUT_OK => {
+                let work = get_work(&mut c)?;
+                Response::CheckoutOk {
+                    data: c.bytes()?,
+                    work,
+                }
+            }
+            opcode::OPTIMIZE_OK => {
+                let problem = c.string()?;
+                let solver = c.string()?;
+                let feasible = c.bool()?;
+                let portfolio = c.bool()?;
+                let storage_before = c.u64()?;
+                let storage_after = c.u64()?;
+                let materialized = c.u64()?;
+                let chunked = c.u64()?;
+                let planned_storage_cost = c.u64()?;
+                let planned_max_recreation = c.u64()?;
+                let planned_sum_recreation = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > 1 << 16 {
+                    return Err(NetError::Malformed("implausible candidate count"));
+                }
+                let mut candidates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let solver = c.string()?;
+                    let outcome = match c.u8()? {
+                        1 => Ok(CandidateNumbers {
+                            objective: c.u64()?,
+                            storage: c.u64()?,
+                            sum_recreation: c.u64()?,
+                            max_recreation: c.u64()?,
+                            feasible: c.bool()?,
+                        }),
+                        0 => Err(c.string()?),
+                        _ => return Err(NetError::Malformed("candidate outcome byte not 0/1")),
+                    };
+                    candidates.push(CandidateLine { solver, outcome });
+                }
+                Response::OptimizeOk(OptimizeSummary {
+                    problem,
+                    solver,
+                    feasible,
+                    portfolio,
+                    storage_before,
+                    storage_after,
+                    materialized,
+                    chunked,
+                    planned_storage_cost,
+                    planned_max_recreation,
+                    planned_sum_recreation,
+                    candidates,
+                })
+            }
+            opcode::STATS_OK => {
+                let stats = get_store_stats(&mut c)?;
+                let logical_bytes = c.u64()?;
+                let cache = match c.u8()? {
+                    0 => None,
+                    1 => Some(get_cache_stats(&mut c)?),
+                    _ => return Err(NetError::Malformed("option byte not 0/1")),
+                };
+                Response::StatsOk(StatsSummary {
+                    stats,
+                    logical_bytes,
+                    cache,
+                })
+            }
+            opcode::SHUTDOWN_OK => Response::ShutdownOk,
+            opcode::ERROR => Response::Error {
+                code: c.u16()?,
+                message: c.string()?,
+            },
+            other => return Err(NetError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}

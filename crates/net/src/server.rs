@@ -1,0 +1,137 @@
+//! Bounded thread-per-connection server transport.
+//!
+//! [`Server::bind`] wraps a blocking [`TcpListener`]; [`Server::serve`]
+//! pre-spawns a fixed pool of worker threads (default:
+//! [`dsv_par::current_threads`]) and feeds accepted connections through a
+//! bounded channel — the accept loop blocks once `queue_depth`
+//! connections are waiting, so a flood of clients cannot pile up
+//! unbounded sockets. Each worker hands the raw stream to the
+//! [`ConnHandler`]; the semantics layer (request decode/dispatch) lives
+//! above this crate.
+//!
+//! Shutdown: when a handler returns [`ServeControl::Shutdown`], the flag
+//! flips and the worker dials the listener once so the blocked `accept`
+//! wakes, observes the flag, and exits; remaining queued connections are
+//! dropped and `serve` returns after all workers drain.
+
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+
+/// What the connection handler wants the accept loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeControl {
+    /// Keep accepting connections.
+    Continue,
+    /// Stop accepting; drain workers and return from `serve`.
+    Shutdown,
+}
+
+/// Per-connection callback. Implementations own the full protocol
+/// conversation on the stream; returning never re-enqueues the socket.
+pub trait ConnHandler: Sync {
+    fn handle(&self, conn: TcpStream) -> ServeControl;
+}
+
+impl<F: Fn(TcpStream) -> ServeControl + Sync> ConnHandler for F {
+    fn handle(&self, conn: TcpStream) -> ServeControl {
+        self(conn)
+    }
+}
+
+/// Pool sizing for [`Server::serve`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Worker threads; `0` means [`dsv_par::current_threads`].
+    pub workers: usize,
+    /// Accepted-but-unclaimed connections to buffer before the accept
+    /// loop itself blocks.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: 0,
+            queue_depth: 32,
+        }
+    }
+}
+
+/// A bound listener plus pool configuration.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    opts: ServerOptions,
+}
+
+impl Server {
+    /// Bind `addr` (port `0` picks a free port; see [`Server::local_addr`]).
+    pub fn bind(addr: &str) -> std::io::Result<Server> {
+        Self::bind_with(addr, ServerOptions::default())
+    }
+
+    pub fn bind_with(addr: &str, opts: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            opts,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn workers(&self) -> usize {
+        if self.opts.workers == 0 {
+            dsv_par::current_threads().max(1)
+        } else {
+            self.opts.workers
+        }
+    }
+
+    /// Accept connections and dispatch them to `handler` on the worker
+    /// pool until a handler requests shutdown. Blocks the calling thread.
+    pub fn serve<H: ConnHandler>(&self, handler: &H) {
+        let workers = self.workers();
+        let shutdown = AtomicBool::new(false);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.opts.queue_depth);
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = &rx;
+                let shutdown = &shutdown;
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only for the dequeue — the
+                    // conversation itself runs unlocked so workers serve
+                    // clients concurrently.
+                    let conn = match rx.lock().recv() {
+                        Ok(conn) => conn,
+                        Err(_) => return,
+                    };
+                    if handler.handle(conn) == ServeControl::Shutdown {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Wake the blocked accept so it can observe the
+                        // flag; the wake connection is dropped unserved.
+                        let _ = TcpStream::connect(self.addr);
+                    }
+                });
+            }
+            for conn in self.listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                if tx.send(conn).is_err() {
+                    break;
+                }
+            }
+            // Closing the channel ends every worker's recv loop.
+            drop(tx);
+        });
+    }
+}

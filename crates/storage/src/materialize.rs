@@ -75,20 +75,6 @@ impl<'a, S: ObjectStore + ?Sized> Materializer<'a, S> {
         Materializer { store, cache: None }
     }
 
-    /// A materializer with a default-budget bounded cache.
-    #[deprecated(
-        since = "0.2.0",
-        note = "the unbounded memoize-everything cache is gone; this now builds a \
-                bounded cache with `DEFAULT_CACHE_BUDGET` — prefer \
-                `with_checkout_cache` and size the budget explicitly"
-    )]
-    pub fn with_cache(store: &'a S) -> Self {
-        Self::with_checkout_cache(
-            store,
-            Arc::new(CheckoutCache::new(crate::cache::DEFAULT_CACHE_BUDGET)),
-        )
-    }
-
     /// A materializer serving from (and feeding) `cache`. The cache is
     /// shared: clones of the `Arc` can back other materializers or a
     /// whole repository concurrently.
@@ -307,21 +293,6 @@ mod tests {
         // A sibling sharing the prefix only fetches its own delta.
         let (_, w9) = m.materialize_measured(ids[9]).unwrap();
         assert_eq!(w9.objects_fetched, 0, "prefix was cached during replay");
-    }
-
-    #[test]
-    fn deprecated_with_cache_builds_bounded_cache() {
-        let store = MemStore::new(false);
-        let (ids, contents) = chain_fixture(&store, 5);
-        #[allow(deprecated)]
-        let m = Materializer::with_cache(&store);
-        assert_eq!(
-            m.cache().unwrap().budget_bytes(),
-            crate::cache::DEFAULT_CACHE_BUDGET
-        );
-        assert_eq!(*m.materialize(ids[5]).unwrap(), contents[5]);
-        let (_, again) = m.materialize_measured(ids[5]).unwrap();
-        assert_eq!(again.objects_fetched, 0);
     }
 
     #[test]

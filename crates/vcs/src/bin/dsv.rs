@@ -20,6 +20,7 @@
 //!              [--hops <n>] [--hop-bound <n>]
 //! dsv --threads <n> <any command ...>
 //! dsv --trace [--trace-json <path>] <any command ...>
+//! dsv --remote <host:port> <ping|commit|checkout|optimize|stats|store|shutdown> ...
 //! ```
 //!
 //! `init --shards <n>` lays the object store out as `n` independent
@@ -64,6 +65,15 @@
 //! `DSV_THREADS` environment variable, falling back to the machine's
 //! available parallelism.
 //!
+//! `--remote <host:port>` (accepted anywhere on the command line) routes
+//! the command to a running `dsvd` server over the `dsv-net` protocol
+//! instead of opening a repository locally; the repo-dir positional is
+//! omitted since the server owns its repository. Output is identical to
+//! the local command — remote checkouts are byte-for-byte the same data.
+//! `--cache-bytes` is rejected remotely: every remote checkout is served
+//! through the server's single shared cache arena. `dsv --remote <addr>
+//! shutdown` stops the server.
+//!
 //! `--trace` (or `DSV_TRACE=1`) installs a [`dsv_obs`] span recorder
 //! around the whole command and prints the aggregated call tree — wall
 //! and self time per phase — to stderr when the command finishes.
@@ -75,8 +85,10 @@
 
 use dsv_core::solvers::{registry, Support};
 use dsv_core::{ChunkingSpec, ModePolicy, PlanSpec, Problem, SolverChoice};
+use dsv_net::proto::{OptimizeSummary, WireMode, WireSolver};
 use dsv_obs as obs;
 use dsv_storage::{FileStore, ObjectStore, ShardedStore, StoreStats, MAX_SHARDS};
+use dsv_vcs::serve::summarize_report;
 use dsv_vcs::{persist, CommitId, Placement, RepoStore, Repository};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -100,6 +112,7 @@ fn run(args: &[String]) -> Result<(), String> {
     // a span recorder.
     let args = extract_threads(args)?;
     let (args, trace) = extract_trace(&args)?;
+    let (args, remote) = extract_remote(&args)?;
     // Metrics are a single branch per update; keep them on so that
     // `store --json` and `stats` can report what this process did.
     obs::set_metrics_enabled(true);
@@ -110,7 +123,10 @@ fn run(args: &[String]) -> Result<(), String> {
     } else {
         None
     };
-    let mut result = dispatch(&args);
+    let mut result = match &remote {
+        Some(addr) => dispatch_remote(&args, addr),
+        None => dispatch(&args),
+    };
     if let Some(recorder) = recorder {
         obs::set_global_recorder(None);
         let tree = recorder.snapshot();
@@ -425,48 +441,12 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         }
         "optimize" => {
             let root = repo_dir(args, 1)?;
-            let problem = parse_problem(args)?;
+            let problem = parse_problem(args, 2)?;
             let mut repo = persist::load(&root, true).map_err(stringify)?;
             let spec = parse_plan_spec(args, problem, repo.placement())?;
             let report = repo.optimize_with(&spec).map_err(stringify)?;
             persist::save(&repo, &root).map_err(stringify)?;
-            println!(
-                "{}: {} -> {} bytes on disk ({} materialized, {} chunked, planned maxR {})",
-                report.problem,
-                report.storage_before,
-                report.storage_after,
-                report.materialized,
-                report.chunked,
-                report.planned_max_recreation
-            );
-            let p = &report.provenance;
-            if p.portfolio {
-                println!(
-                    "portfolio: {} candidates, winner {}",
-                    p.candidates.len(),
-                    p.solver
-                );
-                for c in &p.candidates {
-                    match &c.result {
-                        Ok(s) => println!(
-                            "  {:<12} objective {} (C {}, ΣR {}, maxR {}){}",
-                            c.solver,
-                            s.objective,
-                            s.storage,
-                            s.sum_recreation,
-                            s.max_recreation,
-                            if s.feasible { "" } else { "  [infeasible]" }
-                        ),
-                        Err(e) => println!("  {:<12} error: {e}", c.solver),
-                    }
-                }
-            } else {
-                println!(
-                    "solver: {}{}",
-                    p.solver,
-                    if p.feasible { "" } else { "  [infeasible]" }
-                );
-            }
+            print_optimize_summary(&summarize_report(&report));
             Ok(())
         }
         "help" | "--help" | "-h" => {
@@ -500,9 +480,318 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                  (also: DSV_TRACE=1)"
             );
             println!("       dsv --trace-json <path> ...  write the span tree as JSON");
+            println!(
+                "       dsv --remote <host:port> ...  route the command to a dsvd server \
+                 (no repo-dir; supports ping, commit, checkout, optimize, stats, store, shutdown)"
+            );
             Ok(())
         }
         other => Err(format!("unknown command '{other}' (try: dsv help)")),
+    }
+}
+
+/// Routes a command over the `dsv-net` protocol to a `dsvd` server. The
+/// repo-dir positional is omitted in remote mode — the server owns its
+/// repository — and output is identical to the local command.
+fn dispatch_remote(args: &[String], addr: &str) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "ping" | "commit" | "checkout" | "optimize" | "stats" | "store" | "shutdown" => {}
+        other => {
+            return Err(format!(
+                "command '{other}' is not supported over --remote \
+                 (supported: ping, commit, checkout, optimize, stats, store, shutdown)"
+            ))
+        }
+    }
+    let mut client =
+        dsv_net::Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    match cmd {
+        "ping" => {
+            client.ping().map_err(stringify)?;
+            println!("pong from {addr} (protocol v{})", dsv_net::PROTOCOL_VERSION);
+            Ok(())
+        }
+        "commit" => {
+            let mut positional: Vec<String> = Vec::new();
+            let mut online = false;
+            let mut hops: Option<usize> = None;
+            let mut theta: Option<u64> = None;
+            let mut branch = "main".to_owned();
+            let mut message = "(no message)".to_owned();
+            let mut iter = args.iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--online" => online = true,
+                    "--online-hops" => {
+                        let v = iter.next().ok_or("--online-hops needs a value")?;
+                        hops = Some(
+                            v.parse()
+                                .map_err(|_| format!("invalid --online-hops '{v}'"))?,
+                        );
+                    }
+                    "--theta" => {
+                        let v = iter.next().ok_or("--theta needs a value (bytes)")?;
+                        theta = Some(v.parse().map_err(|_| format!("invalid --theta '{v}'"))?);
+                    }
+                    "-b" => branch = iter.next().ok_or("-b needs a branch name")?.clone(),
+                    "-m" => message = iter.next().ok_or("-m needs a message")?.clone(),
+                    a if a.starts_with("--") => {
+                        return Err(format!("unknown commit flag '{arg}' (see: dsv help)"))
+                    }
+                    _ => positional.push(arg.clone()),
+                }
+            }
+            if hops.is_some() && !online {
+                return Err("--online-hops requires --online".into());
+            }
+            let file = positional
+                .get(1)
+                .ok_or("usage: dsv --remote <addr> commit <file> [--online] [--theta <bytes>]")?;
+            let data = std::fs::read(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let hops = hops.unwrap_or(dsv_vcs::OnlineOptions::default().hops);
+            let (id, bytes, online) = client
+                .commit(&branch, &message, online, hops as u32, theta, data)
+                .map_err(stringify)?;
+            let how = if online { ", online placement" } else { "" };
+            println!(
+                "committed {} on '{branch}' ({bytes} bytes{how})",
+                CommitId(id)
+            );
+            Ok(())
+        }
+        "checkout" => {
+            let mut positional: Vec<String> = Vec::new();
+            let mut out_path: Option<String> = None;
+            let mut iter = args.iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--cache-bytes" => {
+                        return Err(
+                            "--cache-bytes is server-side with --remote: every remote checkout \
+                             is served through the dsvd shared cache (see: dsvd --cache-bytes)"
+                                .into(),
+                        )
+                    }
+                    "-o" => out_path = Some(iter.next().ok_or("-o needs a path")?.clone()),
+                    a if a.starts_with("--") => {
+                        return Err(format!("unknown checkout flag '{arg}' (see: dsv help)"))
+                    }
+                    _ => positional.push(arg.clone()),
+                }
+            }
+            if positional.len() < 2 {
+                return Err(
+                    "usage: dsv --remote <addr> checkout <version>... [-o out-file]".into(),
+                );
+            }
+            let versions: Vec<CommitId> = positional[1..]
+                .iter()
+                .map(|s| parse_version(Some(s)))
+                .collect::<Result<_, _>>()?;
+            if versions.len() == 1 {
+                let version = versions[0];
+                let (data, _work) = client.checkout(version.0).map_err(stringify)?;
+                match out_path {
+                    Some(path) => {
+                        std::fs::write(&path, &data).map_err(|e| e.to_string())?;
+                        println!("checked out {version} to {path} ({} bytes)", data.len());
+                    }
+                    None => {
+                        use std::io::Write;
+                        std::io::stdout()
+                            .write_all(&data)
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+            } else {
+                if out_path.is_some() {
+                    return Err("-o needs exactly one version".into());
+                }
+                let mut total = dsv_storage::RecreationWork::default();
+                for &version in &versions {
+                    let (data, work) = client.checkout(version.0).map_err(stringify)?;
+                    total.add(work);
+                    println!(
+                        "{version}: {} bytes (read {}, cache hits {}, saved {})",
+                        data.len(),
+                        work.bytes_read,
+                        work.cache_hits,
+                        work.bytes_saved
+                    );
+                }
+                println!(
+                    "total: read {} bytes, {} cache hits, saved {} bytes",
+                    total.bytes_read, total.cache_hits, total.bytes_saved
+                );
+            }
+            Ok(())
+        }
+        "optimize" => {
+            let problem = parse_problem(args, 1)?;
+            let (solver, mode, reveal_hops, hop_bound) = parse_remote_plan(args)?;
+            let summary = client
+                .optimize(problem, solver, mode, reveal_hops, hop_bound)
+                .map_err(stringify)?;
+            print_optimize_summary(&summary);
+            Ok(())
+        }
+        "stats" => {
+            let summary = client.stats().map_err(stringify)?;
+            print_store_stats(&summary.stats, summary.logical_bytes);
+            if let Some(s) = summary.cache {
+                println!(
+                    "server cache: {}/{} bytes used, {} entries, {} hits / {} misses, {} evictions",
+                    s.bytes, s.budget_bytes, s.entries, s.hits, s.misses, s.evictions
+                );
+            }
+            Ok(())
+        }
+        "store" => {
+            let json = args.iter().any(|a| a == "--json");
+            let summary = client.stats().map_err(stringify)?;
+            if json {
+                println!(
+                    "{}",
+                    store_stats_json(&summary.stats, summary.logical_bytes)
+                );
+            } else {
+                print_store_stats(&summary.stats, summary.logical_bytes);
+            }
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(stringify)?;
+            println!("server at {addr} shutting down");
+            Ok(())
+        }
+        _ => unreachable!("filtered above"),
+    }
+}
+
+/// Remote flavor of [`parse_plan_spec`]: same flags, same validation and
+/// defaults, but producing the wire selectors the server rebuilds its
+/// `PlanSpec` from. Solver-name typos are still caught client-side so
+/// the error matches the local one before any network round-trip.
+fn parse_remote_plan(args: &[String]) -> Result<(WireSolver, WireMode, u32, Option<u32>), String> {
+    const VALUE_FLAGS: [&str; 3] = ["--solver", "--hops", "--hop-bound"];
+    const BARE_FLAGS: [&str; 3] = ["--portfolio", "--hybrid", "--binary"];
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_value = true;
+        } else if arg.starts_with("--") && !BARE_FLAGS.contains(&arg.as_str()) {
+            return Err(format!("unknown optimize flag '{arg}' (see: dsv help)"));
+        }
+    }
+    for flag in VALUE_FLAGS {
+        match args.iter().filter(|a| *a == flag).count() {
+            0 => {}
+            1 => match flag_value(args, flag) {
+                None => return Err(format!("{flag} needs a value")),
+                Some(v) if v.starts_with("--") => {
+                    return Err(format!("{flag} needs a value, got flag '{v}'"))
+                }
+                Some(_) => {}
+            },
+            _ => return Err(format!("{flag} given more than once")),
+        }
+    }
+    let reveal_hops = match flag_value(args, "--hops") {
+        Some(h) => h
+            .parse::<u32>()
+            .map_err(|_| format!("invalid --hops '{h}'"))?,
+        None => 5,
+    };
+    let hop_bound = match flag_value(args, "--hop-bound") {
+        Some(h) => Some(
+            h.parse::<u32>()
+                .map_err(|_| format!("invalid --hop-bound '{h}'"))?,
+        ),
+        None => None,
+    };
+    let portfolio = args.iter().any(|a| a == "--portfolio");
+    let named = flag_value(args, "--solver");
+    if portfolio && named.is_some() {
+        return Err("--portfolio and --solver are mutually exclusive".into());
+    }
+    let solver = if portfolio {
+        WireSolver::Portfolio
+    } else if let Some(name) = named {
+        if dsv_core::solvers::by_name(name).is_none() {
+            return Err(format!(
+                "no solver named '{name}' in the registry (see: dsv solvers)"
+            ));
+        }
+        WireSolver::Named(name.to_owned())
+    } else {
+        WireSolver::Auto
+    };
+    let hybrid = args.iter().any(|a| a == "--hybrid");
+    let binary = args.iter().any(|a| a == "--binary");
+    if hybrid && binary {
+        return Err("--hybrid and --binary are mutually exclusive".into());
+    }
+    let mode = if hybrid {
+        // The server substitutes its own chunker granularity when its
+        // placement is chunked, mirroring the local rule.
+        let c = ChunkingSpec::default();
+        WireMode::Hybrid {
+            min_size: c.min_size as u64,
+            avg_size: c.avg_size as u64,
+            max_size: c.max_size as u64,
+        }
+    } else if binary {
+        WireMode::Binary
+    } else {
+        WireMode::Auto
+    };
+    Ok((solver, mode, reveal_hops, hop_bound))
+}
+
+/// Renders an optimize outcome — the one code path for both the local
+/// `optimize` command (via [`summarize_report`]) and the remote one (the
+/// summary as decoded off the wire), keeping their output identical.
+fn print_optimize_summary(s: &OptimizeSummary) {
+    println!(
+        "{}: {} -> {} bytes on disk ({} materialized, {} chunked, planned maxR {})",
+        s.problem,
+        s.storage_before,
+        s.storage_after,
+        s.materialized,
+        s.chunked,
+        s.planned_max_recreation
+    );
+    if s.portfolio {
+        println!(
+            "portfolio: {} candidates, winner {}",
+            s.candidates.len(),
+            s.solver
+        );
+        for c in &s.candidates {
+            match &c.outcome {
+                Ok(n) => println!(
+                    "  {:<12} objective {} (C {}, ΣR {}, maxR {}){}",
+                    c.solver,
+                    n.objective,
+                    n.storage,
+                    n.sum_recreation,
+                    n.max_recreation,
+                    if n.feasible { "" } else { "  [infeasible]" }
+                ),
+                Err(e) => println!("  {:<12} error: {e}", c.solver),
+            }
+        }
+    } else {
+        println!(
+            "solver: {}{}",
+            s.solver,
+            if s.feasible { "" } else { "  [infeasible]" }
+        );
     }
 }
 
@@ -576,6 +865,27 @@ fn extract_threads(args: &[String]) -> Result<Vec<String>, String> {
         }
     }
     Ok(out)
+}
+
+/// Strips a global `--remote <host:port>` flag. When present, the
+/// command is routed to a `dsvd` server over the wire protocol instead
+/// of opening a repository locally (see [`dispatch_remote`]).
+fn extract_remote(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut remote = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--remote" {
+            let value = iter.next().ok_or("--remote needs host:port")?;
+            if remote.is_some() {
+                return Err("--remote given more than once".into());
+            }
+            remote = Some(value.clone());
+        } else {
+            out.push(arg.clone());
+        }
+    }
+    Ok((out, remote))
 }
 
 /// Global tracing options stripped from the command line by
@@ -767,10 +1077,10 @@ fn parse_plan_spec(
     Ok(spec)
 }
 
-fn parse_problem(args: &[String]) -> Result<Problem, String> {
-    let which = args.get(2).map(String::as_str).unwrap_or("p1");
+fn parse_problem(args: &[String], idx: usize) -> Result<Problem, String> {
+    let which = args.get(idx).map(String::as_str).unwrap_or("p1");
     let bound = || -> Result<u64, String> {
-        args.get(3)
+        args.get(idx + 1)
             .ok_or_else(|| format!("{which} needs a bound in bytes"))?
             .parse::<u64>()
             .map_err(|e| e.to_string())

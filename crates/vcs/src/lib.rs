@@ -40,6 +40,7 @@ pub mod error;
 pub mod optimize;
 pub mod persist;
 pub mod repo;
+pub mod serve;
 
 pub use commit::{CommitId, CommitMeta};
 pub use dsv_core::{ModePolicy, PlanSpec, SolverChoice};
@@ -47,3 +48,4 @@ pub use error::VcsError;
 pub use optimize::OptimizeReport;
 pub use persist::RepoStore;
 pub use repo::{OnlineOptions, Placement, Repository};
+pub use serve::{Dsvd, DsvdConfig};

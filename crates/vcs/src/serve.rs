@@ -1,0 +1,425 @@
+//! Server-side semantics for the `dsvd` protocol.
+//!
+//! [`Dsvd`] owns one repository behind a [`parking_lot::RwLock`] and
+//! implements the request → response mapping on top of the
+//! [`dsv_net`] transport:
+//!
+//! * **commit queue** — mutations (`Commit`, `Optimize`) take the write
+//!   lock, so they serialize in arrival order while any number of
+//!   `Checkout`/`Stats` readers proceed concurrently under read locks;
+//! * **shared checkout cache** — one [`CheckoutCache`] arena is installed
+//!   on the repository and therefore shared by *all* client checkouts
+//!   (content-addressed, so concurrent commits can never make it stale);
+//! * **durability** — when a save root is configured (the `dsvd` binary
+//!   always does), repository metadata is re-persisted after every
+//!   successful mutation, so a later local `dsv` run sees remote commits;
+//! * **observability** — the conversation is span-instrumented
+//!   `serve → conn → decode/handle/encode` with a per-opcode child under
+//!   `handle`, plus `net.requests` / `net.bytes_in` / `net.bytes_out`
+//!   counters, so `--trace-json` on the server captures per-opcode
+//!   subtrees.
+//!
+//! Protocol robustness: oversized frames, truncated streams, unknown
+//! opcodes, and malformed bodies each produce a structured error frame
+//! (where the stream is still framed) or a clean close — never a panic
+//! or a hang; a read timeout bounds how long an idle or stalled client
+//! can pin a worker.
+
+use crate::optimize::OptimizeReport;
+use crate::repo::{OnlineOptions, Placement, Repository};
+use crate::{persist, CommitId};
+use dsv_core::{ChunkingSpec, ModePolicy, PlanSpec, Problem};
+use dsv_net::frame::{errcode, read_frame, write_frame, NetError, PROTOCOL_VERSION};
+use dsv_net::proto::{
+    CandidateLine, CandidateNumbers, OptimizeSummary, Request, Response, StatsSummary, WireMode,
+    WireSolver,
+};
+use dsv_net::server::{ConnHandler, ServeControl, Server};
+use dsv_obs as obs;
+use dsv_storage::{CheckoutCache, ObjectStore};
+use parking_lot::RwLock;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables for a [`Dsvd`] instance.
+#[derive(Debug, Clone)]
+pub struct DsvdConfig {
+    /// Budget for the shared checkout cache; `0` disables it.
+    pub cache_bytes: u64,
+    /// Largest accepted frame body (commit payloads bound this).
+    pub max_frame: u32,
+    /// Per-read socket timeout on the decode path; `None` blocks forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for DsvdConfig {
+    fn default() -> Self {
+        DsvdConfig {
+            cache_bytes: 256 * 1024 * 1024,
+            max_frame: dsv_net::DEFAULT_MAX_FRAME,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// One served repository: the state every connection handler shares.
+pub struct Dsvd<S: ObjectStore> {
+    repo: RwLock<Repository<S>>,
+    cache: Option<Arc<CheckoutCache>>,
+    save_root: Option<PathBuf>,
+    config: DsvdConfig,
+}
+
+impl<S: ObjectStore + Send + Sync> Dsvd<S> {
+    /// Wrap `repo` for serving; installs the shared checkout cache.
+    pub fn new(mut repo: Repository<S>, config: DsvdConfig) -> Self {
+        let cache =
+            (config.cache_bytes > 0).then(|| repo.enable_checkout_cache(config.cache_bytes));
+        Dsvd {
+            repo: RwLock::new(repo),
+            cache,
+            save_root: None,
+            config,
+        }
+    }
+
+    /// Re-persist repository metadata under `root` after every mutation.
+    pub fn with_save_root(mut self, root: PathBuf) -> Self {
+        self.save_root = Some(root);
+        self
+    }
+
+    /// The cache arena shared across all client checkouts, if enabled.
+    pub fn cache(&self) -> Option<&Arc<CheckoutCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The served repository (primarily for tests and the experiment
+    /// harness to seed/inspect state around a serve run).
+    pub fn repo(&self) -> &RwLock<Repository<S>> {
+        &self.repo
+    }
+
+    /// Run the accept loop on `server` until a client sends `Shutdown`.
+    /// Blocks the calling thread; spans land in that thread's recorder.
+    pub fn serve(&self, server: &Server) {
+        let span = obs::span!("serve");
+        let handle = span.handle();
+        let _serve = span.entered();
+        let handler = DsvdConn {
+            dsvd: self,
+            serve: handle,
+        };
+        server.serve(&handler);
+    }
+
+    fn handle_request(&self, req: Request) -> (Response, ServeControl) {
+        match req {
+            // A second Hello after the handshake is a sequencing bug.
+            Request::Hello { .. } => (
+                Response::Error {
+                    code: errcode::BAD_REQUEST,
+                    message: "unexpected Hello after handshake".into(),
+                },
+                ServeControl::Continue,
+            ),
+            Request::Ping => (Response::Pong, ServeControl::Continue),
+            Request::Commit {
+                branch,
+                message,
+                online,
+                hops,
+                theta,
+                data,
+            } => {
+                let mut repo = self.repo.write();
+                let result = if online {
+                    let opts = OnlineOptions {
+                        hops: hops as usize,
+                        max_recreation_bytes: theta,
+                        ..OnlineOptions::default()
+                    };
+                    repo.commit_online(&branch, &data, &message, opts)
+                } else {
+                    repo.commit_bounded(&branch, &data, &message, theta)
+                };
+                let resp = match result {
+                    Ok(id) => self.persisted(
+                        &repo,
+                        Response::CommitOk {
+                            id: id.0,
+                            bytes: data.len() as u64,
+                            online,
+                        },
+                    ),
+                    Err(e) => Response::server_error(e.to_string()),
+                };
+                (resp, ServeControl::Continue)
+            }
+            Request::Checkout { version } => {
+                let repo = self.repo.read();
+                let resp = match repo.checkout_measured(CommitId(version)) {
+                    Ok((data, work)) => Response::CheckoutOk { data, work },
+                    Err(e) => Response::server_error(e.to_string()),
+                };
+                (resp, ServeControl::Continue)
+            }
+            Request::Optimize {
+                problem,
+                solver,
+                mode,
+                reveal_hops,
+                hop_bound,
+            } => (
+                self.optimize(problem, solver, mode, reveal_hops, hop_bound),
+                ServeControl::Continue,
+            ),
+            Request::Stats => {
+                let repo = self.repo.read();
+                let summary = StatsSummary {
+                    stats: repo.store().stats(),
+                    logical_bytes: repo.logical_bytes(),
+                    cache: self.cache.as_ref().map(|c| c.stats()),
+                };
+                (Response::StatsOk(summary), ServeControl::Continue)
+            }
+            Request::Shutdown => (Response::ShutdownOk, ServeControl::Shutdown),
+        }
+    }
+
+    fn optimize(
+        &self,
+        problem: Problem,
+        solver: WireSolver,
+        mode: WireMode,
+        reveal_hops: u32,
+        hop_bound: Option<u32>,
+    ) -> Response {
+        if let WireSolver::Named(name) = &solver {
+            if dsv_core::solvers::by_name(name).is_none() {
+                return Response::Error {
+                    code: errcode::BAD_REQUEST,
+                    message: format!("no solver named '{name}' in the registry (see: dsv solvers)"),
+                };
+            }
+        }
+        let mut repo = self.repo.write();
+        let mut spec = PlanSpec::new(problem).reveal_hops(reveal_hops as usize);
+        if let Some(bound) = hop_bound {
+            spec = spec.hop_bound(bound);
+        }
+        match solver {
+            WireSolver::Auto => {}
+            _ => spec = spec.solver(solver.to_choice()),
+        }
+        match mode {
+            WireMode::Auto => {}
+            WireMode::Binary => spec = spec.modes(ModePolicy::Binary),
+            WireMode::Hybrid { .. } => {
+                // Same rule as the local CLI: a chunked-placement repo
+                // keeps its own chunker granularity; otherwise the
+                // client's requested spec applies.
+                let chunking: ChunkingSpec = match repo.placement() {
+                    Placement::Chunked(params) => params.into(),
+                    Placement::GreedyDelta => match mode.to_policy() {
+                        ModePolicy::Hybrid(spec) => spec,
+                        _ => unreachable!(),
+                    },
+                };
+                spec = spec.modes(ModePolicy::Hybrid(chunking));
+            }
+        }
+        match repo.optimize_with(&spec) {
+            Ok(report) => self.persisted(&repo, Response::OptimizeOk(summarize_report(&report))),
+            Err(e) => Response::server_error(e.to_string()),
+        }
+    }
+
+    /// Persist metadata after a successful mutation; a failed save turns
+    /// the success into an error response (the in-memory state advanced,
+    /// but the client must know durability was not achieved).
+    fn persisted(&self, repo: &Repository<S>, ok: Response) -> Response {
+        match &self.save_root {
+            Some(root) => match persist::save(repo, root) {
+                Ok(()) => ok,
+                Err(e) => Response::server_error(format!("persisting repository: {e}")),
+            },
+            None => ok,
+        }
+    }
+}
+
+/// Flattens an [`OptimizeReport`] to the owned-string wire summary.
+pub fn summarize_report(report: &OptimizeReport) -> OptimizeSummary {
+    let p = &report.provenance;
+    OptimizeSummary {
+        problem: report.problem.to_string(),
+        solver: p.solver.to_owned(),
+        feasible: p.feasible,
+        portfolio: p.portfolio,
+        storage_before: report.storage_before,
+        storage_after: report.storage_after,
+        materialized: report.materialized as u64,
+        chunked: report.chunked as u64,
+        planned_storage_cost: report.planned_storage_cost,
+        planned_max_recreation: report.planned_max_recreation,
+        planned_sum_recreation: report.planned_sum_recreation,
+        candidates: p
+            .candidates
+            .iter()
+            .map(|c| CandidateLine {
+                solver: c.solver.to_owned(),
+                outcome: match &c.result {
+                    Ok(s) => Ok(CandidateNumbers {
+                        objective: s.objective,
+                        storage: s.storage,
+                        sum_recreation: s.sum_recreation,
+                        max_recreation: s.max_recreation,
+                        feasible: s.feasible,
+                    }),
+                    Err(e) => Err(e.to_string()),
+                },
+            })
+            .collect(),
+    }
+}
+
+/// Connection handler: one protocol conversation per accepted stream.
+struct DsvdConn<'a, S: ObjectStore> {
+    dsvd: &'a Dsvd<S>,
+    serve: obs::SpanHandle,
+}
+
+impl<S: ObjectStore + Send + Sync> DsvdConn<'_, S> {
+    /// Runs the framed conversation; errors that cannot be reported
+    /// in-band (the stream is gone or unframed) just end the connection.
+    fn session(&self, stream: &TcpStream, conn: &obs::SpanHandle) -> ServeControl {
+        let max = self.dsvd.config.max_frame;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.dsvd.config.read_timeout);
+        let mut reader = BufReader::new(stream);
+        let mut writer = BufWriter::new(stream);
+        let respond = |resp: &Response, w: &mut BufWriter<&TcpStream>| -> bool {
+            let frame = resp.encode();
+            obs::counter!("net.bytes_out", frame.wire_len());
+            write_frame(w, &frame).is_ok()
+        };
+
+        // Handshake: the first frame must be a matching Hello.
+        match read_frame(&mut reader, max) {
+            Ok(frame) => match Request::decode(&frame) {
+                Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+                    obs::counter!("net.bytes_in", frame.wire_len());
+                    if !respond(
+                        &Response::HelloOk {
+                            version: PROTOCOL_VERSION,
+                        },
+                        &mut writer,
+                    ) {
+                        return ServeControl::Continue;
+                    }
+                }
+                Ok(Request::Hello { version }) => {
+                    let resp = Response::Error {
+                        code: errcode::VERSION_MISMATCH,
+                        message: format!(
+                            "server speaks protocol v{PROTOCOL_VERSION}, client sent v{version}"
+                        ),
+                    };
+                    respond(&resp, &mut writer);
+                    return ServeControl::Continue;
+                }
+                Ok(_) => {
+                    let resp = Response::Error {
+                        code: errcode::BAD_REQUEST,
+                        message: "first frame must be Hello".into(),
+                    };
+                    respond(&resp, &mut writer);
+                    return ServeControl::Continue;
+                }
+                Err(e) => {
+                    respond(&Response::error_for(&e), &mut writer);
+                    return ServeControl::Continue;
+                }
+            },
+            Err(e) => {
+                if !matches!(e, NetError::Eof) {
+                    respond(&Response::error_for(&e), &mut writer);
+                }
+                return ServeControl::Continue;
+            }
+        }
+
+        loop {
+            let decode = conn.child("decode").entered();
+            let frame = match read_frame(&mut reader, max) {
+                Ok(frame) => frame,
+                // Clean close between frames: the client is done.
+                Err(NetError::Eof) => return ServeControl::Continue,
+                // The stream is still framed only up to the bad length
+                // prefix / timeout — report and close.
+                Err(e @ (NetError::FrameTooLarge { .. } | NetError::Timeout)) => {
+                    drop(decode);
+                    respond(&Response::error_for(&e), &mut writer);
+                    return ServeControl::Continue;
+                }
+                Err(_) => return ServeControl::Continue,
+            };
+            obs::counter!("net.bytes_in", frame.wire_len());
+            obs::counter!("net.requests", 1);
+            let req = match Request::decode(&frame) {
+                Ok(req) => req,
+                // Frame boundaries are intact; report in-band and keep
+                // the connection alive.
+                Err(e) => {
+                    drop(decode);
+                    if respond(&Response::error_for(&e), &mut writer) {
+                        continue;
+                    }
+                    return ServeControl::Continue;
+                }
+            };
+            drop(decode);
+
+            let handle_span = conn.child("handle");
+            let op = handle_span.handle();
+            let _handle = handle_span.entered();
+            let op_name = match &req {
+                Request::Hello { .. } => "hello",
+                Request::Ping => "ping",
+                Request::Commit { .. } => "commit",
+                Request::Checkout { .. } => "checkout",
+                Request::Optimize { .. } => "optimize",
+                Request::Stats => "stats",
+                Request::Shutdown => "shutdown",
+            };
+            let op_span = op.child(op_name).entered();
+            let (resp, control) = self.dsvd.handle_request(req);
+            drop(op_span);
+            drop(_handle);
+
+            let _encode = conn.child("encode").entered();
+            let sent = respond(&resp, &mut writer);
+            drop(_encode);
+            if control == ServeControl::Shutdown {
+                return ServeControl::Shutdown;
+            }
+            if !sent {
+                return ServeControl::Continue;
+            }
+        }
+    }
+}
+
+impl<S: ObjectStore + Send + Sync> ConnHandler for DsvdConn<'_, S> {
+    fn handle(&self, stream: TcpStream) -> ServeControl {
+        let conn_span = self.serve.child("conn");
+        let conn = conn_span.handle();
+        let _conn = conn_span.entered();
+        obs::counter!("net.connections", 1);
+        self.session(&stream, &conn)
+    }
+}
