@@ -20,7 +20,10 @@ use std::io::{Read, Write};
 
 /// Version negotiated in the `Hello`/`HelloOk` handshake. Bump on any
 /// incompatible change to the frame layout or request/response bodies.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2: `Commit` bodies lead with a `u64` idempotency token (retried
+/// commits apply exactly once) and the `Fsck`/`FsckOk` pair exists.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Default cap on a frame body: 64 MiB. Generous for dataset payloads in
 /// this repo's experiments while still bounding per-connection memory.
@@ -39,6 +42,7 @@ pub mod opcode {
     pub const OPTIMIZE: u8 = 0x05;
     pub const STATS: u8 = 0x06;
     pub const SHUTDOWN: u8 = 0x07;
+    pub const FSCK: u8 = 0x08;
 
     pub const HELLO_OK: u8 = 0x81;
     pub const PONG: u8 = 0x82;
@@ -47,6 +51,7 @@ pub mod opcode {
     pub const OPTIMIZE_OK: u8 = 0x85;
     pub const STATS_OK: u8 = 0x86;
     pub const SHUTDOWN_OK: u8 = 0x87;
+    pub const FSCK_OK: u8 = 0x88;
     pub const ERROR: u8 = 0xFF;
 }
 

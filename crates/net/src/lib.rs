@@ -27,12 +27,13 @@
 //! | Optimize | 0x05 | OptimizeOk  | 0x85 |
 //! | Stats    | 0x06 | StatsOk     | 0x86 |
 //! | Shutdown | 0x07 | ShutdownOk  | 0x87 |
+//! | Fsck     | 0x08 | FsckOk      | 0x88 |
 //! |          |      | Error       | 0xFF |
 //!
 //! # Handshake
 //!
 //! The first frame on a connection must be `Hello { version }` with
-//! [`PROTOCOL_VERSION`] (currently 1); the server answers `HelloOk` with
+//! [`PROTOCOL_VERSION`] (currently 2); the server answers `HelloOk` with
 //! its own version or an error frame with code
 //! [`frame::errcode::VERSION_MISMATCH`] and closes. Everything after the
 //! handshake is a strict request→response alternation on the same
@@ -53,13 +54,13 @@ pub mod frame;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use frame::{
     errcode, opcode, read_frame, write_frame, Frame, NetError, DEFAULT_MAX_FRAME, HEADER_LEN,
     PROTOCOL_VERSION,
 };
 pub use proto::{
-    CandidateLine, CandidateNumbers, OptimizeSummary, Request, Response, StatsSummary, WireMode,
-    WireSolver,
+    CandidateLine, CandidateNumbers, FsckSummary, OptimizeSummary, Request, Response, StatsSummary,
+    WireMode, WireRecovery, WireSolver,
 };
 pub use server::{ConnHandler, ServeControl, Server, ServerOptions};

@@ -74,6 +74,10 @@ pub enum Request {
     },
     Ping,
     Commit {
+        /// Idempotency token: the server records the response per token,
+        /// so a commit retried after a lost response (same token) replays
+        /// the recorded answer instead of double-applying. `0` opts out.
+        token: u64,
         branch: String,
         message: String,
         online: bool,
@@ -95,6 +99,11 @@ pub enum Request {
     },
     Stats,
     Shutdown,
+    /// Verify the served repository's integrity (`dsv fsck --remote`);
+    /// with `repair`, also resolve pending journals and GC orphans.
+    Fsck {
+        repair: bool,
+    },
 }
 
 /// One portfolio candidate's numbers, mirroring
@@ -144,6 +153,31 @@ pub struct StatsSummary {
     pub cache: Option<CacheStats>,
 }
 
+/// What server-side fsck recovery did, on the wire — mirrors
+/// `dsv_vcs::fsck::Recovery`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireRecovery {
+    Clean,
+    RolledForward { removed: u64 },
+    RolledBack { removed: u64 },
+}
+
+/// `dsv_vcs::fsck::FsckReport` flattened to counts for the wire (the
+/// offending ids stay server-side; the server logs them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckSummary {
+    pub clean: bool,
+    pub versions_checked: u64,
+    pub objects_checked: u64,
+    pub bad_addresses: u64,
+    pub unreadable: u64,
+    pub orphans: u64,
+    pub orphans_removed: u64,
+    pub journal_pending: bool,
+    /// `None` for read-only checks; recovery outcome under `--repair`.
+    pub recovery: Option<WireRecovery>,
+}
+
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -164,6 +198,7 @@ pub enum Response {
     OptimizeOk(OptimizeSummary),
     StatsOk(StatsSummary),
     ShutdownOk,
+    FsckOk(FsckSummary),
     Error {
         code: u16,
         message: String,
@@ -449,6 +484,7 @@ impl Request {
             Request::Optimize { .. } => opcode::OPTIMIZE,
             Request::Stats => opcode::STATS,
             Request::Shutdown => opcode::SHUTDOWN,
+            Request::Fsck { .. } => opcode::FSCK,
         }
     }
 
@@ -458,6 +494,7 @@ impl Request {
             Request::Hello { version } => put_u16(&mut body, *version),
             Request::Ping | Request::Stats | Request::Shutdown => {}
             Request::Commit {
+                token,
                 branch,
                 message,
                 online,
@@ -465,6 +502,7 @@ impl Request {
                 theta,
                 data,
             } => {
+                put_u64(&mut body, *token);
                 put_string(&mut body, branch);
                 put_string(&mut body, message);
                 put_bool(&mut body, *online);
@@ -473,6 +511,7 @@ impl Request {
                 put_bytes(&mut body, data);
             }
             Request::Checkout { version } => put_u32(&mut body, *version),
+            Request::Fsck { repair } => put_bool(&mut body, *repair),
             Request::Optimize {
                 problem,
                 solver,
@@ -516,6 +555,7 @@ impl Request {
             opcode::HELLO => Request::Hello { version: c.u16()? },
             opcode::PING => Request::Ping,
             opcode::COMMIT => Request::Commit {
+                token: c.u64()?,
                 branch: c.string()?,
                 message: c.string()?,
                 online: c.bool()?,
@@ -524,6 +564,7 @@ impl Request {
                 data: c.bytes()?,
             },
             opcode::CHECKOUT => Request::Checkout { version: c.u32()? },
+            opcode::FSCK => Request::Fsck { repair: c.bool()? },
             opcode::OPTIMIZE => {
                 let problem = get_problem(&mut c)?;
                 let solver = match c.u8()? {
@@ -569,6 +610,7 @@ impl Response {
             Response::OptimizeOk(_) => opcode::OPTIMIZE_OK,
             Response::StatsOk(_) => opcode::STATS_OK,
             Response::ShutdownOk => opcode::SHUTDOWN_OK,
+            Response::FsckOk(_) => opcode::FSCK_OK,
             Response::Error { .. } => opcode::ERROR,
         }
     }
@@ -642,6 +684,28 @@ impl Response {
                     Some(c) => {
                         put_u8(&mut body, 1);
                         put_cache_stats(&mut body, c);
+                    }
+                }
+            }
+            Response::FsckOk(s) => {
+                put_bool(&mut body, s.clean);
+                put_u64(&mut body, s.versions_checked);
+                put_u64(&mut body, s.objects_checked);
+                put_u64(&mut body, s.bad_addresses);
+                put_u64(&mut body, s.unreadable);
+                put_u64(&mut body, s.orphans);
+                put_u64(&mut body, s.orphans_removed);
+                put_bool(&mut body, s.journal_pending);
+                match s.recovery {
+                    None => put_u8(&mut body, 0),
+                    Some(WireRecovery::Clean) => put_u8(&mut body, 1),
+                    Some(WireRecovery::RolledForward { removed }) => {
+                        put_u8(&mut body, 2);
+                        put_u64(&mut body, removed);
+                    }
+                    Some(WireRecovery::RolledBack { removed }) => {
+                        put_u8(&mut body, 3);
+                        put_u64(&mut body, removed);
                     }
                 }
             }
@@ -732,6 +796,34 @@ impl Response {
                 })
             }
             opcode::SHUTDOWN_OK => Response::ShutdownOk,
+            opcode::FSCK_OK => {
+                let clean = c.bool()?;
+                let versions_checked = c.u64()?;
+                let objects_checked = c.u64()?;
+                let bad_addresses = c.u64()?;
+                let unreadable = c.u64()?;
+                let orphans = c.u64()?;
+                let orphans_removed = c.u64()?;
+                let journal_pending = c.bool()?;
+                let recovery = match c.u8()? {
+                    0 => None,
+                    1 => Some(WireRecovery::Clean),
+                    2 => Some(WireRecovery::RolledForward { removed: c.u64()? }),
+                    3 => Some(WireRecovery::RolledBack { removed: c.u64()? }),
+                    _ => return Err(NetError::Malformed("unknown recovery selector")),
+                };
+                Response::FsckOk(FsckSummary {
+                    clean,
+                    versions_checked,
+                    objects_checked,
+                    bad_addresses,
+                    unreadable,
+                    orphans,
+                    orphans_removed,
+                    journal_pending,
+                    recovery,
+                })
+            }
             opcode::ERROR => Response::Error {
                 code: c.u16()?,
                 message: c.string()?,

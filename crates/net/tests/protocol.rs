@@ -6,8 +6,8 @@
 use dsv_core::Problem;
 use dsv_net::frame::{read_frame, write_frame, Frame, NetError, DEFAULT_MAX_FRAME};
 use dsv_net::proto::{
-    CandidateLine, CandidateNumbers, OptimizeSummary, Request, Response, StatsSummary, WireMode,
-    WireSolver,
+    CandidateLine, CandidateNumbers, FsckSummary, OptimizeSummary, Request, Response, StatsSummary,
+    WireMode, WireRecovery, WireSolver,
 };
 use dsv_storage::{CacheStats, OpCounters, RecreationWork, ShardStats, StoreStats};
 use proptest::prelude::*;
@@ -178,19 +178,46 @@ proptest! {
 
     #[test]
     fn commit_request_roundtrips(
+        (token, hops) in (any::<u64>(), any::<u32>()),
         branch in "[a-zA-Z0-9/_-]{0,24}",
         message in "[ -~]{0,48}",
         online in any::<bool>(),
-        hops in any::<u32>(),
         theta in arb_opt_u64(),
         data in prop::collection::vec(any::<u8>(), 0..512),
     ) {
-        roundtrip_request(&Request::Commit { branch, message, online, hops, theta, data });
+        roundtrip_request(&Request::Commit { token, branch, message, online, hops, theta, data });
     }
 
     #[test]
     fn checkout_request_roundtrips(version in any::<u32>()) {
         roundtrip_request(&Request::Checkout { version });
+    }
+
+    #[test]
+    fn fsck_request_and_response_roundtrip(
+        repair in any::<bool>(),
+        counts in prop::collection::vec(any::<u64>(), 6..7),
+        clean in any::<bool>(),
+        journal_pending in any::<bool>(),
+        recovery in (0u8..4, any::<u64>()).prop_map(|(kind, removed)| match kind {
+            0 => None,
+            1 => Some(WireRecovery::Clean),
+            2 => Some(WireRecovery::RolledForward { removed }),
+            _ => Some(WireRecovery::RolledBack { removed }),
+        }),
+    ) {
+        roundtrip_request(&Request::Fsck { repair });
+        roundtrip_response(&Response::FsckOk(FsckSummary {
+            clean,
+            versions_checked: counts[0],
+            objects_checked: counts[1],
+            bad_addresses: counts[2],
+            unreadable: counts[3],
+            orphans: counts[4],
+            orphans_removed: counts[5],
+            journal_pending,
+            recovery,
+        }));
     }
 
     #[test]
@@ -267,7 +294,7 @@ proptest! {
     #[test]
     fn fuzz_random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = read_frame(&mut bytes.as_slice(), 64 * 1024);
-        for opcode in [0u8, 1, 2, 3, 4, 5, 6, 7, 0x81, 0x84, 0x85, 0x86, 0xFF, 0x42] {
+        for opcode in [0u8, 1, 2, 3, 4, 5, 6, 7, 8, 0x81, 0x84, 0x85, 0x86, 0x88, 0xFF, 0x42] {
             let frame = Frame::new(opcode, bytes.clone());
             let _ = Request::decode(&frame);
             let _ = Response::decode(&frame);
@@ -283,6 +310,7 @@ proptest! {
         flip in 1u8..=255,
     ) {
         let req = Request::Commit {
+            token: 0xDEAD_BEEF,
             branch: "main".into(),
             message: "msg".into(),
             online: true,

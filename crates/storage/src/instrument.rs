@@ -115,6 +115,10 @@ impl<S: ObjectStore> ObjectStore for InstrumentedStore<S> {
         self.inner.shard_count()
     }
 
+    fn object_ids(&self) -> Vec<ObjectId> {
+        self.inner.object_ids()
+    }
+
     fn stats(&self) -> StoreStats {
         let mut stats = self.inner.stats();
         // Replace, don't sum: the inner store may have counted the same

@@ -43,8 +43,14 @@
 //!   and tracing every operation once at the trait boundary (dsv-obs
 //!   spans + metrics), with dedup against the inner store's own
 //!   counters.
+//! - [`fault`]: deterministic fault injection — a seeded [`FaultPlan`]
+//!   consulted by every durable fs primitive (torn writes, dropped
+//!   fsyncs, failed renames) plus [`FaultStore`], the same plan applied
+//!   at the [`ObjectStore`] boundary, so every crash ordering in
+//!   commit/repack/GC is testable.
 
 pub mod cache;
+pub mod fault;
 pub mod hash;
 pub mod instrument;
 pub mod materialize;
@@ -54,6 +60,7 @@ pub mod sharded;
 pub mod store;
 
 pub use cache::{CacheStats, CheckoutCache, DEFAULT_CACHE_BUDGET};
+pub use fault::{FaultKind, FaultPlan, FaultStore};
 pub use hash::ObjectId;
 pub use instrument::InstrumentedStore;
 pub use materialize::{Materializer, RecreationWork};
@@ -62,4 +69,4 @@ pub use repack::{
     dependency_order, pack_versions, BatchWriter, PackOptions, PackedVersions, PACK_FLUSH_BYTES,
 };
 pub use sharded::{shard_index, ShardedStore, MAX_SHARDS};
-pub use store::{FileStore, MemStore, ObjectStore, OpCounters, ShardStats, StoreStats};
+pub use store::{Durability, FileStore, MemStore, ObjectStore, OpCounters, ShardStats, StoreStats};

@@ -262,6 +262,10 @@ impl<S: ObjectStore + Sync> ObjectStore for ShardedStore<S> {
         self.shards.len()
     }
 
+    fn object_ids(&self) -> Vec<ObjectId> {
+        self.shards.iter().flat_map(|s| s.object_ids()).collect()
+    }
+
     fn stats(&self) -> StoreStats {
         let shards: Vec<ShardStats> = self
             .shards

@@ -30,13 +30,31 @@
 //! operation counters, so callers can see whether the hot paths really go
 //! through the batch surface (`dsv store` prints this).
 
+use crate::fault;
 use crate::hash::ObjectId;
 use crate::object::{Object, StoreError};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How hard [`FileStore`] tries to make writes crash-durable.
+///
+/// [`Durability::Full`] (the default for repositories) fsyncs each
+/// object file before the publishing rename and fsyncs the fan-out
+/// parent directory after it, so an acknowledged write survives a power
+/// cut. [`Durability::None`] keeps the write-then-rename atomicity (no
+/// torn objects) but skips both fsyncs — benches and throwaway test
+/// stores opt out of the synchronous-IO cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// No fsync; atomic rename only.
+    None,
+    /// fsync file before rename, fsync directory after.
+    #[default]
+    Full,
+}
 
 /// Point-in-time fill of one shard of a sharded store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -226,6 +244,15 @@ pub trait ObjectStore {
         0
     }
 
+    /// Every object id the store holds, in unspecified order — the
+    /// enumeration surface `dsv fsck` uses for content verification and
+    /// orphan detection. The default returns an empty vector
+    /// (enumeration unavailable); fsck distinguishes that from a
+    /// genuinely empty store by cross-checking [`ObjectStore::len`].
+    fn object_ids(&self) -> Vec<ObjectId> {
+        Vec::new()
+    }
+
     /// A snapshot of the store's fill and operation counters. The default
     /// reports size only (no shards, zero counters), so third-party
     /// stores keep compiling.
@@ -343,6 +370,10 @@ impl ObjectStore for MemStore {
         }
     }
 
+    fn object_ids(&self) -> Vec<ObjectId> {
+        self.map.read().keys().copied().collect()
+    }
+
     fn stats(&self) -> StoreStats {
         StoreStats {
             objects: self.len(),
@@ -356,19 +387,28 @@ impl ObjectStore for MemStore {
 /// An on-disk store: `dir/ab/<hex>` fan-out files, one per object.
 pub struct FileStore {
     compress: bool,
+    durability: Durability,
     dir: PathBuf,
     counters: Counters,
 }
 
 impl FileStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, with
+    /// [`Durability::Full`] fsync discipline.
     pub fn open(dir: &Path, compress: bool) -> Result<Self, StoreError> {
         std::fs::create_dir_all(dir)?;
         Ok(FileStore {
             compress,
+            durability: Durability::Full,
             dir: dir.to_path_buf(),
             counters: Counters::default(),
         })
+    }
+
+    /// Sets the fsync discipline (builder-style; see [`Durability`]).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
     }
 
     fn path_of(&self, id: ObjectId) -> PathBuf {
@@ -384,15 +424,25 @@ impl FileStore {
         if path.exists() {
             return Ok(id);
         }
-        std::fs::create_dir_all(path.parent().expect("fan-out parent"))?;
-        // Write-then-rename for atomicity against concurrent readers.
+        let parent = path.parent().expect("fan-out parent");
+        std::fs::create_dir_all(parent)?;
+        // Write-then-rename for atomicity against concurrent readers and
+        // crashes: a torn write can only ever tear the unpublished tmp
+        // file. Under `Durability::Full` the content is also fsynced
+        // before the publishing rename and the fan-out directory after
+        // it, so an acknowledged object survives a power cut.
         let tmp = path.with_extension("tmp");
         {
-            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-            f.write_all(&obj.encode(self.compress))?;
-            f.flush()?;
+            let mut f = std::fs::File::create(&tmp)?;
+            fault::write_all(&mut f, &obj.encode(self.compress), "object")?;
+            if self.durability == Durability::Full {
+                fault::sync_file(&f, "object")?;
+            }
         }
-        std::fs::rename(&tmp, &path)?;
+        fault::rename(&tmp, &path, "object")?;
+        if self.durability == Durability::Full {
+            fault::sync_dir(parent, "object")?;
+        }
         Ok(id)
     }
 
@@ -450,7 +500,7 @@ impl ObjectStore for FileStore {
 
     fn remove(&self, id: ObjectId) {
         self.counters.count_removes(1);
-        let _ = std::fs::remove_file(self.path_of(id));
+        let _ = fault::remove_file(&self.path_of(id), "object");
     }
 
     fn clear(&self) {
@@ -478,8 +528,36 @@ impl ObjectStore for FileStore {
     fn remove_batch(&self, ids: &[ObjectId]) {
         self.counters.count_removes(ids.len());
         for &id in ids {
-            let _ = std::fs::remove_file(self.path_of(id));
+            // Injectable per-object removal: a crash mid-GC leaves a
+            // suffix of stale objects for fsck to collect.
+            if fault::remove_file(&self.path_of(id), "object").is_err() {
+                return;
+            }
         }
+    }
+
+    fn object_ids(&self) -> Vec<ObjectId> {
+        let mut ids = Vec::new();
+        let Ok(fanout) = std::fs::read_dir(&self.dir) else {
+            return ids;
+        };
+        for d in fanout.flatten() {
+            let prefix = d.file_name();
+            let Some(prefix) = prefix.to_str() else {
+                continue;
+            };
+            if let Ok(files) = std::fs::read_dir(d.path()) {
+                for f in files.flatten() {
+                    if let Some(rest) = f.file_name().to_str() {
+                        // Unpublished `.tmp` leftovers are not objects.
+                        if let Some(id) = ObjectId::from_hex(&format!("{prefix}{rest}")) {
+                            ids.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        ids
     }
 
     fn stats(&self) -> StoreStats {

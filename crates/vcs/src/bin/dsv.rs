@@ -18,9 +18,10 @@
 //! dsv optimize <repo-dir> <p1|p2|p3|p4|p5|p6> [bound]
 //!              [--solver <name>] [--portfolio] [--hybrid] [--binary]
 //!              [--hops <n>] [--hop-bound <n>]
+//! dsv fsck <repo-dir> [--repair]
 //! dsv --threads <n> <any command ...>
 //! dsv --trace [--trace-json <path>] <any command ...>
-//! dsv --remote <host:port> <ping|commit|checkout|optimize|stats|store|shutdown> ...
+//! dsv --remote <host:port> <ping|commit|checkout|optimize|stats|store|fsck|shutdown> ...
 //! ```
 //!
 //! `init --shards <n>` lays the object store out as `n` independent
@@ -57,6 +58,15 @@
 //! `--hops` widens/narrows how far around the commit DAG deltas are
 //! revealed; `--hop-bound` is different — it caps the `hop` solver's
 //! delta-chain length.
+//!
+//! `fsck` verifies the repository end to end: every stored object is
+//! re-hashed against its content address, every version is materialized
+//! through its recreation path, orphaned objects (debris from an
+//! interrupted commit or repack) are detected, and a pending repack
+//! journal is reported. `--repair` first resolves the journal (rolling
+//! the interrupted repack forward or back), then collects orphans;
+//! verification itself never mutates the store. The command exits
+//! nonzero when the repository is not clean, so scripts can gate on it.
 //!
 //! `--threads <n>` (accepted anywhere on the command line) pins the
 //! dsv-par work-stealing runtime to `n` workers for every parallel phase
@@ -106,6 +116,17 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    // Deterministic fault injection for crash-consistency testing: a
+    // `DSV_FAULT=fail:N[:substr]` (or `tear:`/`skipsync:`) spec arms the
+    // storage-layer fault shim so CI can kill this process at an exact
+    // filesystem operation. No-op when the variable is unset.
+    if std::env::var_os("DSV_FAULT").is_some() && dsv_storage::fault::install_from_env().is_none() {
+        return Err(
+            "invalid DSV_FAULT spec (want fail:N[:substr], tear:N:K[:substr], \
+             or skipsync:N[:substr])"
+                .into(),
+        );
+    }
     // `--threads` and the trace flags are global (any command may hit a
     // parallel phase), so they are extracted before dispatch: `--threads`
     // pins the dsv-par runtime, the trace flags wrap the whole command in
@@ -444,14 +465,38 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let problem = parse_problem(args, 2)?;
             let mut repo = persist::load(&root, true).map_err(stringify)?;
             let spec = parse_plan_spec(args, problem, repo.placement())?;
-            let report = repo.optimize_with(&spec).map_err(stringify)?;
-            persist::save(&repo, &root).map_err(stringify)?;
+            // The journaled two-phase repack: a crash at any point leaves
+            // either the old plan or the new one, and `dsv fsck --repair`
+            // (or the next load) resolves the journal.
+            let report = repo.optimize_durable(&spec, &root).map_err(stringify)?;
             print_optimize_summary(&summarize_report(&report));
             Ok(())
         }
+        "fsck" => {
+            let repair = args.iter().any(|a| a == "--repair");
+            let positional: Vec<String> =
+                args.iter().filter(|a| *a != "--repair").cloned().collect();
+            let root = repo_dir(&positional, 1)?;
+            let mut repo = persist::load(&root, true).map_err(stringify)?;
+            let report = if repair {
+                dsv_vcs::fsck::fsck_repair(&mut repo, Some(&root)).map_err(stringify)?
+            } else {
+                dsv_vcs::fsck::fsck(&repo, Some(&root))
+            };
+            println!("{report}");
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(if repair {
+                    "repository is not clean after repair".into()
+                } else {
+                    "repository is not clean (try: dsv fsck --repair)".into()
+                })
+            }
+        }
         "help" | "--help" | "-h" => {
             println!(
-                "usage: dsv <init|commit|checkout|log|branch|branches|status|store|stats|solvers|optimize> ..."
+                "usage: dsv <init|commit|checkout|log|branch|branches|status|store|stats|solvers|optimize|fsck> ..."
             );
             println!("       dsv init <repo> [--shards <n>]  shard the object store n ways");
             println!(
@@ -472,6 +517,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 "                    [--hybrid] [--binary] [--hops <reveal-n>] [--hop-bound <n>]"
             );
             println!(
+                "       dsv fsck <repo> [--repair]  verify addresses, recreation paths, \
+                 and journals; --repair resolves them"
+            );
+            println!(
                 "       dsv --threads <n> ...  pin the parallel runtime's worker count \
                  (default: DSV_THREADS, then available cores)"
             );
@@ -482,7 +531,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             println!("       dsv --trace-json <path> ...  write the span tree as JSON");
             println!(
                 "       dsv --remote <host:port> ...  route the command to a dsvd server \
-                 (no repo-dir; supports ping, commit, checkout, optimize, stats, store, shutdown)"
+                 (no repo-dir; supports ping, commit, checkout, optimize, stats, store, \
+                 fsck, shutdown)"
             );
             Ok(())
         }
@@ -496,11 +546,11 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 fn dispatch_remote(args: &[String], addr: &str) -> Result<(), String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
-        "ping" | "commit" | "checkout" | "optimize" | "stats" | "store" | "shutdown" => {}
+        "ping" | "commit" | "checkout" | "optimize" | "stats" | "store" | "fsck" | "shutdown" => {}
         other => {
             return Err(format!(
                 "command '{other}' is not supported over --remote \
-                 (supported: ping, commit, checkout, optimize, stats, store, shutdown)"
+                 (supported: ping, commit, checkout, optimize, stats, store, fsck, shutdown)"
             ))
         }
     }
@@ -659,6 +709,44 @@ fn dispatch_remote(args: &[String], addr: &str) -> Result<(), String> {
                 print_store_stats(&summary.stats, summary.logical_bytes);
             }
             Ok(())
+        }
+        "fsck" => {
+            let repair = args.iter().any(|a| a == "--repair");
+            let s = client.fsck(repair).map_err(stringify)?;
+            match &s.recovery {
+                None | Some(dsv_net::proto::WireRecovery::Clean) => {}
+                Some(dsv_net::proto::WireRecovery::RolledForward { removed }) => {
+                    println!("recovery: rolled repack forward ({removed} stale objects removed)")
+                }
+                Some(dsv_net::proto::WireRecovery::RolledBack { removed }) => {
+                    println!("recovery: rolled repack back ({removed} new objects removed)")
+                }
+            }
+            println!(
+                "fsck: {} versions, {} objects checked; {} bad addresses, {} unreadable, \
+                 {} orphans ({} removed){}; {}",
+                s.versions_checked,
+                s.objects_checked,
+                s.bad_addresses,
+                s.unreadable,
+                s.orphans,
+                s.orphans_removed,
+                if s.journal_pending {
+                    "; repack journal pending"
+                } else {
+                    ""
+                },
+                if s.clean { "clean" } else { "NOT CLEAN" }
+            );
+            if s.clean {
+                Ok(())
+            } else {
+                Err(if repair {
+                    "remote repository is not clean after repair".into()
+                } else {
+                    "remote repository is not clean (try: dsv --remote <addr> fsck --repair)".into()
+                })
+            }
         }
         "shutdown" => {
             client.shutdown().map_err(stringify)?;

@@ -8,7 +8,10 @@
 //!      [--threads <n>] [--trace] [--trace-json <path>]
 //! ```
 //!
-//! The repository is opened once; all connections share it. Commits and
+//! The repository is opened once — after crash recovery: a pending
+//! repack journal is rolled forward or back, the history is fsck'd, and
+//! interrupted-commit orphans are collected, so a SIGKILL'd server
+//! restarts clean. All connections share the repository. Commits and
 //! optimizes serialize through a write lock (the commit queue) while
 //! checkouts read concurrently, every checkout is served through one
 //! shared checkout-cache arena (`--cache-bytes`, default 256 MiB), and
@@ -29,7 +32,7 @@
 
 use dsv_net::server::{Server, ServerOptions};
 use dsv_obs as obs;
-use dsv_vcs::{persist, Dsvd, DsvdConfig};
+use dsv_vcs::{Dsvd, DsvdConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -122,6 +125,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    // Same deterministic fault shim as `dsv`: CI arms `DSV_FAULT` to
+    // crash the daemon at an exact filesystem operation, then restarts
+    // it to exercise the recovery path below.
+    if std::env::var_os("DSV_FAULT").is_some() && dsv_storage::fault::install_from_env().is_none() {
+        return Err(
+            "invalid DSV_FAULT spec (want fail:N[:substr], tear:N:K[:substr], \
+             or skipsync:N[:substr])"
+                .into(),
+        );
+    }
     let opts = parse_opts(args)?;
     obs::set_metrics_enabled(true);
     let recorder = if opts.trace || opts.trace_json.is_some() {
@@ -132,7 +145,21 @@ fn run(args: &[String]) -> Result<(), String> {
         None
     };
 
-    let repo = persist::load(&opts.root, true).map_err(|e| e.to_string())?;
+    // Crash recovery before serving: resolve any repack journal a killed
+    // predecessor left behind, verify the history, and GC orphans — a
+    // SIGKILL'd dsvd restarts into a pristine repository or refuses to
+    // serve a corrupt one.
+    let (repo, report) = dsv_vcs::fsck::recover_at(&opts.root, true).map_err(|e| e.to_string())?;
+    match &report.recovery {
+        Some(dsv_vcs::Recovery::Clean) | None => {}
+        Some(rec) => println!("dsvd: recovery: {rec:?}"),
+    }
+    if report.orphans_removed > 0 {
+        println!("dsvd: recovery: {} orphans removed", report.orphans_removed);
+    }
+    if !report.is_clean() {
+        return Err(format!("repository fails fsck after recovery: {report}"));
+    }
     let versions = repo.version_count();
     let dsvd = Dsvd::new(repo, opts.config.clone()).with_save_root(opts.root.clone());
     let server = Server::bind_with(

@@ -1,0 +1,486 @@
+//! Integrity checking and crash recovery (`dsv fsck`).
+//!
+//! The crash model (see [`crate::persist`]) guarantees that a crash at
+//! any point leaves a *loadable* repository whose history is either
+//! fully-old-plan or fully-new-plan — but it deliberately leaves debris
+//! behind: orphaned objects from an interrupted commit or repack, and a
+//! pending `repack.journal` naming an intent that may or may not have
+//! become durable. This module turns that debris back into a pristine
+//! repository:
+//!
+//! - [`fsck`] verifies every content address (fetch + re-hash), walks
+//!   every version's recreation path to full materialization, and — for
+//!   stores that can enumerate ([`ObjectStore::object_ids`]) — reports
+//!   objects no version references.
+//! - [`recover`] resolves a pending repack journal: if the loaded
+//!   metadata already references the journaled new plan the repack is
+//!   rolled *forward* (the interrupted GC finishes); otherwise it is
+//!   rolled *back* (unreferenced new objects are dropped). Either way
+//!   the journal is cleared. `dsvd` runs this at startup before serving.
+//! - [`fsck_repair`] = recover + fsck + orphan GC.
+//!
+//! All three are deterministic and idempotent: running them twice (or
+//! crashing *during* repair and re-running) converges to the same clean
+//! state, because every destructive step removes only objects outside
+//! the referenced closure.
+
+use crate::error::VcsError;
+use crate::persist;
+use crate::repo::Repository;
+use dsv_obs as obs;
+use dsv_storage::{Materializer, Object, ObjectId, ObjectStore};
+use std::collections::HashSet;
+use std::fmt;
+use std::path::Path;
+
+/// What [`recover`] found and did about a pending repack journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recovery {
+    /// No journal: the last shutdown completed every repack it started.
+    Clean,
+    /// The metadata swap was durable before the crash; the interrupted
+    /// GC of the old plan's objects was finished now.
+    RolledForward {
+        /// Stale objects removed to finish the interrupted GC.
+        removed: usize,
+    },
+    /// The crash hit before the metadata swap became durable; the new
+    /// plan's unreferenced objects were dropped, returning the store to
+    /// the old plan exactly.
+    RolledBack {
+        /// Orphaned new-plan objects removed.
+        removed: usize,
+    },
+}
+
+/// Structured result of an [`fsck`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Versions whose recreation path was walked to materialization.
+    pub versions_checked: usize,
+    /// Objects fetched and re-hashed against their content address.
+    pub objects_checked: usize,
+    /// Objects whose bytes no longer hash to their address.
+    pub bad_addresses: Vec<ObjectId>,
+    /// Versions that could not be materialized, with the failure.
+    pub unreadable: Vec<(u32, String)>,
+    /// Stored objects referenced by no version (commit/repack debris).
+    /// Empty when the store cannot enumerate its contents.
+    pub orphans: Vec<ObjectId>,
+    /// A repack journal is pending — run [`recover`] (or
+    /// `fsck --repair`) to resolve it.
+    pub journal_pending: bool,
+    /// Orphans removed by [`fsck_repair`] (0 for read-only checks).
+    pub orphans_removed: usize,
+    /// What journal recovery did (None for read-only checks).
+    pub recovery: Option<Recovery>,
+}
+
+impl FsckReport {
+    /// True when the repository needs no repair: every address verifies,
+    /// every version materializes, nothing is orphaned, and no repack
+    /// journal is pending.
+    pub fn is_clean(&self) -> bool {
+        self.bad_addresses.is_empty()
+            && self.unreadable.is_empty()
+            && self.orphans.is_empty()
+            && !self.journal_pending
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fsck: {} versions, {} objects checked",
+            self.versions_checked, self.objects_checked
+        )?;
+        if let Some(rec) = &self.recovery {
+            match rec {
+                Recovery::Clean => {}
+                Recovery::RolledForward { removed } => {
+                    write!(f, "; journal rolled forward ({removed} stale removed)")?
+                }
+                Recovery::RolledBack { removed } => {
+                    write!(f, "; journal rolled back ({removed} orphans removed)")?
+                }
+            }
+        }
+        if !self.bad_addresses.is_empty() {
+            write!(f, "; {} BAD ADDRESSES", self.bad_addresses.len())?;
+        }
+        if !self.unreadable.is_empty() {
+            write!(f, "; {} UNREADABLE VERSIONS", self.unreadable.len())?;
+        }
+        if self.orphans_removed > 0 {
+            write!(f, "; {} orphans removed", self.orphans_removed)?;
+        } else if !self.orphans.is_empty() {
+            write!(f, "; {} orphans", self.orphans.len())?;
+        }
+        if self.journal_pending {
+            write!(f, "; REPACK JOURNAL PENDING")?;
+        }
+        write!(
+            f,
+            "; {}",
+            if self.is_clean() {
+                "clean"
+            } else {
+                "NOT CLEAN"
+            }
+        )
+    }
+}
+
+/// The full set of object ids the repository's history references: every
+/// version's object plus, for chunk manifests, the chunk objects they
+/// name. Delta bases are themselves version objects, so the version list
+/// already covers them.
+fn referenced_closure<S: ObjectStore>(repo: &Repository<S>) -> HashSet<ObjectId> {
+    let mut closure: HashSet<ObjectId> = repo.objects.iter().copied().collect();
+    for id in &repo.objects {
+        if let Ok(Object::Chunked { chunks }) = repo.store.get(*id) {
+            closure.extend(chunks);
+        }
+    }
+    closure
+}
+
+/// Read-only integrity check; see the module docs for what it covers.
+/// Pass the persistence root as `root` to also flag a pending repack
+/// journal (`None` for purely in-memory repositories).
+pub fn fsck<S: ObjectStore>(repo: &Repository<S>, root: Option<&Path>) -> FsckReport {
+    let _span = obs::span!("fsck", versions = repo.version_count()).entered();
+    obs::counter!("fsck.runs", 1);
+    let mut report = FsckReport::default();
+
+    // 1. Every stored object's bytes must hash back to its address. When
+    // the store can enumerate, check everything it holds (catching
+    // corrupt orphans too); otherwise check the referenced closure.
+    let closure = referenced_closure(repo);
+    let enumerated = repo.store.object_ids();
+    let to_check: Vec<ObjectId> = if enumerated.is_empty() && repo.store.len() > 0 {
+        closure.iter().copied().collect()
+    } else {
+        enumerated.clone()
+    };
+    for id in &to_check {
+        report.objects_checked += 1;
+        match repo.store.get(*id) {
+            Ok(obj) if obj.id() == *id => {}
+            _ => report.bad_addresses.push(*id),
+        }
+    }
+    report.bad_addresses.sort();
+
+    // 2. Every version must materialize: walk its full recreation path
+    // (delta chain or chunk reassembly) without a cache, so the check
+    // exercises the cold store.
+    let m = Materializer::new(&repo.store);
+    for (v, id) in repo.objects.iter().enumerate() {
+        report.versions_checked += 1;
+        if let Err(e) = m.materialize(*id) {
+            report.unreadable.push((v as u32, e.to_string()));
+        }
+    }
+
+    // 3. Orphans: enumerable stores only.
+    let mut orphans: Vec<ObjectId> = enumerated
+        .into_iter()
+        .filter(|id| !closure.contains(id))
+        .collect();
+    orphans.sort();
+    report.orphans = orphans;
+
+    // 4. Pending repack journal.
+    if let Some(root) = root {
+        report.journal_pending = !matches!(persist::read_journal(root), Ok(None));
+    }
+    report
+}
+
+/// Resolves a pending repack journal at `root`, if any (see
+/// [`Recovery`]). Safe to call on a clean repository; idempotent under
+/// crashes — every removal targets only objects outside the referenced
+/// closure, and the journal is cleared last.
+pub fn recover<S: ObjectStore>(
+    repo: &mut Repository<S>,
+    root: &Path,
+) -> Result<Recovery, VcsError> {
+    let Some(journal) = persist::read_journal(root)? else {
+        return Ok(Recovery::Clean);
+    };
+    let _span = obs::span!("fsck.recover").entered();
+    let closure = referenced_closure(repo);
+    let recovery = if repo.objects == journal.new_objects {
+        // The metadata swap became durable: the crash hit during (or
+        // before) the stale-object GC. Finish it. Content addressing can
+        // make a "stale" id live again under the new plan, so filter by
+        // the closure rather than trusting the journal blindly.
+        let stale: Vec<ObjectId> = journal
+            .stale
+            .iter()
+            .copied()
+            .filter(|id| !closure.contains(id))
+            .collect();
+        repo.store.remove_batch(&stale);
+        Recovery::RolledForward {
+            removed: stale.len(),
+        }
+    } else {
+        // The swap never became durable: disk metadata still names the
+        // old plan, so the journaled new objects (and any chunks only
+        // they reference) are orphans. Drop the ones the old plan does
+        // not also reference.
+        let mut new_side: HashSet<ObjectId> = journal.new_objects.iter().copied().collect();
+        for id in &journal.new_objects {
+            if let Ok(Object::Chunked { chunks }) = repo.store.get(*id) {
+                new_side.extend(chunks);
+            }
+        }
+        let drop: Vec<ObjectId> = new_side
+            .into_iter()
+            .filter(|id| !closure.contains(id))
+            .collect();
+        repo.store.remove_batch(&drop);
+        Recovery::RolledBack {
+            removed: drop.len(),
+        }
+    };
+    persist::clear_journal(root)?;
+    Ok(recovery)
+}
+
+/// Repairing fsck: resolve any pending journal ([`recover`]), then check
+/// and remove whatever orphans remain. The returned report reflects the
+/// *post-repair* state plus what was done (`recovery`,
+/// `orphans_removed`); a report that is still not
+/// [`clean`](FsckReport::is_clean) means real corruption (bad addresses
+/// or unreadable versions) that deleting debris cannot fix.
+pub fn fsck_repair<S: ObjectStore>(
+    repo: &mut Repository<S>,
+    root: Option<&Path>,
+) -> Result<FsckReport, VcsError> {
+    let recovery = match root {
+        Some(root) => Some(recover(repo, root)?),
+        None => None,
+    };
+    let mut report = fsck(repo, root);
+    report.recovery = recovery;
+    if !report.orphans.is_empty() {
+        let orphans = std::mem::take(&mut report.orphans);
+        obs::counter!("fsck.orphans_removed", orphans.len() as u64);
+        repo.store.remove_batch(&orphans);
+        report.orphans_removed = orphans.len();
+    }
+    Ok(report)
+}
+
+/// Convenience composition for server startup and CLI `--repair`:
+/// recover + repair an on-disk repository and persist nothing extra
+/// (repair touches only the object store; `meta.dsv` is already
+/// consistent by the crash model).
+pub fn recover_at(
+    root: &Path,
+    compress: bool,
+) -> Result<(Repository<persist::RepoStore>, FsckReport), VcsError> {
+    let mut repo = persist::load(root, compress)?;
+    let report = fsck_repair(&mut repo, Some(root))?;
+    Ok((repo, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::RepackJournal;
+    use dsv_core::{PlanSpec, Problem};
+    use dsv_storage::StoreError;
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "dsv-fsck-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn csv(rows: usize, tag: &str) -> Vec<u8> {
+        let mut out = b"id,value\n".to_vec();
+        for i in 0..rows {
+            out.extend_from_slice(format!("{i},{tag}-{}\n", i * 7).as_bytes());
+        }
+        out
+    }
+
+    fn disk_repo(dir: &Path) -> Repository<persist::RepoStore> {
+        let mut repo = Repository::init(persist::RepoStore::Flat(
+            dsv_storage::FileStore::open(&dir.join("objects"), true).unwrap(),
+        ));
+        let mut data = csv(200, "x");
+        repo.commit("main", &data, "v0").unwrap();
+        for i in 0..5 {
+            data.extend_from_slice(format!("{},grown\n", 200 + i).as_bytes());
+            repo.commit("main", &data, "grow").unwrap();
+        }
+        persist::save(&repo, dir).unwrap();
+        repo
+    }
+
+    #[test]
+    fn clean_repo_fscks_clean() {
+        let dir = TempDir::new("clean");
+        let repo = disk_repo(&dir.0);
+        let report = fsck(&repo, Some(&dir.0));
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.versions_checked, 6);
+        assert!(report.objects_checked >= 6);
+        assert!(report.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn orphans_are_reported_and_repaired() {
+        let dir = TempDir::new("orphan");
+        let mut repo = disk_repo(&dir.0);
+        // Debris: an object no version references.
+        repo.store
+            .put(&Object::Full {
+                data: b"interrupted commit leftovers".to_vec(),
+            })
+            .unwrap();
+        let report = fsck(&repo, Some(&dir.0));
+        assert_eq!(report.orphans.len(), 1);
+        assert!(!report.is_clean());
+        let repaired = fsck_repair(&mut repo, Some(&dir.0)).unwrap();
+        assert_eq!(repaired.orphans_removed, 1);
+        assert!(repaired.is_clean(), "{repaired}");
+        assert!(fsck(&repo, Some(&dir.0)).is_clean());
+        // All versions still checkout.
+        for v in 0..repo.version_count() as u32 {
+            repo.checkout(crate::CommitId(v)).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupt_object_is_flagged() {
+        let dir = TempDir::new("corrupt");
+        let repo = disk_repo(&dir.0);
+        // Flip bytes in one stored object file.
+        let victim = repo.objects[3];
+        let hex = victim.to_hex();
+        let path = dir.0.join("objects").join(&hex[..2]).join(&hex[2..]);
+        std::fs::write(&path, b"garbage that is not the object").unwrap();
+        let report = fsck(&repo, Some(&dir.0));
+        assert!(!report.is_clean());
+        assert!(report.bad_addresses.contains(&victim));
+        assert!(!report.unreadable.is_empty(), "chain through v3 breaks");
+    }
+
+    #[test]
+    fn pending_journal_rolls_forward_and_back() {
+        let dir = TempDir::new("journal");
+        let mut repo = disk_repo(&dir.0);
+
+        // Roll back: journal names a new plan that never became durable.
+        let phantom = repo
+            .store
+            .put(&Object::Full {
+                data: b"packed but never swapped".to_vec(),
+            })
+            .unwrap();
+        let mut new_objects = repo.objects.clone();
+        new_objects[0] = phantom;
+        persist::write_journal(
+            &dir.0,
+            &RepackJournal {
+                new_objects,
+                stale: vec![repo.objects[0]],
+            },
+        )
+        .unwrap();
+        assert!(fsck(&repo, Some(&dir.0)).journal_pending);
+        let rec = recover(&mut repo, &dir.0).unwrap();
+        assert_eq!(rec, Recovery::RolledBack { removed: 1 });
+        assert!(!repo.store.contains(phantom));
+        assert!(fsck(&repo, Some(&dir.0)).is_clean());
+
+        // Roll forward: metadata already matches the journal; stale
+        // leftovers must go.
+        let stale = repo
+            .store
+            .put(&Object::Full {
+                data: b"old plan leftovers".to_vec(),
+            })
+            .unwrap();
+        persist::write_journal(
+            &dir.0,
+            &RepackJournal {
+                new_objects: repo.objects.clone(),
+                stale: vec![stale],
+            },
+        )
+        .unwrap();
+        let rec = recover(&mut repo, &dir.0).unwrap();
+        assert_eq!(rec, Recovery::RolledForward { removed: 1 });
+        assert!(!repo.store.contains(stale));
+        assert!(fsck(&repo, Some(&dir.0)).is_clean());
+
+        // Idempotent on a clean repository.
+        assert_eq!(recover(&mut repo, &dir.0).unwrap(), Recovery::Clean);
+    }
+
+    #[test]
+    fn recover_at_loads_and_repairs() {
+        let dir = TempDir::new("recover-at");
+        let mut repo = disk_repo(&dir.0);
+        repo.optimize_durable(&PlanSpec::new(Problem::MinStorage), &dir.0)
+            .unwrap();
+        // Simulate a crash that left debris + a journal behind.
+        repo.store
+            .put(&Object::Full {
+                data: b"debris".to_vec(),
+            })
+            .unwrap();
+        persist::write_journal(
+            &dir.0,
+            &RepackJournal {
+                new_objects: repo.objects.clone(),
+                stale: vec![],
+            },
+        )
+        .unwrap();
+        drop(repo);
+        let (reloaded, report) = recover_at(&dir.0, true).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.orphans_removed, 1);
+        assert!(matches!(
+            report.recovery,
+            Some(Recovery::RolledForward { .. })
+        ));
+        assert_eq!(reloaded.version_count(), 6);
+    }
+
+    #[test]
+    fn in_memory_repo_fscks_clean_without_a_root() {
+        let mut repo = Repository::in_memory();
+        repo.commit("main", &csv(50, "m"), "v0").unwrap();
+        let report = fsck(&repo, None);
+        assert!(report.is_clean());
+        assert!(report.objects_checked >= 1);
+        assert_eq!(report.recovery, None);
+        // Unknown-object errors surface as unreadable versions.
+        let missing: Result<Object, StoreError> =
+            repo.store.get(ObjectId::from_hex(&"0".repeat(32)).unwrap());
+        assert!(missing.is_err());
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod commit;
 pub mod error;
+pub mod fsck;
 pub mod optimize;
 pub mod persist;
 pub mod repo;
@@ -45,7 +46,8 @@ pub mod serve;
 pub use commit::{CommitId, CommitMeta};
 pub use dsv_core::{ModePolicy, PlanSpec, SolverChoice};
 pub use error::VcsError;
+pub use fsck::{FsckReport, Recovery};
 pub use optimize::OptimizeReport;
 pub use persist::RepoStore;
-pub use repo::{OnlineOptions, Placement, Repository};
+pub use repo::{Checkpoint, OnlineOptions, Placement, Repository};
 pub use serve::{Dsvd, DsvdConfig};

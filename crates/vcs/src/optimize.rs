@@ -13,15 +13,18 @@
 
 use crate::commit::CommitId;
 use crate::error::VcsError;
+use crate::persist::{self, RepackJournal};
 use crate::repo::{Placement, Repository};
 use dsv_chunk::{chunked_cost_pairs, pack_versions_hybrid, ChunkerParams};
 use dsv_core::{
     plan, CostMatrix, CostPair, ModePolicy, PlanSpec, Problem, ProblemInstance, Provenance,
+    StorageMode,
 };
 use dsv_delta::bytes_delta;
 use dsv_obs as obs;
-use dsv_storage::{pack_versions, Materializer, ObjectStore, PackOptions};
+use dsv_storage::{pack_versions, Materializer, ObjectId, ObjectStore, PackOptions};
 use std::collections::{HashSet, VecDeque};
+use std::path::Path;
 
 /// What an [`Repository::optimize_with`] call achieved.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +51,37 @@ pub struct OptimizeReport {
     pub planned_sum_recreation: u64,
 }
 
+/// A planned-and-packed but not-yet-applied repack, produced by
+/// [`Repository::prepare_repack`]. The new plan's objects are already in
+/// the store *alongside* the old plan's (content addressing makes that
+/// free of conflicts), so applying it is a pure metadata swap
+/// ([`Repository::apply_repack`]) and garbage collection
+/// ([`Repository::gc_repack`]) runs strictly afterwards. Durable callers
+/// write [`PreparedRepack::journal`] between pack and swap so an
+/// interrupted repack can be rolled forward or backward on recovery.
+pub struct PreparedRepack {
+    new_objects: Vec<ObjectId>,
+    new_plan: Vec<StorageMode>,
+    stale: Vec<ObjectId>,
+    report: OptimizeReport,
+}
+
+impl PreparedRepack {
+    /// The intent record to journal before swapping metadata.
+    pub fn journal(&self) -> RepackJournal {
+        RepackJournal {
+            new_objects: self.new_objects.clone(),
+            stale: self.stale.clone(),
+        }
+    }
+
+    /// Ids referenced only by the old plan (removed by
+    /// [`Repository::gc_repack`]).
+    pub fn stale(&self) -> &[ObjectId] {
+        &self.stale
+    }
+}
+
 impl<S: ObjectStore> Repository<S> {
     /// Rebuilds the repository's storage layout per `spec`: reveal deltas
     /// within `spec.reveal_hop_count()` hops of the commit DAG (plus
@@ -57,7 +91,65 @@ impl<S: ObjectStore> Repository<S> {
     /// deduplicated manifests, delta versions chain off whatever mode
     /// their parent landed in — and garbage-collect the old layout. The
     /// returned report carries the planner's [`Provenance`].
+    ///
+    /// This is the in-memory composition of the repack phases; on-disk
+    /// repositories should use [`Repository::optimize_durable`], which
+    /// journals the swap so a crash at any point is recoverable.
     pub fn optimize_with(&mut self, spec: &PlanSpec) -> Result<OptimizeReport, VcsError> {
+        let _optimize = obs::span!("optimize", versions = self.version_count()).entered();
+        let prepared = self.prepare_repack(spec)?;
+        self.apply_repack(&prepared);
+        Ok(self.gc_repack(prepared))
+    }
+
+    /// The crash-safe repack for a repository persisted at `root`:
+    ///
+    /// 1. plan + pack the new objects (additive — old plan still intact),
+    /// 2. durably journal the intent ([`RepackJournal`]),
+    /// 3. swap the in-memory plan and crash-atomically rewrite `meta.dsv`,
+    /// 4. only then GC the stale objects and clear the journal.
+    ///
+    /// A crash before step 3's rename leaves the old plan plus orphaned
+    /// new objects; a crash after it leaves the new plan plus
+    /// not-yet-collected stale objects. Either way the repository loads
+    /// and `dsv fsck` (or server restart recovery) finishes the job. If
+    /// the meta rewrite *fails* (no crash), the in-memory plan is rolled
+    /// back so memory never diverges from disk.
+    pub fn optimize_durable(
+        &mut self,
+        spec: &PlanSpec,
+        root: &Path,
+    ) -> Result<OptimizeReport, VcsError> {
+        let _optimize = obs::span!("optimize", versions = self.version_count()).entered();
+        let prepared = self.prepare_repack(spec)?;
+        persist::write_journal(root, &prepared.journal())?;
+        let old_objects = std::mem::take(&mut self.objects);
+        let old_plan = std::mem::take(&mut self.plan);
+        self.apply_repack(&prepared);
+        if let Err(e) = persist::save(self, root) {
+            // Roll back the swap: disk still holds the old meta, so memory
+            // must too. The packed objects stay behind as orphans for fsck
+            // (removing them here could race another failure).
+            self.objects = old_objects;
+            self.plan = old_plan;
+            if let Some(cache) = self.checkout_cache() {
+                cache.clear();
+            }
+            let _ = persist::clear_journal(root);
+            return Err(e);
+        }
+        let report = self.gc_repack(prepared);
+        // A failed journal removal is not an error: the swap is durable,
+        // and recovery rolls the journal forward idempotently.
+        let _ = persist::clear_journal(root);
+        Ok(report)
+    }
+
+    /// Phase 1 of a repack: materialize, reveal, solve, and pack the new
+    /// plan's objects into the store next to the old plan's. Nothing in
+    /// the repository's metadata changes; the returned
+    /// [`PreparedRepack`] names the new object list and the stale ids.
+    pub fn prepare_repack(&self, spec: &PlanSpec) -> Result<PreparedRepack, VcsError> {
         let n = self.version_count();
         if n == 0 {
             return Err(VcsError::EmptyRepository);
@@ -76,7 +168,6 @@ impl<S: ObjectStore> Repository<S> {
         };
         let reveal_hops = spec.reveal_hop_count();
         let storage_before = self.store.total_bytes();
-        let _optimize = obs::span!("optimize", versions = n).entered();
         obs::counter!("optimize.runs", 1);
 
         // Materialize every version once (cached chain walks — a
@@ -174,12 +265,30 @@ impl<S: ObjectStore> Repository<S> {
             }
         }
         let stale: Vec<_> = old_ids.difference(&new_ids).copied().collect();
-        let gc_span = obs::span!("gc", stale = stale.len());
-        obs::counter!("optimize.gc.stale_objects", stale.len() as u64);
-        gc_span.in_scope(|| self.store.remove_batch(&stale));
-        drop(gc_span);
-        self.objects = packed.ids;
-        self.plan = solution.modes().to_vec();
+        Ok(PreparedRepack {
+            new_objects: packed.ids,
+            new_plan: solution.modes().to_vec(),
+            stale,
+            report: OptimizeReport {
+                problem: spec.problem(),
+                provenance: chosen.provenance,
+                storage_before,
+                storage_after: 0, // filled in by gc_repack
+                materialized: solution.materialized().count(),
+                chunked: solution.chunked().count(),
+                planned_storage_cost: solution.storage_cost(),
+                planned_max_recreation: solution.max_recreation(),
+                planned_sum_recreation: solution.sum_recreation(),
+            },
+        })
+    }
+
+    /// Phase 2 of a repack: swap the repository's plan metadata to the
+    /// prepared layout. Pure in-memory bookkeeping — callers persisting
+    /// to disk journal first and save immediately after.
+    pub fn apply_repack(&mut self, prepared: &PreparedRepack) {
+        self.objects = prepared.new_objects.clone();
+        self.plan = prepared.new_plan.clone();
         // The repack orphaned the old plan's object ids: entries in the
         // checkout cache are keyed by content address so they could never
         // serve stale bytes, but they would sit dead under the byte
@@ -187,20 +296,23 @@ impl<S: ObjectStore> Repository<S> {
         if let Some(cache) = self.checkout_cache() {
             cache.clear();
         }
+    }
 
-        let storage_after = self.store.total_bytes();
-        obs::gauge!("optimize.storage_after_bytes", storage_after as f64);
-        Ok(OptimizeReport {
-            problem: spec.problem(),
-            provenance: chosen.provenance,
-            storage_before,
-            storage_after,
-            materialized: solution.materialized().count(),
-            chunked: solution.chunked().count(),
-            planned_storage_cost: solution.storage_cost(),
-            planned_max_recreation: solution.max_recreation(),
-            planned_sum_recreation: solution.sum_recreation(),
-        })
+    /// Phase 3 of a repack: remove the old plan's now-unreferenced
+    /// objects and finish the report. Runs strictly after the swap is
+    /// (durably, for on-disk callers) applied, so an interruption here
+    /// can only leave collectable orphans, never a broken history.
+    pub fn gc_repack(&mut self, prepared: PreparedRepack) -> OptimizeReport {
+        let PreparedRepack {
+            stale, mut report, ..
+        } = prepared;
+        let gc_span = obs::span!("gc", stale = stale.len());
+        obs::counter!("optimize.gc.stale_objects", stale.len() as u64);
+        gc_span.in_scope(|| self.store.remove_batch(&stale));
+        drop(gc_span);
+        report.storage_after = self.store.total_bytes();
+        obs::gauge!("optimize.storage_after_bytes", report.storage_after as f64);
+        report
     }
 
     /// Unordered commit pairs within `hops` in the (undirected) commit

@@ -6,7 +6,25 @@
 //! <root>/meta.dsv            line-based metadata (versions, branches, plan)
 //! <root>/objects/            content-addressed object files (flat FileStore)
 //! <root>/objects/shard-<i>/  … or one FileStore per shard (sharded layout)
+//! <root>/repack.journal      repack intent journal (present mid-repack only)
 //! ```
+//!
+//! # Crash model
+//!
+//! [`save`] replaces `meta.dsv` crash-atomically (write `meta.dsv.tmp`,
+//! fsync it, rename over `meta.dsv`, fsync the directory), so a crash at
+//! any point leaves either the old or the new metadata, never a torn
+//! file. Object writes are similarly atomic and fsynced by
+//! [`FileStore`] under [`dsv_storage::Durability::Full`], and meta is
+//! only ever written after the objects it references — an interrupted
+//! commit therefore loads as the pre-commit history plus some orphaned
+//! (unreferenced, content-addressed) objects, which `dsv fsck` collects.
+//!
+//! Repacks additionally write an intent journal ([`RepackJournal`])
+//! *before* the meta swap naming the intended new object list and the
+//! stale ids to collect afterwards; `dsv fsck` / server restart use it to
+//! roll an interrupted repack forward (meta already swapped → finish the
+//! GC) or backward (meta still old → drop the unreferenced new objects).
 //!
 //! The metadata format is a deliberately simple, versioned text format —
 //! one record per line, fields space-separated, the commit message last
@@ -28,6 +46,7 @@ use crate::error::VcsError;
 use crate::repo::{Placement, Repository};
 use dsv_chunk::ChunkerParams;
 use dsv_core::StorageMode;
+use dsv_storage::fault;
 use dsv_storage::{FileStore, Object, ObjectId, ObjectStore, ShardedStore, StoreError, StoreStats};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -95,6 +114,9 @@ impl ObjectStore for RepoStore {
     fn shard_count(&self) -> usize {
         delegate!(self, s => s.shard_count())
     }
+    fn object_ids(&self) -> Vec<ObjectId> {
+        delegate!(self, s => s.object_ids())
+    }
     fn stats(&self) -> StoreStats {
         delegate!(self, s => s.stats())
     }
@@ -159,7 +181,82 @@ pub fn save<S: dsv_storage::ObjectStore>(
             meta.size, meta.sequence, parents, plan, object, message
         );
     }
-    std::fs::write(root.join("meta.dsv"), out).map_err(StoreError::from)?;
+    fault::atomic_write_file(&root.join("meta.dsv"), out.as_bytes(), "meta")
+        .map_err(StoreError::from)?;
+    Ok(())
+}
+
+const JOURNAL_MAGIC: &str = "dsv-journal v1";
+
+/// The intent record a repack writes before swapping `meta.dsv`: the full
+/// object list the new plan will reference (in version order) and the
+/// stale ids to garbage-collect once the swap is durable. Its presence on
+/// disk means a repack may have been interrupted; recovery compares
+/// `new_objects` with the loaded metadata to decide whether to roll the
+/// repack forward (finish the GC) or backward (drop unreferenced new
+/// objects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepackJournal {
+    /// The intended post-repack `objects` list, in version order.
+    pub new_objects: Vec<ObjectId>,
+    /// Ids referenced only by the old plan, to remove after the swap.
+    pub stale: Vec<ObjectId>,
+}
+
+fn journal_path(root: &Path) -> std::path::PathBuf {
+    root.join("repack.journal")
+}
+
+/// Durably records a repack intent at `<root>/repack.journal`
+/// (crash-atomic, like [`save`]).
+pub fn write_journal(root: &Path, journal: &RepackJournal) -> Result<(), VcsError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{JOURNAL_MAGIC}");
+    let _ = writeln!(out, "new {}", journal.new_objects.len());
+    for id in &journal.new_objects {
+        let _ = writeln!(out, "{}", id.to_hex());
+    }
+    let _ = writeln!(out, "stale {}", journal.stale.len());
+    for id in &journal.stale {
+        let _ = writeln!(out, "{}", id.to_hex());
+    }
+    fault::atomic_write_file(&journal_path(root), out.as_bytes(), "journal")
+        .map_err(StoreError::from)?;
+    Ok(())
+}
+
+/// Reads a pending repack journal, if one exists. A torn or malformed
+/// journal is reported as corrupt rather than silently dropped — it can
+/// only mean the crash-atomic write protocol was violated.
+pub fn read_journal(root: &Path) -> Result<Option<RepackJournal>, VcsError> {
+    let text = match std::fs::read_to_string(journal_path(root)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(VcsError::Store(StoreError::from(e))),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(JOURNAL_MAGIC) {
+        return Err(corrupt());
+    }
+    let mut section = |tag: &str| -> Result<Vec<ObjectId>, VcsError> {
+        let (t, count) = split_header(lines.next().ok_or_else(corrupt)?)?;
+        if t != tag {
+            return Err(corrupt());
+        }
+        (0..count)
+            .map(|_| ObjectId::from_hex(lines.next().ok_or_else(corrupt)?).ok_or_else(corrupt))
+            .collect()
+    };
+    let new_objects = section("new")?;
+    let stale = section("stale")?;
+    Ok(Some(RepackJournal { new_objects, stale }))
+}
+
+/// Removes a completed repack journal (durably: the removal is fsynced
+/// into the directory). Missing journals are fine.
+pub fn clear_journal(root: &Path) -> Result<(), VcsError> {
+    fault::remove_file(&journal_path(root), "journal").map_err(StoreError::from)?;
+    fault::sync_dir(root, "journal").map_err(StoreError::from)?;
     Ok(())
 }
 

@@ -62,6 +62,21 @@ impl Default for OnlineOptions {
     }
 }
 
+/// A snapshot of a repository's logical state (history, plan, branches)
+/// taken by [`Repository::checkpoint`], for rolling back an in-memory
+/// mutation whose durable save failed (see the `serve` module): restore
+/// it with [`Repository::restore`] and the repository answers requests
+/// exactly as before the mutation. Objects the rolled-back mutation
+/// already wrote stay in the store as unreferenced orphans — content
+/// addressing makes them harmless (a retry converges on the same ids)
+/// and `fsck --repair` reclaims them.
+pub struct Checkpoint {
+    commit_len: usize,
+    plan: Vec<StorageMode>,
+    objects: Vec<ObjectId>,
+    branches: BTreeMap<String, CommitId>,
+}
+
 /// How one `record_commit` call decides the new version's storage mode
 /// (chunked placement bypasses both: chunking is already a local
 /// decision).
@@ -578,6 +593,31 @@ impl<S: ObjectStore> Repository<S> {
     /// The object currently holding a commit's content.
     pub fn object_id(&self, id: CommitId) -> dsv_storage::ObjectId {
         self.objects[id.index()]
+    }
+
+    /// Snapshots the logical state (commit count, plan, objects,
+    /// branches) so a failed durable save can be undone with
+    /// [`restore`](Self::restore). Commits are append-only, so the
+    /// snapshot records only their count; plan, objects, and branches
+    /// are cloned (cheap: ids and head pointers, not content).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            commit_len: self.commits.len(),
+            plan: self.plan.clone(),
+            objects: self.objects.clone(),
+            branches: self.branches.clone(),
+        }
+    }
+
+    /// Rolls the in-memory state back to `checkpoint`. The checkout
+    /// cache needs no invalidation — entries are keyed by content
+    /// address, so they can never serve stale bytes — and orphaned
+    /// store objects are left for `fsck --repair` to reclaim.
+    pub fn restore(&mut self, checkpoint: Checkpoint) {
+        self.commits.truncate(checkpoint.commit_len);
+        self.plan = checkpoint.plan;
+        self.objects = checkpoint.objects;
+        self.branches = checkpoint.branches;
     }
 
     /// Reassembles a repository from persisted parts (see

@@ -13,6 +13,12 @@
 //! * **durability** — when a save root is configured (the `dsvd` binary
 //!   always does), repository metadata is re-persisted after every
 //!   successful mutation, so a later local `dsv` run sees remote commits;
+//!   a *failed* save rolls the in-memory mutation back before the error
+//!   frame is sent, so memory never claims what disk does not hold;
+//! * **idempotent commits** — commits carrying a nonzero token are
+//!   answered from a bounded replay log when the token was already
+//!   applied, so a client retrying after a lost response cannot
+//!   double-commit;
 //! * **observability** — the conversation is span-instrumented
 //!   `serve → conn → decode/handle/encode` with a per-opcode child under
 //!   `handle`, plus `net.requests` / `net.bytes_in` / `net.bytes_out`
@@ -25,19 +31,21 @@
 //! or a hang; a read timeout bounds how long an idle or stalled client
 //! can pin a worker.
 
+use crate::fsck::{self, FsckReport, Recovery};
 use crate::optimize::OptimizeReport;
 use crate::repo::{OnlineOptions, Placement, Repository};
 use crate::{persist, CommitId};
 use dsv_core::{ChunkingSpec, ModePolicy, PlanSpec, Problem};
 use dsv_net::frame::{errcode, read_frame, write_frame, NetError, PROTOCOL_VERSION};
 use dsv_net::proto::{
-    CandidateLine, CandidateNumbers, OptimizeSummary, Request, Response, StatsSummary, WireMode,
-    WireSolver,
+    CandidateLine, CandidateNumbers, FsckSummary, OptimizeSummary, Request, Response, StatsSummary,
+    WireMode, WireRecovery, WireSolver,
 };
 use dsv_net::server::{ConnHandler, ServeControl, Server};
 use dsv_obs as obs;
 use dsv_storage::{CheckoutCache, ObjectStore};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -65,12 +73,43 @@ impl Default for DsvdConfig {
     }
 }
 
+/// How many commit-token → response pairs the replay log keeps. A
+/// retried commit only needs its token remembered for the retry window
+/// (seconds); 128 in-flight commits is far beyond the worker pool.
+const REPLAY_CAPACITY: usize = 128;
+
+/// Bounded FIFO of recently applied commit tokens and their responses.
+/// A retried commit whose token is found here replays the recorded
+/// response instead of applying again — exactly-once commits over an
+/// at-least-once transport.
+#[derive(Default)]
+struct ReplayLog {
+    entries: VecDeque<(u64, Response)>,
+}
+
+impl ReplayLog {
+    fn get(&self, token: u64) -> Option<Response> {
+        self.entries
+            .iter()
+            .find(|(t, _)| *t == token)
+            .map(|(_, resp)| resp.clone())
+    }
+
+    fn record(&mut self, token: u64, resp: Response) {
+        if self.entries.len() == REPLAY_CAPACITY {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((token, resp));
+    }
+}
+
 /// One served repository: the state every connection handler shares.
 pub struct Dsvd<S: ObjectStore> {
     repo: RwLock<Repository<S>>,
     cache: Option<Arc<CheckoutCache>>,
     save_root: Option<PathBuf>,
     config: DsvdConfig,
+    replay: Mutex<ReplayLog>,
 }
 
 impl<S: ObjectStore + Send + Sync> Dsvd<S> {
@@ -83,6 +122,7 @@ impl<S: ObjectStore + Send + Sync> Dsvd<S> {
             cache,
             save_root: None,
             config,
+            replay: Mutex::new(ReplayLog::default()),
         }
     }
 
@@ -128,6 +168,7 @@ impl<S: ObjectStore + Send + Sync> Dsvd<S> {
             ),
             Request::Ping => (Response::Pong, ServeControl::Continue),
             Request::Commit {
+                token,
                 branch,
                 message,
                 online,
@@ -136,6 +177,17 @@ impl<S: ObjectStore + Send + Sync> Dsvd<S> {
                 data,
             } => {
                 let mut repo = self.repo.write();
+                // Token already applied? Replay the recorded response so
+                // a retry after a lost ack cannot double-commit. Checked
+                // under the write lock, so two racing retries of the same
+                // token serialize here.
+                if token != 0 {
+                    if let Some(resp) = self.replay.lock().get(token) {
+                        obs::counter!("net.commit_replays", 1);
+                        return (resp, ServeControl::Continue);
+                    }
+                }
+                let checkpoint = repo.checkpoint();
                 let result = if online {
                     let opts = OnlineOptions {
                         hops: hops as usize,
@@ -147,14 +199,22 @@ impl<S: ObjectStore + Send + Sync> Dsvd<S> {
                     repo.commit_bounded(&branch, &data, &message, theta)
                 };
                 let resp = match result {
-                    Ok(id) => self.persisted(
-                        &repo,
-                        Response::CommitOk {
+                    Ok(id) => {
+                        let ok = Response::CommitOk {
                             id: id.0,
                             bytes: data.len() as u64,
                             online,
-                        },
-                    ),
+                        };
+                        match self.persist_mutation(&mut repo, checkpoint) {
+                            Ok(()) => {
+                                if token != 0 {
+                                    self.replay.lock().record(token, ok.clone());
+                                }
+                                ok
+                            }
+                            Err(e) => Response::server_error(e),
+                        }
+                    }
                     Err(e) => Response::server_error(e.to_string()),
                 };
                 (resp, ServeControl::Continue)
@@ -185,6 +245,22 @@ impl<S: ObjectStore + Send + Sync> Dsvd<S> {
                     cache: self.cache.as_ref().map(|c| c.stats()),
                 };
                 (Response::StatsOk(summary), ServeControl::Continue)
+            }
+            Request::Fsck { repair } => {
+                let resp = if repair {
+                    let mut repo = self.repo.write();
+                    match fsck::fsck_repair(&mut repo, self.save_root.as_deref()) {
+                        Ok(report) => Response::FsckOk(summarize_fsck(&report)),
+                        Err(e) => Response::server_error(e.to_string()),
+                    }
+                } else {
+                    let repo = self.repo.read();
+                    Response::FsckOk(summarize_fsck(&fsck::fsck(
+                        &repo,
+                        self.save_root.as_deref(),
+                    )))
+                };
+                (resp, ServeControl::Continue)
             }
             Request::Shutdown => (Response::ShutdownOk, ServeControl::Shutdown),
         }
@@ -232,23 +308,63 @@ impl<S: ObjectStore + Send + Sync> Dsvd<S> {
                 spec = spec.modes(ModePolicy::Hybrid(chunking));
             }
         }
-        match repo.optimize_with(&spec) {
-            Ok(report) => self.persisted(&repo, Response::OptimizeOk(summarize_report(&report))),
+        // With a save root the repack runs journaled and crash-safe
+        // (`optimize_durable` persists, and rolls its swap back if the
+        // save fails); in-memory servers take the plain path.
+        let result = match &self.save_root {
+            Some(root) => repo.optimize_durable(&spec, root),
+            None => repo.optimize_with(&spec),
+        };
+        match result {
+            Ok(report) => Response::OptimizeOk(summarize_report(&report)),
             Err(e) => Response::server_error(e.to_string()),
         }
     }
 
-    /// Persist metadata after a successful mutation; a failed save turns
-    /// the success into an error response (the in-memory state advanced,
-    /// but the client must know durability was not achieved).
-    fn persisted(&self, repo: &Repository<S>, ok: Response) -> Response {
+    /// Persist metadata after a successful mutation. A failed save rolls
+    /// the in-memory mutation back to `checkpoint` before reporting, so
+    /// the server never answers future requests from state disk does not
+    /// hold; the objects the mutation wrote stay behind as collectable
+    /// orphans (content-addressed, so a retry converges on them).
+    fn persist_mutation(
+        &self,
+        repo: &mut Repository<S>,
+        checkpoint: crate::repo::Checkpoint,
+    ) -> Result<(), String> {
         match &self.save_root {
             Some(root) => match persist::save(repo, root) {
-                Ok(()) => ok,
-                Err(e) => Response::server_error(format!("persisting repository: {e}")),
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    repo.restore(checkpoint);
+                    obs::counter!("net.commit_rollbacks", 1);
+                    Err(format!("persisting repository: {e}"))
+                }
             },
-            None => ok,
+            None => Ok(()),
         }
+    }
+}
+
+/// Flattens an [`FsckReport`] to wire counts.
+pub fn summarize_fsck(report: &FsckReport) -> FsckSummary {
+    FsckSummary {
+        clean: report.is_clean(),
+        versions_checked: report.versions_checked as u64,
+        objects_checked: report.objects_checked as u64,
+        bad_addresses: report.bad_addresses.len() as u64,
+        unreadable: report.unreadable.len() as u64,
+        orphans: report.orphans.len() as u64,
+        orphans_removed: report.orphans_removed as u64,
+        journal_pending: report.journal_pending,
+        recovery: report.recovery.as_ref().map(|r| match r {
+            Recovery::Clean => WireRecovery::Clean,
+            Recovery::RolledForward { removed } => WireRecovery::RolledForward {
+                removed: *removed as u64,
+            },
+            Recovery::RolledBack { removed } => WireRecovery::RolledBack {
+                removed: *removed as u64,
+            },
+        }),
     }
 }
 
@@ -359,13 +475,19 @@ impl<S: ObjectStore + Send + Sync> DsvdConn<'_, S> {
                 Ok(frame) => frame,
                 // Clean close between frames: the client is done.
                 Err(NetError::Eof) => return ServeControl::Continue,
-                // The stream is still framed only up to the bad length
-                // prefix / timeout — report and close.
-                Err(e @ (NetError::FrameTooLarge { .. } | NetError::Timeout)) => {
+                // The stream is framed only up to the bad length prefix —
+                // report in-band, then close.
+                Err(e @ NetError::FrameTooLarge { .. }) => {
                     drop(decode);
                     respond(&Response::error_for(&e), &mut writer);
                     return ServeControl::Continue;
                 }
+                // Idle timeout between frames: close silently, like a
+                // dropped connection. An error frame written here would
+                // sit in the socket buffer and desynchronize a client
+                // that later reuses the idle connection — it would read
+                // the stale frame as the reply to its next request.
+                Err(NetError::Timeout) => return ServeControl::Continue,
                 Err(_) => return ServeControl::Continue,
             };
             obs::counter!("net.bytes_in", frame.wire_len());
@@ -395,6 +517,7 @@ impl<S: ObjectStore + Send + Sync> DsvdConn<'_, S> {
                 Request::Optimize { .. } => "optimize",
                 Request::Stats => "stats",
                 Request::Shutdown => "shutdown",
+                Request::Fsck { .. } => "fsck",
             };
             let op_span = op.child(op_name).entered();
             let (resp, control) = self.dsvd.handle_request(req);

@@ -217,7 +217,9 @@ fn protocol_abuse_gets_structured_errors_not_hangs() {
         }
 
         // A stalled client cannot pin a worker past the read timeout:
-        // the server reports and closes instead of blocking forever.
+        // the server closes the idle connection silently (no error
+        // frame — a stale in-band frame would desynchronize a client
+        // that reuses the connection) instead of blocking forever.
         {
             let stream = TcpStream::connect(&addr).unwrap();
             let mut reader = BufReader::new(&stream);
@@ -227,12 +229,8 @@ fn protocol_abuse_gets_structured_errors_not_hangs() {
             }
             .encode();
             raw_call(&mut reader, &mut writer, &hello, 4096).unwrap();
-            // Send nothing; the server's decode path times out.
-            let reply = read_frame(&mut reader, 4096).unwrap();
-            match Response::decode(&reply).unwrap() {
-                Response::Error { .. } => {}
-                other => panic!("expected timeout error frame, got {other:?}"),
-            }
+            // Send nothing; the server's decode path times out and the
+            // next read observes a clean close.
             assert!(matches!(
                 read_frame(&mut reader, 4096),
                 Err(NetError::Eof | NetError::Truncated | NetError::Io(_))
