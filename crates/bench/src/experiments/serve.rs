@@ -22,17 +22,22 @@
 //! Each client-count row reports throughput, per-opcode p50/p99 latency,
 //! the shared cache's hit rate, and the `serve` span subtree (serve →
 //! conn → decode/handle/encode with per-opcode children) captured by the
-//! dsv-obs recorder running on the server thread. Results land in
-//! `target/experiments/BENCH_serve.json`.
+//! dsv-obs recorder running on the server thread. A final
+//! *remote-sharded topology* row replays the same workload at the
+//! highest client count with the front end's objects living on two
+//! bare-store shard servers (`StoreService` over loopback, the
+//! `dsvd --store-server` tier) instead of local memory — the measured
+//! cost of the distributed store under the hot serve path. Results land
+//! in `target/experiments/BENCH_serve.json`.
 
 use crate::experiments::perf::{flatten_phase, PhaseSpan};
 use crate::report::Table;
 use crate::{timed, Scale};
-use dsv_net::{Client, Server};
+use dsv_net::{Client, Server, StoreService, StoreServiceConfig};
 use dsv_obs as obs;
-use dsv_storage::MemStore;
+use dsv_storage::{MemStore, ObjectStore};
 use dsv_vcs::serve::{Dsvd, DsvdConfig};
-use dsv_vcs::{CommitId, Repository};
+use dsv_vcs::{persist, CommitId, Repository};
 use dsv_workloads::zipf_weights;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -46,6 +51,10 @@ use std::sync::Arc;
 pub struct ServeRow {
     /// Concurrent clients replaying the trace.
     pub clients: usize,
+    /// Remote shard servers behind the front end (0 = local store: the
+    /// front end holds its objects in memory; N > 0 = every object lives
+    /// on one of N bare-store servers dialed over loopback).
+    pub remote_shards: usize,
     /// Preseeded versions in the served repository.
     pub versions: usize,
     /// Total requests answered over the measured window (checkouts +
@@ -172,12 +181,52 @@ fn drive_client(
     out
 }
 
-/// One client-count run against a fresh server. Returns the row plus
-/// the server-side recorder snapshot.
-fn run_one(clients: usize, contents: &[Vec<u8>], trace: &[u32], commit_every: usize) -> ServeRow {
+/// One bare-store shard server over loopback, shut down and joined on
+/// drop — the backend tier of the remote-sharded topology row.
+struct ShardServer {
+    addr: String,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ShardServer {
+    fn spawn() -> Self {
+        let server = Server::bind("127.0.0.1:0").expect("bind shard loopback");
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || {
+            StoreService::new(MemStore::new(false), StoreServiceConfig::default()).serve(&server);
+        });
+        ShardServer {
+            addr,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        if let Ok(mut c) = Client::connect(&self.addr) {
+            let _ = c.shutdown();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One run against a fresh server whose repository sits on `store` —
+/// local memory or a remote-sharded tier; the serving path is identical
+/// either way. Returns the row plus the server-side recorder snapshot.
+fn run_one<S: ObjectStore + Sync + Send>(
+    clients: usize,
+    store: S,
+    remote_shards: usize,
+    contents: &[Vec<u8>],
+    trace: &[u32],
+    commit_every: usize,
+) -> ServeRow {
     // Fresh server repo and local mirror built from the same commits:
     // the wire must not change what a checkout returns.
-    let mut server_repo = Repository::in_memory();
+    let mut server_repo = Repository::init(store);
     let mut mirror: Repository<MemStore> = Repository::in_memory();
     for (i, data) in contents.iter().enumerate() {
         server_repo.commit("main", data, &format!("v{i}")).unwrap();
@@ -252,6 +301,7 @@ fn run_one(clients: usize, contents: &[Vec<u8>], trace: &[u32], commit_every: us
 
     ServeRow {
         clients,
+        remote_shards,
         versions: contents.len(),
         requests,
         checkouts: checkout_ms.len(),
@@ -284,21 +334,44 @@ pub fn run(scale: Scale) -> Vec<ServeRow> {
     let trace = zipf_trace(versions, accesses, 2015);
 
     let client_counts: Vec<usize> = scale.pick(vec![1, 3], vec![1, 4, 8]);
-    let rows: Vec<ServeRow> = client_counts
+    let mut rows: Vec<ServeRow> = client_counts
         .iter()
-        .map(|&c| run_one(c, &contents, &trace, commit_every))
+        .map(|&c| run_one(c, MemStore::new(false), 0, &contents, &trace, commit_every))
         .collect();
+
+    // The distributed-topology row: the same workload at the highest
+    // client count, but every object behind the front end lives on one
+    // of two bare-store shard servers — what the remote tier costs
+    // relative to the local-store row above it.
+    let shard_servers: Vec<ShardServer> = (0..2).map(|_| ShardServer::spawn()).collect();
+    let addrs: Vec<String> = shard_servers.iter().map(|s| s.addr.clone()).collect();
+    let sharded = persist::connect_remote_shards(&addrs).expect("dial shard servers");
+    let top_clients = *client_counts.last().unwrap();
+    rows.push(run_one(
+        top_clients,
+        sharded,
+        addrs.len(),
+        &contents,
+        &trace,
+        commit_every,
+    ));
+    drop(shard_servers);
 
     let mut table = Table::new(
         "dsvd serve: N concurrent clients, Zipf(2) checkouts + interleaved online commits",
         &[
-            "clients", "requests", "wall ms", "req/s", "co p50", "co p99", "ci p50", "ci p99",
-            "hit rate",
+            "clients", "shards", "requests", "wall ms", "req/s", "co p50", "co p99", "ci p50",
+            "ci p99", "hit rate",
         ],
     );
     for r in &rows {
         table.row(vec![
             r.clients.to_string(),
+            if r.remote_shards == 0 {
+                "local".to_owned()
+            } else {
+                format!("{} remote", r.remote_shards)
+            },
             r.requests.to_string(),
             format!("{:.1}", r.wall_ms),
             format!("{:.0}", r.throughput_rps),
@@ -335,8 +408,9 @@ pub fn write_json(rows: &[ServeRow]) -> std::io::Result<PathBuf> {
             .collect();
         let _ = write!(
             out,
-            "    {{\"clients\": {}, \"versions\": {}, \"requests\": {}, \"checkouts\": {}, \"commits\": {}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.2}, \"checkout_p50_ms\": {:.4}, \"checkout_p99_ms\": {:.4}, \"commit_p50_ms\": {:.4}, \"commit_p99_ms\": {:.4}, \"cache_lookups\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \"phases\": [{}]}}",
+            "    {{\"clients\": {}, \"remote_shards\": {}, \"versions\": {}, \"requests\": {}, \"checkouts\": {}, \"commits\": {}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.2}, \"checkout_p50_ms\": {:.4}, \"checkout_p99_ms\": {:.4}, \"commit_p50_ms\": {:.4}, \"commit_p99_ms\": {:.4}, \"cache_lookups\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \"phases\": [{}]}}",
             r.clients,
+            r.remote_shards,
             r.versions,
             r.requests,
             r.checkouts,
@@ -369,8 +443,12 @@ mod tests {
         // client and in the post-run verification pass); here we check
         // the sweep's shape and the written artifact.
         let rows = run(Scale::Quick);
-        assert!(rows.len() >= 2, "need a single- and a multi-client row");
+        assert!(rows.len() >= 3, "need single-, multi-client, and sharded rows");
         assert!(rows.iter().any(|r| r.clients > 1), "no concurrent row");
+        assert!(
+            rows.iter().any(|r| r.remote_shards >= 2),
+            "no remote-sharded topology row"
+        );
         for r in &rows {
             assert!(r.requests > 0 && r.checkouts > 0 && r.commits > 0);
             assert!(
@@ -409,5 +487,6 @@ mod tests {
         assert!(text.contains("\"throughput_rps\""));
         assert!(text.contains("\"cache_hit_rate\""));
         assert!(text.contains("\"phases\": ["));
+        assert!(text.contains("\"remote_shards\": 2"));
     }
 }

@@ -27,7 +27,7 @@ use crate::proto::{
     FsckSummary, OptimizeSummary, Request, Response, StatsSummary, WireMode, WireSolver,
 };
 use dsv_core::Problem;
-use dsv_storage::RecreationWork;
+use dsv_storage::{Object, ObjectId, RecreationWork, StoreStats};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -175,10 +175,20 @@ impl Client {
         }
     }
 
+    /// The frame-body cap this client enforces on responses (and that a
+    /// symmetric server presumably enforces on requests) — callers that
+    /// split batches to stay under the peer's cap size against this.
+    pub fn max_frame(&self) -> u32 {
+        self.max_frame
+    }
+
     /// Drop the (possibly desynchronized) connection and establish a
     /// fresh handshaken one. After any mid-call transport failure the
     /// old stream may hold half a frame — resending on it is never safe.
-    fn reconnect(&mut self) -> Result<(), NetError> {
+    /// Public because a caller that hit [`NetError::FrameTooLarge`] on a
+    /// *response* must abandon the stream (the oversized frame is still
+    /// in flight) before reusing the client.
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
         let (reader, writer) = dial(&self.addr, self.read_timeout)?;
         self.reader = reader;
         self.writer = writer;
@@ -318,6 +328,70 @@ impl Client {
         match self.call(&Request::Shutdown)? {
             Response::ShutdownOk => Ok(()),
             _ => Err(NetError::Malformed("expected ShutdownOk")),
+        }
+    }
+
+    // --- v3 object-store opcodes (bare store servers) ---
+
+    /// Store `objs` on a bare store server; ids come back in input order.
+    /// Content-addressed and idempotent, so the retry policy may resend
+    /// blindly. The caller is responsible for keeping the frame under the
+    /// peer's cap (see [`crate::remote::RemoteStore`], which splits).
+    pub fn store_put(&mut self, objs: &[Object]) -> Result<Vec<ObjectId>, NetError> {
+        let req = Request::StorePut {
+            objs: objs.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::StorePutOk { ids } if ids.len() == objs.len() => Ok(ids),
+            Response::StorePutOk { .. } => Err(NetError::Malformed("StorePutOk length mismatch")),
+            _ => Err(NetError::Malformed("expected StorePutOk")),
+        }
+    }
+
+    /// Fetch `ids`; one presence-tagged slot per id, in input order.
+    pub fn store_get(&mut self, ids: &[ObjectId]) -> Result<Vec<Option<Object>>, NetError> {
+        let req = Request::StoreGet { ids: ids.to_vec() };
+        match self.call(&req)? {
+            Response::StoreGetOk { objs } if objs.len() == ids.len() => Ok(objs),
+            Response::StoreGetOk { .. } => Err(NetError::Malformed("StoreGetOk length mismatch")),
+            _ => Err(NetError::Malformed("expected StoreGetOk")),
+        }
+    }
+
+    /// Membership of each id, in input order.
+    pub fn store_contains(&mut self, ids: &[ObjectId]) -> Result<Vec<bool>, NetError> {
+        let req = Request::StoreContains { ids: ids.to_vec() };
+        match self.call(&req)? {
+            Response::StoreContainsOk { present } if present.len() == ids.len() => Ok(present),
+            Response::StoreContainsOk { .. } => {
+                Err(NetError::Malformed("StoreContainsOk length mismatch"))
+            }
+            _ => Err(NetError::Malformed("expected StoreContainsOk")),
+        }
+    }
+
+    /// Remove each id (unknown ids ignored server-side).
+    pub fn store_remove(&mut self, ids: &[ObjectId]) -> Result<(), NetError> {
+        let req = Request::StoreRemove { ids: ids.to_vec() };
+        match self.call(&req)? {
+            Response::StoreRemoveOk => Ok(()),
+            _ => Err(NetError::Malformed("expected StoreRemoveOk")),
+        }
+    }
+
+    /// Every object id the served store holds, unspecified order.
+    pub fn store_object_ids(&mut self) -> Result<Vec<ObjectId>, NetError> {
+        match self.call(&Request::StoreObjectIds)? {
+            Response::StoreObjectIdsOk { ids } => Ok(ids),
+            _ => Err(NetError::Malformed("expected StoreObjectIdsOk")),
+        }
+    }
+
+    /// Fill and operation counters of the served store.
+    pub fn store_stats(&mut self) -> Result<StoreStats, NetError> {
+        match self.call(&Request::StoreStats)? {
+            Response::StoreStatsOk(stats) => Ok(stats),
+            _ => Err(NetError::Malformed("expected StoreStatsOk")),
         }
     }
 }

@@ -23,7 +23,12 @@ use std::io::{Read, Write};
 ///
 /// v2: `Commit` bodies lead with a `u64` idempotency token (retried
 /// commits apply exactly once) and the `Fsck`/`FsckOk` pair exists.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// v3: the object-store opcodes (`StorePut`/`StoreGet`/`StoreContains`/
+/// `StoreRemove` batch frames, `StoreObjectIds`, `StoreStats`) exist, so
+/// a bare store can be served behind the same transport and a
+/// `RemoteStore` client can speak the full `ObjectStore` surface.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Default cap on a frame body: 64 MiB. Generous for dataset payloads in
 /// this repo's experiments while still bounding per-connection memory.
@@ -43,6 +48,13 @@ pub mod opcode {
     pub const STATS: u8 = 0x06;
     pub const SHUTDOWN: u8 = 0x07;
     pub const FSCK: u8 = 0x08;
+    // v3 object-store opcodes (served by a bare store server).
+    pub const STORE_PUT: u8 = 0x09;
+    pub const STORE_GET: u8 = 0x0A;
+    pub const STORE_CONTAINS: u8 = 0x0B;
+    pub const STORE_REMOVE: u8 = 0x0C;
+    pub const STORE_IDS: u8 = 0x0D;
+    pub const STORE_STATS: u8 = 0x0E;
 
     pub const HELLO_OK: u8 = 0x81;
     pub const PONG: u8 = 0x82;
@@ -52,6 +64,12 @@ pub mod opcode {
     pub const STATS_OK: u8 = 0x86;
     pub const SHUTDOWN_OK: u8 = 0x87;
     pub const FSCK_OK: u8 = 0x88;
+    pub const STORE_PUT_OK: u8 = 0x89;
+    pub const STORE_GET_OK: u8 = 0x8A;
+    pub const STORE_CONTAINS_OK: u8 = 0x8B;
+    pub const STORE_REMOVE_OK: u8 = 0x8C;
+    pub const STORE_IDS_OK: u8 = 0x8D;
+    pub const STORE_STATS_OK: u8 = 0x8E;
     pub const ERROR: u8 = 0xFF;
 }
 

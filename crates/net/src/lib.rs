@@ -18,22 +18,34 @@
 //! set, and `0xFF` is the structured error frame (`u16` code + UTF-8
 //! message — see [`frame::errcode`]):
 //!
-//! | request  | op   | response    | op   |
-//! |----------|------|-------------|------|
-//! | Hello    | 0x01 | HelloOk     | 0x81 |
-//! | Ping     | 0x02 | Pong        | 0x82 |
-//! | Commit   | 0x03 | CommitOk    | 0x83 |
-//! | Checkout | 0x04 | CheckoutOk  | 0x84 |
-//! | Optimize | 0x05 | OptimizeOk  | 0x85 |
-//! | Stats    | 0x06 | StatsOk     | 0x86 |
-//! | Shutdown | 0x07 | ShutdownOk  | 0x87 |
-//! | Fsck     | 0x08 | FsckOk      | 0x88 |
-//! |          |      | Error       | 0xFF |
+//! | request       | op   | response         | op   |
+//! |---------------|------|------------------|------|
+//! | Hello         | 0x01 | HelloOk          | 0x81 |
+//! | Ping          | 0x02 | Pong             | 0x82 |
+//! | Commit        | 0x03 | CommitOk         | 0x83 |
+//! | Checkout      | 0x04 | CheckoutOk       | 0x84 |
+//! | Optimize      | 0x05 | OptimizeOk       | 0x85 |
+//! | Stats         | 0x06 | StatsOk          | 0x86 |
+//! | Shutdown      | 0x07 | ShutdownOk       | 0x87 |
+//! | Fsck          | 0x08 | FsckOk           | 0x88 |
+//! | StorePut      | 0x09 | StorePutOk       | 0x89 |
+//! | StoreGet      | 0x0A | StoreGetOk       | 0x8A |
+//! | StoreContains | 0x0B | StoreContainsOk  | 0x8B |
+//! | StoreRemove   | 0x0C | StoreRemoveOk    | 0x8C |
+//! | StoreObjectIds| 0x0D | StoreObjectIdsOk | 0x8D |
+//! | StoreStats    | 0x0E | StoreStatsOk     | 0x8E |
+//! |               |      | Error            | 0xFF |
+//!
+//! The `Store*` opcodes (protocol v3) carry the raw object-store
+//! surface; [`remote`] builds both ends on top — a bare-store server
+//! ([`remote::StoreService`], behind `dsvd --store-server`) and a
+//! client-side [`remote::RemoteStore`] implementing the full
+//! `ObjectStore` trait, the shard unit of the distributed storage tier.
 //!
 //! # Handshake
 //!
 //! The first frame on a connection must be `Hello { version }` with
-//! [`PROTOCOL_VERSION`] (currently 2); the server answers `HelloOk` with
+//! [`PROTOCOL_VERSION`] (currently 3); the server answers `HelloOk` with
 //! its own version or an error frame with code
 //! [`frame::errcode::VERSION_MISMATCH`] and closes. Everything after the
 //! handshake is a strict request→response alternation on the same
@@ -52,6 +64,7 @@
 pub mod client;
 pub mod frame;
 pub mod proto;
+pub mod remote;
 pub mod server;
 
 pub use client::{Client, RetryPolicy};
@@ -63,4 +76,5 @@ pub use proto::{
     CandidateLine, CandidateNumbers, FsckSummary, OptimizeSummary, Request, Response, StatsSummary,
     WireMode, WireRecovery, WireSolver,
 };
+pub use remote::{RemoteStore, StoreService, StoreServiceConfig, FRAME_SLACK};
 pub use server::{ConnHandler, ServeControl, Server, ServerOptions};

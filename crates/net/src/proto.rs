@@ -11,7 +11,7 @@
 
 use crate::frame::{errcode, opcode, Frame, NetError};
 use dsv_core::{ChunkingSpec, ModePolicy, Problem, SolverChoice};
-use dsv_storage::{CacheStats, OpCounters, RecreationWork, ShardStats, StoreStats};
+use dsv_storage::{CacheStats, Object, ObjectId, OpCounters, RecreationWork, ShardStats, StoreStats};
 
 /// Solver selection on the wire — mirrors [`SolverChoice`] with an owned
 /// name.
@@ -104,6 +104,31 @@ pub enum Request {
     Fsck {
         repair: bool,
     },
+    /// Store a batch of objects on a bare store server (v3). Objects
+    /// travel in their canonical uncompressed encoding; the server
+    /// re-encodes per its own compression policy. Idempotent
+    /// (content-addressed), so blind retries are safe.
+    StorePut {
+        objs: Vec<Object>,
+    },
+    /// Fetch a batch of objects by id (v3). The response carries one
+    /// presence-tagged slot per id, in input order.
+    StoreGet {
+        ids: Vec<ObjectId>,
+    },
+    /// Membership of each id (v3).
+    StoreContains {
+        ids: Vec<ObjectId>,
+    },
+    /// Remove each id; unknown ids are ignored (v3).
+    StoreRemove {
+        ids: Vec<ObjectId>,
+    },
+    /// Enumerate every object id the store holds (v3) — the fsck /
+    /// orphan-scan surface.
+    StoreObjectIds,
+    /// The store's fill and operation counters (v3).
+    StoreStats,
 }
 
 /// One portfolio candidate's numbers, mirroring
@@ -199,6 +224,26 @@ pub enum Response {
     StatsOk(StatsSummary),
     ShutdownOk,
     FsckOk(FsckSummary),
+    /// Ids of the objects a `StorePut` stored, in input order (v3).
+    StorePutOk {
+        ids: Vec<ObjectId>,
+    },
+    /// One slot per requested id, in input order; `None` = not held (v3).
+    StoreGetOk {
+        objs: Vec<Option<Object>>,
+    },
+    /// Membership per requested id, in input order (v3).
+    StoreContainsOk {
+        present: Vec<bool>,
+    },
+    /// Acknowledges a `StoreRemove` (v3).
+    StoreRemoveOk,
+    /// Every object id held, unspecified order (v3).
+    StoreObjectIdsOk {
+        ids: Vec<ObjectId>,
+    },
+    /// Fill and operation counters of the served store (v3).
+    StoreStatsOk(StoreStats),
     Error {
         code: u16,
         message: String,
@@ -333,6 +378,12 @@ impl<'a> Cursor<'a> {
         String::from_utf8(self.bytes()?).map_err(|_| NetError::Malformed("string not UTF-8"))
     }
 
+    /// Bytes not yet consumed — used to sanity-bound declared element
+    /// counts before any `Vec::with_capacity`.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     /// Decoders must consume exactly the body; trailing bytes mean the
     /// peer and we disagree about the layout.
     fn finish(self) -> Result<(), NetError> {
@@ -342,6 +393,65 @@ impl<'a> Cursor<'a> {
             Err(NetError::Malformed("trailing bytes after body"))
         }
     }
+}
+
+fn put_id(buf: &mut Vec<u8>, id: ObjectId) {
+    buf.extend_from_slice(&id.0);
+}
+
+fn get_id(c: &mut Cursor) -> Result<ObjectId, NetError> {
+    let b = c.take(16)?;
+    let mut out = [0u8; 16];
+    out.copy_from_slice(b);
+    Ok(ObjectId(out))
+}
+
+fn put_ids(buf: &mut Vec<u8>, ids: &[ObjectId]) {
+    put_u32(buf, ids.len() as u32);
+    for &id in ids {
+        put_id(buf, id);
+    }
+}
+
+/// Decodes a `u32`-counted run of 16-byte ids. The declared count is
+/// checked against the remaining body *before* allocation, so a corrupt
+/// prefix cannot trigger an outsized reservation.
+fn get_ids(c: &mut Cursor) -> Result<Vec<ObjectId>, NetError> {
+    let n = c.u32()? as usize;
+    if n.checked_mul(16).map_or(true, |need| need > c.remaining()) {
+        return Err(NetError::Malformed("id count exceeds body"));
+    }
+    (0..n).map(|_| get_id(c)).collect()
+}
+
+/// Objects travel in their canonical *uncompressed* [`Object::encode`]
+/// form (tag, base id, varint payload) as a length-prefixed blob — the
+/// receiving store re-encodes per its own compression policy, so the wire
+/// stays layout-agnostic and [`Object::decode`]'s strictness doubles as
+/// body validation.
+fn put_object(buf: &mut Vec<u8>, obj: &Object) {
+    put_bytes(buf, &obj.encode(false));
+}
+
+fn get_object(c: &mut Cursor) -> Result<Object, NetError> {
+    let bytes = c.bytes()?;
+    Object::decode(&bytes).map_err(|_| NetError::Malformed("object blob failed to decode"))
+}
+
+fn put_objects(buf: &mut Vec<u8>, objs: &[Object]) {
+    put_u32(buf, objs.len() as u32);
+    for obj in objs {
+        put_object(buf, obj);
+    }
+}
+
+fn get_objects(c: &mut Cursor) -> Result<Vec<Object>, NetError> {
+    let n = c.u32()? as usize;
+    // Every object blob costs at least its 4-byte length prefix.
+    if n.checked_mul(4).map_or(true, |need| need > c.remaining()) {
+        return Err(NetError::Malformed("object count exceeds body"));
+    }
+    (0..n).map(|_| get_object(c)).collect()
 }
 
 fn put_problem(buf: &mut Vec<u8>, p: Problem) {
@@ -485,6 +595,12 @@ impl Request {
             Request::Stats => opcode::STATS,
             Request::Shutdown => opcode::SHUTDOWN,
             Request::Fsck { .. } => opcode::FSCK,
+            Request::StorePut { .. } => opcode::STORE_PUT,
+            Request::StoreGet { .. } => opcode::STORE_GET,
+            Request::StoreContains { .. } => opcode::STORE_CONTAINS,
+            Request::StoreRemove { .. } => opcode::STORE_REMOVE,
+            Request::StoreObjectIds => opcode::STORE_IDS,
+            Request::StoreStats => opcode::STORE_STATS,
         }
     }
 
@@ -492,7 +608,15 @@ impl Request {
         let mut body = Vec::new();
         match self {
             Request::Hello { version } => put_u16(&mut body, *version),
-            Request::Ping | Request::Stats | Request::Shutdown => {}
+            Request::Ping
+            | Request::Stats
+            | Request::Shutdown
+            | Request::StoreObjectIds
+            | Request::StoreStats => {}
+            Request::StorePut { objs } => put_objects(&mut body, objs),
+            Request::StoreGet { ids }
+            | Request::StoreContains { ids }
+            | Request::StoreRemove { ids } => put_ids(&mut body, ids),
             Request::Commit {
                 token,
                 branch,
@@ -593,6 +717,20 @@ impl Request {
             }
             opcode::STATS => Request::Stats,
             opcode::SHUTDOWN => Request::Shutdown,
+            opcode::STORE_PUT => Request::StorePut {
+                objs: get_objects(&mut c)?,
+            },
+            opcode::STORE_GET => Request::StoreGet {
+                ids: get_ids(&mut c)?,
+            },
+            opcode::STORE_CONTAINS => Request::StoreContains {
+                ids: get_ids(&mut c)?,
+            },
+            opcode::STORE_REMOVE => Request::StoreRemove {
+                ids: get_ids(&mut c)?,
+            },
+            opcode::STORE_IDS => Request::StoreObjectIds,
+            opcode::STORE_STATS => Request::StoreStats,
             other => return Err(NetError::UnknownOpcode(other)),
         };
         c.finish()?;
@@ -611,6 +749,12 @@ impl Response {
             Response::StatsOk(_) => opcode::STATS_OK,
             Response::ShutdownOk => opcode::SHUTDOWN_OK,
             Response::FsckOk(_) => opcode::FSCK_OK,
+            Response::StorePutOk { .. } => opcode::STORE_PUT_OK,
+            Response::StoreGetOk { .. } => opcode::STORE_GET_OK,
+            Response::StoreContainsOk { .. } => opcode::STORE_CONTAINS_OK,
+            Response::StoreRemoveOk => opcode::STORE_REMOVE_OK,
+            Response::StoreObjectIdsOk { .. } => opcode::STORE_IDS_OK,
+            Response::StoreStatsOk(_) => opcode::STORE_STATS_OK,
             Response::Error { .. } => opcode::ERROR,
         }
     }
@@ -635,7 +779,29 @@ impl Response {
         let mut body = Vec::new();
         match self {
             Response::HelloOk { version } => put_u16(&mut body, *version),
-            Response::Pong | Response::ShutdownOk => {}
+            Response::Pong | Response::ShutdownOk | Response::StoreRemoveOk => {}
+            Response::StorePutOk { ids } | Response::StoreObjectIdsOk { ids } => {
+                put_ids(&mut body, ids)
+            }
+            Response::StoreGetOk { objs } => {
+                put_u32(&mut body, objs.len() as u32);
+                for slot in objs {
+                    match slot {
+                        None => put_u8(&mut body, 0),
+                        Some(obj) => {
+                            put_u8(&mut body, 1);
+                            put_object(&mut body, obj);
+                        }
+                    }
+                }
+            }
+            Response::StoreContainsOk { present } => {
+                put_u32(&mut body, present.len() as u32);
+                for &p in present {
+                    put_bool(&mut body, p);
+                }
+            }
+            Response::StoreStatsOk(s) => put_store_stats(&mut body, s),
             Response::CommitOk { id, bytes, online } => {
                 put_u32(&mut body, *id);
                 put_u64(&mut body, *bytes);
@@ -824,6 +990,38 @@ impl Response {
                     recovery,
                 })
             }
+            opcode::STORE_PUT_OK => Response::StorePutOk {
+                ids: get_ids(&mut c)?,
+            },
+            opcode::STORE_GET_OK => {
+                let n = c.u32()? as usize;
+                // Every slot costs at least its presence byte.
+                if n > c.remaining() {
+                    return Err(NetError::Malformed("slot count exceeds body"));
+                }
+                let mut objs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    objs.push(match c.u8()? {
+                        0 => None,
+                        1 => Some(get_object(&mut c)?),
+                        _ => return Err(NetError::Malformed("presence byte not 0/1")),
+                    });
+                }
+                Response::StoreGetOk { objs }
+            }
+            opcode::STORE_CONTAINS_OK => {
+                let n = c.u32()? as usize;
+                if n > c.remaining() {
+                    return Err(NetError::Malformed("membership count exceeds body"));
+                }
+                let present = (0..n).map(|_| c.bool()).collect::<Result<Vec<_>, _>>()?;
+                Response::StoreContainsOk { present }
+            }
+            opcode::STORE_REMOVE_OK => Response::StoreRemoveOk,
+            opcode::STORE_IDS_OK => Response::StoreObjectIdsOk {
+                ids: get_ids(&mut c)?,
+            },
+            opcode::STORE_STATS_OK => Response::StoreStatsOk(get_store_stats(&mut c)?),
             opcode::ERROR => Response::Error {
                 code: c.u16()?,
                 message: c.string()?,

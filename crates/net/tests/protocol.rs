@@ -9,7 +9,9 @@ use dsv_net::proto::{
     CandidateLine, CandidateNumbers, FsckSummary, OptimizeSummary, Request, Response, StatsSummary,
     WireMode, WireRecovery, WireSolver,
 };
-use dsv_storage::{CacheStats, OpCounters, RecreationWork, ShardStats, StoreStats};
+use dsv_storage::{
+    CacheStats, Object, ObjectId, OpCounters, RecreationWork, ShardStats, StoreStats,
+};
 use proptest::prelude::*;
 
 /// Full wire round-trip: encode the frame, serialize it, read it back
@@ -131,6 +133,34 @@ fn arb_cache_stats() -> impl Strategy<Value = CacheStats> {
         evictions: v[8],
         bytes_saved: v[9],
     })
+}
+
+fn arb_object_id() -> impl Strategy<Value = ObjectId> {
+    prop::collection::vec(any::<u8>(), 16..17).prop_map(|v| {
+        let mut id = [0u8; 16];
+        id.copy_from_slice(&v);
+        ObjectId(id)
+    })
+}
+
+fn arb_object_ids() -> impl Strategy<Value = Vec<ObjectId>> {
+    prop::collection::vec(arb_object_id(), 0..12)
+}
+
+/// All three object kinds, so the wire encoding's tag byte, optional
+/// base id, and manifest layout are each exercised.
+fn arb_object() -> impl Strategy<Value = Object> {
+    (
+        0u8..3,
+        prop::collection::vec(any::<u8>(), 0..256),
+        arb_object_id(),
+        prop::collection::vec(arb_object_id(), 0..16),
+    )
+        .prop_map(|(kind, data, base, chunks)| match kind {
+            0 => Object::Full { data },
+            1 => Object::Delta { base, delta: data },
+            _ => Object::Chunked { chunks },
+        })
 }
 
 fn arb_candidates() -> impl Strategy<Value = Vec<CandidateLine>> {
@@ -289,15 +319,98 @@ proptest! {
         roundtrip_response(&Response::StatsOk(StatsSummary { stats, logical_bytes, cache }));
     }
 
+    /// Every protocol-v3 object-store request frame round-trips.
+    #[test]
+    fn store_requests_roundtrip(
+        objs in prop::collection::vec(arb_object(), 0..8),
+        ids in arb_object_ids(),
+    ) {
+        roundtrip_request(&Request::StorePut { objs });
+        roundtrip_request(&Request::StoreGet { ids: ids.clone() });
+        roundtrip_request(&Request::StoreContains { ids: ids.clone() });
+        roundtrip_request(&Request::StoreRemove { ids });
+        roundtrip_request(&Request::StoreObjectIds);
+        roundtrip_request(&Request::StoreStats);
+    }
+
+    /// Every protocol-v3 object-store response frame round-trips —
+    /// including `StoreGetOk`'s presence-tagged slots (`None` = not
+    /// found on the server), which carry per-slot optionality the other
+    /// batch responses don't have.
+    #[test]
+    fn store_responses_roundtrip(
+        ids in arb_object_ids(),
+        slots in prop::collection::vec(
+            (any::<bool>(), arb_object()).prop_map(|(some, obj)| some.then_some(obj)),
+            0..8,
+        ),
+        present in prop::collection::vec(any::<bool>(), 0..12),
+        stats in arb_store_stats(),
+    ) {
+        roundtrip_response(&Response::StorePutOk { ids: ids.clone() });
+        roundtrip_response(&Response::StoreGetOk { objs: slots });
+        roundtrip_response(&Response::StoreContainsOk { present });
+        roundtrip_response(&Response::StoreRemoveOk);
+        roundtrip_response(&Response::StoreObjectIdsOk { ids });
+        roundtrip_response(&Response::StoreStatsOk(stats));
+    }
+
     /// Arbitrary bytes through the frame reader and both decoders:
     /// never a panic, always Ok or a structured error.
     #[test]
     fn fuzz_random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = read_frame(&mut bytes.as_slice(), 64 * 1024);
-        for opcode in [0u8, 1, 2, 3, 4, 5, 6, 7, 8, 0x81, 0x84, 0x85, 0x86, 0x88, 0xFF, 0x42] {
+        for opcode in [
+            0u8, 1, 2, 3, 4, 5, 6, 7, 8, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x81, 0x84, 0x85,
+            0x86, 0x88, 0x89, 0x8A, 0x8B, 0x8C, 0x8D, 0x8E, 0xFF, 0x42,
+        ] {
             let frame = Frame::new(opcode, bytes.clone());
             let _ = Request::decode(&frame);
             let _ = Response::decode(&frame);
+        }
+    }
+
+    /// Flipping any single byte of an encoded `StorePut` (the densest
+    /// store frame: tagged objects, base ids, varint lengths) decodes or
+    /// fails cleanly — object decoding doubles as validation, so a
+    /// corrupted payload cannot smuggle through as a different object.
+    #[test]
+    fn fuzz_store_put_corruption_never_panics(
+        objs in prop::collection::vec(arb_object(), 1..5),
+        pos in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let req = Request::StorePut { objs };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let pos = pos.index(wire.len());
+        wire[pos] ^= flip;
+        if let Ok(frame) = read_frame(&mut wire.as_slice(), 64 * 1024) {
+            let _ = Request::decode(&frame);
+            let _ = Response::decode(&frame);
+        }
+    }
+
+    /// Truncating a `StoreGetOk` wire image at any point is a structured
+    /// error (or a clean EOF at the boundary) — the response a client is
+    /// mid-read on when a shard server dies.
+    #[test]
+    fn fuzz_store_get_ok_truncation_is_structured(
+        slots in prop::collection::vec(
+            (any::<bool>(), arb_object()).prop_map(|(some, obj)| some.then_some(obj)),
+            0..6,
+        ),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let resp = Response::StoreGetOk { objs: slots };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &resp.encode()).unwrap();
+        let cut = cut.index(wire.len());
+        match read_frame(&mut wire[..cut].to_vec().as_slice(), 64 * 1024) {
+            Err(NetError::Eof) => assert_eq!(cut, 0),
+            Err(NetError::Truncated) => assert!(cut > 0),
+            Ok(_) => panic!("truncated image decoded as a whole frame"),
+            Err(e) => panic!("unexpected error for truncation: {e:?}"),
         }
     }
 

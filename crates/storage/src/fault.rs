@@ -25,8 +25,16 @@
 //!   lost, modelling firmware/page-cache lies.
 //!
 //! [`FaultStore`] applies the same plan at the [`ObjectStore`] trait
-//! boundary (sites `"store.put"`, `"store.get"`, …) so in-memory stores
-//! and remote/server tests can inject failures without a real disk.
+//! boundary (sites `"store.put"`, `"store.get"`, `"store.remove"`) so
+//! in-memory stores and remote/server tests can inject failures without
+//! a real disk. The wrapper composes with *any* store impl, including a
+//! remote one (`dsv-net`'s `RemoteStore`): wrapped around a remote
+//! shard, a mid-batch `store.put` cut severs the batch *over the wire* —
+//! the prefix is already durable on the server, exactly the state a
+//! client crash mid-upload leaves behind, and the content-addressed
+//! retry converges. A `DSV_FAULT=fail:N:store.` spec (the `store.` site
+//! filter) targets these trait-boundary sites without also arming the
+//! filesystem sites below.
 //!
 //! `DSV_FAULT=fail:N[:substr]` / `tear:N:K[:substr]` /
 //! `skipsync:N[:substr]` installs a plan from the environment
@@ -443,6 +451,10 @@ impl<S: ObjectStore> ObjectStore for FaultStore<S> {
 
     fn shard_count(&self) -> usize {
         self.inner.shard_count()
+    }
+
+    fn remote_addrs(&self) -> Vec<String> {
+        self.inner.remote_addrs()
     }
 
     fn object_ids(&self) -> Vec<ObjectId> {

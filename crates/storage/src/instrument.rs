@@ -115,6 +115,10 @@ impl<S: ObjectStore> ObjectStore for InstrumentedStore<S> {
         self.inner.shard_count()
     }
 
+    fn remote_addrs(&self) -> Vec<String> {
+        self.inner.remote_addrs()
+    }
+
     fn object_ids(&self) -> Vec<ObjectId> {
         self.inner.object_ids()
     }

@@ -14,8 +14,17 @@ use crate::store::ObjectStore;
 use dsv_delta::bytes_delta;
 use dsv_obs as obs;
 
-/// Payload bytes a [`BatchWriter`] buffers before flushing (64 MiB).
-pub const PACK_FLUSH_BYTES: u64 = 64 << 20;
+/// Payload bytes a [`BatchWriter`] buffers before flushing (32 MiB).
+///
+/// Deliberately half of the wire layer's default frame cap (`dsv-net`'s
+/// `DEFAULT_MAX_FRAME`, 64 MiB): when the store behind the writer is a
+/// remote shard, a flush becomes one `StorePut` frame per shard, and a
+/// flush bound at or above the frame cap would make *every* full flush
+/// overflow the frame budget and split. Half leaves headroom for the
+/// encoding overhead (tags, base ids, varints) on top of raw payload
+/// bytes. A remote store still splits oversized batches itself — this
+/// bound just keeps the common path at one frame per flush.
+pub const PACK_FLUSH_BYTES: u64 = 32 << 20;
 
 /// Streams a packer's objects into a store through bounded `put_batch`
 /// flushes: objects buffer until roughly [`PACK_FLUSH_BYTES`] of payload,

@@ -189,15 +189,23 @@ impl<S: ObjectStore + Sync> ObjectStore for ShardedStore<S> {
         self.counters.count_put_batch(objs.len());
         let _span = obs::span!("store.put_batch", objects = objs.len()).entered();
         let groups = self.partition(objs.iter().map(|o| o.id()));
-        // Each shard takes its group as single inner puts rather than an
-        // inner `put_batch`: the latter needs a contiguous `&[Object]`,
-        // i.e. cloning every payload. The shard's lock is uncontended
-        // anyway — exactly one worker drives each shard per batch.
+        // A local shard takes its group as single inner puts rather than
+        // an inner `put_batch`: the latter needs a contiguous `&[Object]`,
+        // i.e. cloning every payload, and the shard's lock is uncontended
+        // anyway — exactly one worker drives each shard per batch. A
+        // *remote* shard pays one network round-trip per call, so there
+        // the clone buys the whole group travelling as one frame.
         let per_shard = on_shards(&groups, &self.shard_ns, |s, group| {
-            group
-                .iter()
-                .map(|&i| self.shards[s].put(&objs[i]))
-                .collect::<Result<Vec<ObjectId>, StoreError>>()
+            let shard = &self.shards[s];
+            if shard.remote_addrs().is_empty() {
+                group
+                    .iter()
+                    .map(|&i| shard.put(&objs[i]))
+                    .collect::<Result<Vec<ObjectId>, StoreError>>()
+            } else {
+                let batch: Vec<Object> = group.iter().map(|&i| objs[i].clone()).collect();
+                shard.put_batch(&batch)
+            }
         });
         let mut ids: Vec<Option<ObjectId>> = vec![None; objs.len()];
         for (_, group, result) in per_shard {
@@ -260,6 +268,11 @@ impl<S: ObjectStore + Sync> ObjectStore for ShardedStore<S> {
 
     fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    fn remote_addrs(&self) -> Vec<String> {
+        // Shard order, so meta v4 reopens with the same id routing.
+        self.shards.iter().flat_map(|s| s.remote_addrs()).collect()
     }
 
     fn object_ids(&self) -> Vec<ObjectId> {

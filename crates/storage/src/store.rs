@@ -244,6 +244,15 @@ pub trait ObjectStore {
         0
     }
 
+    /// Network addresses of the remote servers backing this store, in
+    /// shard order — empty for local stores (the default). A
+    /// `ShardedStore` of remote shards concatenates its shards' addresses,
+    /// so `dsv-vcs` persistence can record the full topology (meta v4)
+    /// without knowing the concrete store type.
+    fn remote_addrs(&self) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Every object id the store holds, in unspecified order — the
     /// enumeration surface `dsv fsck` uses for content verification and
     /// orphan detection. The default returns an empty vector

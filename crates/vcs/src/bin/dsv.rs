@@ -4,7 +4,7 @@
 //! client/server variant; this is the single-machine equivalent):
 //!
 //! ```text
-//! dsv init <repo-dir> [--shards <n>]
+//! dsv init <repo-dir> [--shards <n> | --remote-shards <addr,...>]
 //! dsv commit <repo-dir> <file> [-b branch] [-m message]
 //!            [--online] [--online-hops <n>] [--theta <bytes>]
 //! dsv checkout <repo-dir> <version>... [-o out-file] [--cache-bytes <n>]
@@ -29,9 +29,14 @@
 //! writes (commit packs, optimize re-packs) then hit all shards
 //! concurrently. The shard count is recorded in the repository metadata
 //! (meta v3) and is a pure layout property — the stored bytes are
-//! identical at every shard count. `store` prints the [`StoreStats`]
-//! snapshot: object/byte counts, per-shard fill, dedup ratio, and the
-//! single-vs-batch operation counters of this process.
+//! identical at every shard count. `init --remote-shards <addr,...>` is
+//! the distributed variant: objects live on remote shard servers (`dsvd
+//! --store-server`, one per address) instead of the local filesystem,
+//! selected by the same id-prefix rule, and the topology is recorded in
+//! the metadata (meta v4) so every later command redials the shards.
+//! `store` prints the [`StoreStats`] snapshot: object/byte counts,
+//! per-shard fill, dedup ratio, and the single-vs-batch operation
+//! counters of this process.
 //!
 //! `commit --online` places the new version by bounded online
 //! re-planning (the paper's online problem): the best delta base is
@@ -167,12 +172,14 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "init" => {
-            // Parse and strip `--shards <n>` before resolving positionals,
-            // so `dsv init --shards 4 repo` works and a missing value (or
-            // a flag swallowed as the repo dir) cannot silently produce a
-            // flat layout — there is no re-shard path later.
+            // Parse and strip `--shards <n>` / `--remote-shards <addr,...>`
+            // before resolving positionals, so `dsv init --shards 4 repo`
+            // works and a missing value (or a flag swallowed as the repo
+            // dir) cannot silently produce a flat layout — there is no
+            // re-shard path later.
             let mut positional: Vec<String> = Vec::new();
             let mut shards: Option<usize> = None;
+            let mut remote_shards: Option<Vec<String>> = None;
             let mut iter = args.iter();
             while let Some(arg) = iter.next() {
                 if arg == "--shards" {
@@ -185,30 +192,61 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                             ))
                         }
                     }
+                } else if arg == "--remote-shards" {
+                    let v = iter
+                        .next()
+                        .ok_or("--remote-shards needs a comma-separated host:port list")?;
+                    let addrs: Vec<String> = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|a| !a.is_empty())
+                        .map(str::to_owned)
+                        .collect();
+                    if addrs.is_empty() || addrs.len() > MAX_SHARDS {
+                        return Err(format!(
+                            "invalid --remote-shards '{v}' (need 1..={MAX_SHARDS} addresses)"
+                        ));
+                    }
+                    remote_shards = Some(addrs);
                 } else if arg.starts_with("--") {
                     return Err(format!("unknown init flag '{arg}' (see: dsv help)"));
                 } else {
                     positional.push(arg.clone());
                 }
             }
+            if shards.is_some() && remote_shards.is_some() {
+                return Err("--shards and --remote-shards are mutually exclusive".into());
+            }
             let root = repo_dir(&positional, 1)?;
             if root.join("meta.dsv").exists() {
                 return Err(format!("{} is already a repository", root.display()));
             }
             let objects = root.join("objects");
-            let store = match shards {
-                None => RepoStore::Flat(FileStore::open(&objects, true).map_err(stringify)?),
-                Some(n) => RepoStore::Sharded(
-                    ShardedStore::open_sharded(&objects, n, true).map_err(stringify)?,
+            let store = match (&shards, &remote_shards) {
+                (None, None) => RepoStore::Flat(FileStore::open(&objects, true).map_err(stringify)?),
+                (Some(n), None) => RepoStore::Sharded(
+                    ShardedStore::open_sharded(&objects, *n, true).map_err(stringify)?,
                 ),
+                // Dial every shard server up front: an unreachable address
+                // fails init instead of the first commit.
+                (None, Some(addrs)) => {
+                    RepoStore::Remote(persist::connect_remote_shards(addrs).map_err(stringify)?)
+                }
+                (Some(_), Some(_)) => unreachable!("rejected above"),
             };
             let repo: Repository<RepoStore> = Repository::init(store);
             persist::save(&repo, &root).map_err(stringify)?;
-            match shards {
-                None => println!("initialized empty dsv repository at {}", root.display()),
-                Some(n) => println!(
+            match (&shards, &remote_shards) {
+                (None, None) => println!("initialized empty dsv repository at {}", root.display()),
+                (Some(n), None) => println!(
                     "initialized empty dsv repository at {} ({n} object shards)",
                     root.display()
+                ),
+                (_, Some(addrs)) => println!(
+                    "initialized empty dsv repository at {} ({} remote shards: {})",
+                    root.display(),
+                    addrs.len(),
+                    addrs.join(", ")
                 ),
             }
             Ok(())
@@ -499,6 +537,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 "usage: dsv <init|commit|checkout|log|branch|branches|status|store|stats|solvers|optimize|fsck> ..."
             );
             println!("       dsv init <repo> [--shards <n>]  shard the object store n ways");
+            println!(
+                "       dsv init <repo> --remote-shards <addr,...>  store objects on remote \
+                 shard servers (dsvd --store-server)"
+            );
             println!(
                 "       dsv commit <repo> <file> [--online] [--online-hops <n>] [--theta <bytes>]"
             );

@@ -6,6 +6,7 @@
 //! dsvd <repo-dir> [--addr <host:port>] [--workers <n>] [--cache-bytes <n>]
 //!      [--max-frame <bytes>] [--read-timeout-ms <n>]
 //!      [--threads <n>] [--trace] [--trace-json <path>]
+//! dsvd <store-dir> --store-server [--addr <host:port>] [...]
 //! ```
 //!
 //! The repository is opened once — after crash recovery: a pending
@@ -24,6 +25,16 @@
 //! (default: the dsv-par thread count). The server runs until a client
 //! sends the protocol `Shutdown` request (`dsv --remote <addr> shutdown`).
 //!
+//! `--store-server` serves a *bare object store* instead of a
+//! repository: the directory holds content-addressed objects only (no
+//! commit DAG, no plan), requests are the protocol-v3 `Store*` opcodes,
+//! and repository opcodes are rejected with `BAD_REQUEST`. This is the
+//! shard unit of the distributed storage tier — a front-end repository
+//! initialized with `dsv init --remote-shards <addr,...>` routes each
+//! object to one such server by id prefix. No crash recovery pass runs
+//! (there is no history to verify); the store directory is created on
+//! first start. `--cache-bytes` does not apply.
+//!
 //! `--trace` / `--trace-json` record the full serve span tree
 //! (`serve → conn → decode/handle/encode`, with a per-opcode child under
 //! each `handle`) exactly like the `dsv` CLI's global flags, and the
@@ -31,7 +42,9 @@
 //! the metrics registry.
 
 use dsv_net::server::{Server, ServerOptions};
+use dsv_net::{StoreService, StoreServiceConfig};
 use dsv_obs as obs;
+use dsv_storage::{FileStore, ObjectStore};
 use dsv_vcs::{Dsvd, DsvdConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -54,6 +67,7 @@ struct Opts {
     addr: String,
     workers: usize,
     config: DsvdConfig,
+    store_server: bool,
     trace: bool,
     trace_json: Option<PathBuf>,
 }
@@ -63,6 +77,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut addr = "127.0.0.1:7411".to_owned();
     let mut workers = 0usize;
     let mut config = DsvdConfig::default();
+    let mut store_server = false;
     let mut trace = false;
     let mut trace_json = None;
     let mut iter = args.iter();
@@ -100,6 +115,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
                 dsv_par::set_thread_count(Some(threads));
             }
+            "--store-server" => store_server = true,
             "--trace" => trace = true,
             "--trace-json" => {
                 trace_json = Some(PathBuf::from(
@@ -119,6 +135,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         addr,
         workers,
         config,
+        store_server,
         trace,
         trace_json,
     })
@@ -145,23 +162,6 @@ fn run(args: &[String]) -> Result<(), String> {
         None
     };
 
-    // Crash recovery before serving: resolve any repack journal a killed
-    // predecessor left behind, verify the history, and GC orphans — a
-    // SIGKILL'd dsvd restarts into a pristine repository or refuses to
-    // serve a corrupt one.
-    let (repo, report) = dsv_vcs::fsck::recover_at(&opts.root, true).map_err(|e| e.to_string())?;
-    match &report.recovery {
-        Some(dsv_vcs::Recovery::Clean) | None => {}
-        Some(rec) => println!("dsvd: recovery: {rec:?}"),
-    }
-    if report.orphans_removed > 0 {
-        println!("dsvd: recovery: {} orphans removed", report.orphans_removed);
-    }
-    if !report.is_clean() {
-        return Err(format!("repository fails fsck after recovery: {report}"));
-    }
-    let versions = repo.version_count();
-    let dsvd = Dsvd::new(repo, opts.config.clone()).with_save_root(opts.root.clone());
     let server = Server::bind_with(
         &opts.addr,
         ServerOptions {
@@ -170,19 +170,66 @@ fn run(args: &[String]) -> Result<(), String> {
         },
     )
     .map_err(|e| format!("binding {}: {e}", opts.addr))?;
-    println!(
-        "dsvd: serving {} ({versions} versions) at {} ({} workers, protocol v{})",
-        opts.root.display(),
-        server.local_addr(),
-        server.workers(),
-        dsv_net::PROTOCOL_VERSION
-    );
-    // Scripts poll this line before connecting; make sure it is visible
-    // even when stdout is a pipe.
-    use std::io::Write;
-    let _ = std::io::stdout().flush();
+    if opts.store_server {
+        // Bare store shard: content-addressed objects only, served via
+        // the protocol-v3 `Store*` opcodes. There is no commit DAG here,
+        // so no recovery pass — every stored object is self-verifying by
+        // address, and puts are idempotent.
+        let store = FileStore::open(&opts.root.join("objects"), true).map_err(|e| e.to_string())?;
+        let objects = store.len();
+        let service = StoreService::new(
+            store,
+            StoreServiceConfig {
+                max_frame: opts.config.max_frame,
+                read_timeout: opts.config.read_timeout,
+            },
+        );
+        println!(
+            "dsvd: store server {} ({objects} objects) at {} ({} workers, protocol v{})",
+            opts.root.display(),
+            server.local_addr(),
+            server.workers(),
+            dsv_net::PROTOCOL_VERSION
+        );
+        // Scripts poll this line before connecting; make sure it is
+        // visible even when stdout is a pipe.
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
 
-    dsvd.serve(&server);
+        service.serve(&server);
+    } else {
+        // Crash recovery before serving: resolve any repack journal a
+        // killed predecessor left behind, verify the history, and GC
+        // orphans — a SIGKILL'd dsvd restarts into a pristine repository
+        // or refuses to serve a corrupt one.
+        let (repo, report) =
+            dsv_vcs::fsck::recover_at(&opts.root, true).map_err(|e| e.to_string())?;
+        match &report.recovery {
+            Some(dsv_vcs::Recovery::Clean) | None => {}
+            Some(rec) => println!("dsvd: recovery: {rec:?}"),
+        }
+        if report.orphans_removed > 0 {
+            println!("dsvd: recovery: {} orphans removed", report.orphans_removed);
+        }
+        if !report.is_clean() {
+            return Err(format!("repository fails fsck after recovery: {report}"));
+        }
+        let versions = repo.version_count();
+        let dsvd = Dsvd::new(repo, opts.config.clone()).with_save_root(opts.root.clone());
+        println!(
+            "dsvd: serving {} ({versions} versions) at {} ({} workers, protocol v{})",
+            opts.root.display(),
+            server.local_addr(),
+            server.workers(),
+            dsv_net::PROTOCOL_VERSION
+        );
+        // Scripts poll this line before connecting; make sure it is
+        // visible even when stdout is a pipe.
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+
+        dsvd.serve(&server);
+    }
     println!("dsvd: shutdown requested, exiting");
 
     if let Some(recorder) = recorder {

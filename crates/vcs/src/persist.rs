@@ -37,8 +37,13 @@
 //! repositories whose objects live in a
 //! [`ShardedStore<FileStore>`](dsv_storage::ShardedStore) — the shard
 //! count is a routing property, so it must reopen exactly as written.
-//! Flat repositories keep saving as v2; v1 files (binary plans, implicit
-//! greedy placement) still load. [`load`] returns the store behind
+//! Format v4 adds `store remote-sharded <n> <addr>...` for repositories
+//! whose objects live on remote store servers
+//! (`ShardedStore<RemoteStore>`, see `dsv_net::remote`): the address
+//! *order* is the shard order, so the same id keeps routing to the same
+//! server across reopens. Flat repositories keep saving as v2, local
+//! sharded ones as v3; v1 files (binary plans, implicit greedy
+//! placement) still load. [`load`] returns the store behind
 //! [`RepoStore`], which dispatches to whichever layout the meta names.
 
 use crate::commit::{CommitId, CommitMeta};
@@ -46,6 +51,7 @@ use crate::error::VcsError;
 use crate::repo::{Placement, Repository};
 use dsv_chunk::ChunkerParams;
 use dsv_core::StorageMode;
+use dsv_net::RemoteStore;
 use dsv_storage::fault;
 use dsv_storage::{FileStore, Object, ObjectId, ObjectStore, ShardedStore, StoreError, StoreStats};
 use std::fmt::Write as _;
@@ -54,10 +60,13 @@ use std::path::Path;
 const MAGIC_V1: &str = "dsv-meta v1";
 const MAGIC_V2: &str = "dsv-meta v2";
 const MAGIC_V3: &str = "dsv-meta v3";
+const MAGIC_V4: &str = "dsv-meta v4";
 
-/// The on-disk store of a loaded repository: a flat [`FileStore`]
-/// (meta v1/v2) or a [`ShardedStore`] of per-shard `FileStore`s (meta
-/// v3's `store sharded <n>` layout). Delegates the whole
+/// The store of a loaded repository: a flat [`FileStore`] (meta v1/v2),
+/// a [`ShardedStore`] of per-shard `FileStore`s (meta v3's
+/// `store sharded <n>` layout), or a `ShardedStore` of
+/// [`RemoteStore`] shards dialing remote store servers (meta v4's
+/// `store remote-sharded <n> <addr>...`). Delegates the whole
 /// [`ObjectStore`] surface — including the batch methods and stats, so a
 /// sharded repository keeps its concurrent batch writes behind this
 /// wrapper.
@@ -66,6 +75,9 @@ pub enum RepoStore {
     Flat(FileStore),
     /// `objects/shard-<i>/ab/<hex>` — id-prefix-routed shards.
     Sharded(ShardedStore<FileStore>),
+    /// Objects live on remote store servers, one per shard, in the
+    /// persisted address order.
+    Remote(ShardedStore<RemoteStore>),
 }
 
 macro_rules! delegate {
@@ -73,6 +85,7 @@ macro_rules! delegate {
         match $self {
             RepoStore::Flat($store) => $body,
             RepoStore::Sharded($store) => $body,
+            RepoStore::Remote($store) => $body,
         }
     };
 }
@@ -114,6 +127,9 @@ impl ObjectStore for RepoStore {
     fn shard_count(&self) -> usize {
         delegate!(self, s => s.shard_count())
     }
+    fn remote_addrs(&self) -> Vec<String> {
+        delegate!(self, s => s.remote_addrs())
+    }
     fn object_ids(&self) -> Vec<ObjectId> {
         delegate!(self, s => s.object_ids())
     }
@@ -123,17 +139,28 @@ impl ObjectStore for RepoStore {
 }
 
 /// Serializes repository metadata (not objects — those live in the
-/// FileStore) to `<root>/meta.dsv`. A store reporting a non-zero
+/// store) to `<root>/meta.dsv`. A store reporting remote addresses
+/// ([`ObjectStore::remote_addrs`]) is saved as meta v4 with the full
+/// topology; a store reporting a non-zero
 /// [`ObjectStore::shard_count`] is saved as meta v3 with that count;
-/// flat stores keep the v2 format.
+/// flat local stores keep the v2 format.
 pub fn save<S: dsv_storage::ObjectStore>(
     repo: &Repository<S>,
     root: &Path,
 ) -> Result<(), VcsError> {
     std::fs::create_dir_all(root).map_err(StoreError::from)?;
+    let remote_addrs = repo.store().remote_addrs();
     let shard_count = repo.store().shard_count();
     let mut out = String::new();
-    if shard_count > 0 {
+    if !remote_addrs.is_empty() {
+        let _ = writeln!(out, "{MAGIC_V4}");
+        let _ = writeln!(
+            out,
+            "store remote-sharded {} {}",
+            remote_addrs.len(),
+            remote_addrs.join(" ")
+        );
+    } else if shard_count > 0 {
         let _ = writeln!(out, "{MAGIC_V3}");
         let _ = writeln!(out, "store sharded {shard_count}");
     } else {
@@ -261,29 +288,36 @@ pub fn clear_journal(root: &Path) -> Result<(), VcsError> {
 }
 
 /// Loads a repository whose objects live in `<root>/objects` — flat or
-/// sharded per the meta file (see [`RepoStore`]).
+/// sharded per the meta file — or, for meta v4, on the remote store
+/// servers the meta names (each address is dialed; a server that is down
+/// surfaces as a structured [`StoreError::Io`], never a hang beyond the
+/// dial timeout). See [`RepoStore`].
 pub fn load(root: &Path, compress: bool) -> Result<Repository<RepoStore>, VcsError> {
     let text = std::fs::read_to_string(root.join("meta.dsv")).map_err(StoreError::from)?;
     let mut lines = text.lines();
     let magic = lines.next().ok_or_else(corrupt)?;
-    let (v2, v3) = match magic {
-        MAGIC_V1 => (false, false),
-        MAGIC_V2 => (true, false),
-        MAGIC_V3 => (true, true),
+    let version = match magic {
+        MAGIC_V1 => 1,
+        MAGIC_V2 => 2,
+        MAGIC_V3 => 3,
+        MAGIC_V4 => 4,
         _ => return Err(corrupt()),
     };
 
     let objects_dir = root.join("objects");
-    let store = if v3 {
-        match parse_store(lines.next().ok_or_else(corrupt)?)? {
+    let store = match version {
+        4 => {
+            let addrs = parse_remote_store(lines.next().ok_or_else(corrupt)?)?;
+            RepoStore::Remote(connect_remote_shards(&addrs)?)
+        }
+        3 => match parse_store(lines.next().ok_or_else(corrupt)?)? {
             0 => RepoStore::Flat(FileStore::open(&objects_dir, compress)?),
             n => RepoStore::Sharded(ShardedStore::open_sharded(&objects_dir, n, compress)?),
-        }
-    } else {
-        RepoStore::Flat(FileStore::open(&objects_dir, compress)?)
+        },
+        _ => RepoStore::Flat(FileStore::open(&objects_dir, compress)?),
     };
 
-    let placement = if v2 {
+    let placement = if version >= 2 {
         parse_placement(lines.next().ok_or_else(corrupt)?)?
     } else {
         Placement::GreedyDelta
@@ -332,9 +366,6 @@ pub fn load(root: &Path, compress: bool) -> Result<Repository<RepoStore>, VcsErr
             other => StorageMode::Delta(other.parse::<u32>().map_err(|_| corrupt())?),
         };
         let object = ObjectId::from_hex(object_hex).ok_or_else(corrupt)?;
-        if !dsv_storage::ObjectStore::contains(&store, object) {
-            return Err(VcsError::Store(StoreError::NotFound(object)));
-        }
         commits.push(CommitMeta {
             id: CommitId(v),
             parents,
@@ -346,7 +377,33 @@ pub fn load(root: &Path, compress: bool) -> Result<Repository<RepoStore>, VcsErr
         objects.push(object);
     }
 
+    // One batched membership probe for every referenced object — a
+    // remote store answers in one frame per shard instead of one
+    // round-trip per version.
+    let present = store.contains_batch(&objects);
+    if let Some(i) = present.iter().position(|&p| !p) {
+        return Err(VcsError::Store(StoreError::NotFound(objects[i])));
+    }
+
     Repository::from_parts(store, commits, plan, objects, branches, placement)
+}
+
+/// Dials one [`RemoteStore`] per address, in shard order. Public so
+/// `dsv init --remote-shards` builds the identical topology the meta
+/// will reopen.
+pub fn connect_remote_shards(addrs: &[String]) -> Result<ShardedStore<RemoteStore>, VcsError> {
+    if addrs.is_empty() {
+        return Err(corrupt());
+    }
+    let shards = addrs
+        .iter()
+        .map(|addr| {
+            RemoteStore::connect(addr).map_err(|e| {
+                VcsError::Store(StoreError::Io(format!("dialing store shard {addr}: {e}")))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ShardedStore::new(shards))
 }
 
 fn corrupt() -> VcsError {
@@ -368,6 +425,26 @@ fn parse_store(line: &str) -> Result<usize, VcsError> {
             .ok_or_else(corrupt),
         _ => Err(corrupt()),
     }
+}
+
+/// Parses a v4 `store remote-sharded <n> <addr>...` line; the declared
+/// count must match the address list (a truncated line must not silently
+/// reopen with fewer shards — that would reroute every id).
+fn parse_remote_store(line: &str) -> Result<Vec<String>, VcsError> {
+    let mut fields = line.split(' ');
+    if fields.next() != Some("store") || fields.next() != Some("remote-sharded") {
+        return Err(corrupt());
+    }
+    let n: usize = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .filter(|&n| (1..=dsv_storage::MAX_SHARDS).contains(&n))
+        .ok_or_else(corrupt)?;
+    let addrs: Vec<String> = fields.map(str::to_owned).collect();
+    if addrs.len() != n || addrs.iter().any(|a| a.is_empty()) {
+        return Err(corrupt());
+    }
+    Ok(addrs)
 }
 
 fn parse_placement(line: &str) -> Result<Placement, VcsError> {
@@ -610,6 +687,80 @@ mod tests {
                 "same content addresses regardless of layout"
             );
         }
+    }
+
+    /// Loopback store server for meta v4 tests; drop shuts it down.
+    struct StoreServerGuard(String, Option<std::thread::JoinHandle<()>>);
+
+    impl StoreServerGuard {
+        fn spawn() -> Self {
+            let server = dsv_net::Server::bind("127.0.0.1:0").unwrap();
+            let addr = server.local_addr().to_string();
+            let handle = std::thread::spawn(move || {
+                dsv_net::StoreService::new(
+                    dsv_storage::MemStore::new(false),
+                    dsv_net::StoreServiceConfig::default(),
+                )
+                .serve(&server);
+            });
+            StoreServerGuard(addr, Some(handle))
+        }
+    }
+
+    impl Drop for StoreServerGuard {
+        fn drop(&mut self) {
+            if let Ok(mut c) = dsv_net::Client::connect(&self.0) {
+                let _ = c.shutdown();
+            }
+            if let Some(h) = self.1.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    #[test]
+    fn remote_sharded_layout_roundtrips_through_meta_v4() {
+        let tmp = TempDir::new("remote-v4");
+        let root = tmp.path();
+        let servers: Vec<StoreServerGuard> = (0..2).map(|_| StoreServerGuard::spawn()).collect();
+        let addrs: Vec<String> = servers.iter().map(|s| s.0.clone()).collect();
+
+        let store = connect_remote_shards(&addrs).unwrap();
+        let mut repo = Repository::init(store);
+        let mut data = b"id,value\n".to_vec();
+        for i in 0..120 {
+            data.extend_from_slice(format!("{i},row-{}\n", i * 11).as_bytes());
+        }
+        repo.commit("main", &data, "base").unwrap();
+        data.extend_from_slice(b"120,appended\n");
+        repo.commit("main", &data, "grow").unwrap();
+        save(&repo, root).unwrap();
+
+        // Meta v4 records the full topology in shard order.
+        let meta = std::fs::read_to_string(root.join("meta.dsv")).unwrap();
+        assert!(meta.starts_with(MAGIC_V4), "{meta}");
+        assert!(meta.contains(&format!("store remote-sharded 2 {} {}", addrs[0], addrs[1])));
+
+        // Reload dials the same servers; contents are identical.
+        let loaded = load(root, false).unwrap();
+        assert!(matches!(loaded.store(), RepoStore::Remote(_)));
+        assert_eq!(loaded.store().remote_addrs(), addrs);
+        assert_eq!(loaded.storage_bytes(), repo.storage_bytes());
+        for v in 0..repo.version_count() as u32 {
+            assert_eq!(
+                loaded.checkout(CommitId(v)).unwrap(),
+                repo.checkout(CommitId(v)).unwrap(),
+                "v{v}"
+            );
+        }
+
+        // A truncated topology line is corruption, not silent rerouting.
+        let truncated = meta.replace(
+            &format!("store remote-sharded 2 {} {}", addrs[0], addrs[1]),
+            &format!("store remote-sharded 2 {}", addrs[0]),
+        );
+        std::fs::write(root.join("meta.dsv"), truncated).unwrap();
+        assert!(load(root, false).is_err());
     }
 
     #[test]

@@ -263,6 +263,23 @@ impl<S: ObjectStore + Send + Sync> Dsvd<S> {
                 (resp, ServeControl::Continue)
             }
             Request::Shutdown => (Response::ShutdownOk, ServeControl::Shutdown),
+            // The bare-store opcodes are served by `dsvd --store-server`
+            // (`dsv_net::remote::StoreService`); a repository front end
+            // owns its store and does not expose raw object access.
+            Request::StorePut { .. }
+            | Request::StoreGet { .. }
+            | Request::StoreContains { .. }
+            | Request::StoreRemove { .. }
+            | Request::StoreObjectIds
+            | Request::StoreStats => (
+                Response::Error {
+                    code: errcode::BAD_REQUEST,
+                    message: "object-store opcodes are only served by a store server \
+                              (dsvd --store-server), not a repository server"
+                        .into(),
+                },
+                ServeControl::Continue,
+            ),
         }
     }
 
@@ -518,6 +535,12 @@ impl<S: ObjectStore + Send + Sync> DsvdConn<'_, S> {
                 Request::Stats => "stats",
                 Request::Shutdown => "shutdown",
                 Request::Fsck { .. } => "fsck",
+                Request::StorePut { .. } => "store.put",
+                Request::StoreGet { .. } => "store.get",
+                Request::StoreContains { .. } => "store.contains",
+                Request::StoreRemove { .. } => "store.remove",
+                Request::StoreObjectIds => "store.ids",
+                Request::StoreStats => "store.stats",
             };
             let op_span = op.child(op_name).entered();
             let (resp, control) = self.dsvd.handle_request(req);
